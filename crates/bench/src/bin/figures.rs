@@ -1,0 +1,106 @@
+//! Regenerates the paper's evaluation figures as text tables and CSV
+//! files.
+//!
+//! ```text
+//! figures [IDS...] [--quick] [--analytic] [--seeds N] [--rounds N] [--out DIR]
+//!
+//!   IDS          figure ids (default: all) — fig7 fig8a fig8b fig9a fig9b
+//!                fig9c fig9d ablation-eq1 ablation-h ablation-merge
+//!                ablation-classic ablation-failures
+//!   --quick      scaled-down config (30 switches, 6 states, 2 networks)
+//!   --analytic   report analytic rates instead of Monte Carlo estimates
+//!   --seeds N    networks per data point (default 5, paper's setting)
+//!   --rounds N   Monte Carlo rounds per demand (default 1500)
+//!   --out DIR    also write <DIR>/<id>.csv (default: results)
+//!   --calibrate  print network calibration stats and exit
+//! ```
+
+use std::path::PathBuf;
+
+use fusion_bench::figures::{run, ALL_FIGURES};
+use fusion_bench::workloads::{instance_stats, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExperimentConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut calibrate = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let keep_rounds = config.mc_rounds;
+                config = ExperimentConfig::quick();
+                if keep_rounds != ExperimentConfig::default().mc_rounds {
+                    config.mc_rounds = keep_rounds;
+                }
+            }
+            "--analytic" => config.mc_rounds = 0,
+            "--seeds" => {
+                config.networks = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seeds needs a positive integer"));
+            }
+            "--rounds" => {
+                config.mc_rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--rounds needs an integer"));
+            }
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| die("--out needs a directory"));
+            }
+            "--calibrate" => calibrate = true,
+            "--help" | "-h" => {
+                println!("usage: figures [IDS...] [--quick] [--analytic] [--seeds N] [--rounds N] [--out DIR] [--calibrate]");
+                println!("figure ids: {}", ALL_FIGURES.join(" "));
+                return;
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if calibrate {
+        for i in 0..config.networks {
+            let (net, demands) = config.instance(i);
+            let stats = instance_stats(&net);
+            println!(
+                "instance {i}: nodes={} edges={} avg_degree={:.2} mean_p={:.3} demands={}",
+                stats.nodes,
+                stats.edges,
+                stats.avg_degree,
+                stats.mean_link_success,
+                demands.len()
+            );
+        }
+        return;
+    }
+
+    if ids.is_empty() {
+        ids = ALL_FIGURES.iter().map(|s| (*s).to_string()).collect();
+    }
+
+    let _ = std::fs::create_dir_all(&out_dir);
+    for id in &ids {
+        let Some(table) = run(id, &config) else {
+            die(&format!("unknown figure id {id}; known: {}", ALL_FIGURES.join(" ")));
+        };
+        println!("{}", table.render());
+        let csv_path = out_dir.join(format!("{id}.csv"));
+        if let Err(e) = std::fs::write(&csv_path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", csv_path.display());
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,14 @@
+//! Experiment harness reproducing the paper's evaluation (§V).
+//!
+//! [`workloads`] defines the default network configuration and runs the
+//! four algorithms (plus the Alg-3 ablation) on generated instances;
+//! [`figures`] sweeps the parameters of every figure in the paper and
+//! formats the resulting series. The `figures` binary prints them; the
+//! Criterion benches measure the routing algorithms' compute cost on the
+//! same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod workloads;

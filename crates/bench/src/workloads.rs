@@ -1,0 +1,267 @@
+//! Default experiment configuration (paper §V-A) and algorithm runners.
+
+use fusion_core::algorithms::{route, RoutingConfig};
+use fusion_core::baselines::{route_b1, route_qcast, route_qcast_n, DEFAULT_REGION_PATHS};
+use fusion_core::{Demand, NetworkParams, NetworkPlan, PhysicsParams, QuantumNetwork};
+use fusion_sim::evaluate::estimate_plan;
+use fusion_topology::{GeneratorKind, TopologyConfig};
+
+/// One experiment instance: everything needed to generate networks and
+/// route demands. Field defaults mirror §V-A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Topology generation parameters (100 switches, degree 10, 20 states,
+    /// 10k × 10k area by default).
+    pub topology: TopologyConfig,
+    /// Switch capacity and physics (capacity 10, q = 0.9, α = 1e-4).
+    pub network: NetworkParams,
+    /// Networks generated and averaged per data point (paper: 5).
+    pub networks: usize,
+    /// Candidate paths per (demand, width) for Algorithm 2.
+    pub h: usize,
+    /// Monte Carlo rounds per (network, demand) when estimating rates
+    /// empirically; `0` reports analytic rates instead.
+    pub mc_rounds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            topology: TopologyConfig::default(),
+            network: NetworkParams::default(),
+            networks: 5,
+            h: 5,
+            mc_rounds: 1_500,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A scaled-down configuration for fast smoke runs and Criterion
+    /// benches (30 switches, 6 states, 2 networks).
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            topology: TopologyConfig {
+                num_switches: 30,
+                num_user_pairs: 6,
+                avg_degree: 6.0,
+                ..TopologyConfig::default()
+            },
+            networks: 2,
+            mc_rounds: 400,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Generates the `i`-th network instance and its demand list.
+    #[must_use]
+    pub fn instance(&self, i: usize) -> (QuantumNetwork, Vec<Demand>) {
+        let topo = self.topology.generate(self.seed.wrapping_add(i as u64));
+        let net = QuantumNetwork::from_topology(&topo, &self.network);
+        let demands = Demand::from_topology(&topo);
+        (net, demands)
+    }
+}
+
+/// The five algorithm variants of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's ALG-N-FUSION (Algorithms 1-4 under n-fusion).
+    AlgNFusion,
+    /// Classic-swapping restriction (N = 2).
+    QCast,
+    /// Q-CAST routes evaluated under n-fusion.
+    QCastN,
+    /// Patil et al. percolation baseline extended to multiple pairs.
+    B1,
+    /// ALG-N-FUSION without Algorithm 4 (Fig. 7 ablation).
+    Alg3Only,
+}
+
+impl Algorithm {
+    /// The four algorithms compared in every figure.
+    pub const MAIN: [Algorithm; 4] =
+        [Algorithm::AlgNFusion, Algorithm::QCast, Algorithm::QCastN, Algorithm::B1];
+
+    /// All five variants (Fig. 7 adds the Alg-3 ablation).
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::AlgNFusion,
+        Algorithm::QCast,
+        Algorithm::QCastN,
+        Algorithm::B1,
+        Algorithm::Alg3Only,
+    ];
+
+    /// Display name matching the paper's legends.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::AlgNFusion => "ALG-N-FUSION",
+            Algorithm::QCast => "Q-CAST",
+            Algorithm::QCastN => "Q-CAST-N",
+            Algorithm::B1 => "B1",
+            Algorithm::Alg3Only => "Alg-3",
+        }
+    }
+
+    /// Routes `demands` on `net` with this algorithm.
+    #[must_use]
+    pub fn route(self, net: &QuantumNetwork, demands: &[Demand], h: usize) -> NetworkPlan {
+        match self {
+            Algorithm::AlgNFusion => {
+                route(net, demands, &RoutingConfig { h, ..RoutingConfig::n_fusion() })
+            }
+            Algorithm::QCast => route_qcast(net, demands, h),
+            Algorithm::QCastN => route_qcast_n(net, demands, h),
+            Algorithm::B1 => route_b1(net, demands, DEFAULT_REGION_PATHS),
+            Algorithm::Alg3Only => route(
+                net,
+                demands,
+                &RoutingConfig { h, ..RoutingConfig::n_fusion_without_alg4() },
+            ),
+        }
+    }
+}
+
+/// Entanglement rate of `algorithm` on one network instance: Monte Carlo
+/// when `mc_rounds > 0`, analytic otherwise.
+#[must_use]
+pub fn measure_rate(
+    config: &ExperimentConfig,
+    algorithm: Algorithm,
+    net: &QuantumNetwork,
+    demands: &[Demand],
+) -> f64 {
+    let plan = algorithm.route(net, demands, config.h);
+    if config.mc_rounds == 0 {
+        plan.total_rate(net)
+    } else {
+        estimate_plan(net, &plan, config.mc_rounds, config.seed).total_rate()
+    }
+}
+
+/// Mean entanglement rate of `algorithm` over the configured number of
+/// random networks, with `mutate` applied to each instance (parameter
+/// sweeps adjust q, uniform p, etc.).
+#[must_use]
+pub fn mean_rate(
+    config: &ExperimentConfig,
+    algorithm: Algorithm,
+    mutate: &dyn Fn(&mut QuantumNetwork),
+) -> f64 {
+    let mut total = 0.0;
+    for i in 0..config.networks {
+        let (mut net, demands) = config.instance(i);
+        mutate(&mut net);
+        total += measure_rate(config, algorithm, &net, &demands);
+    }
+    total / config.networks as f64
+}
+
+/// Network-level statistics used for calibration reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceStats {
+    /// Mean single-link success probability.
+    pub mean_link_success: f64,
+    /// Average switch degree.
+    pub avg_degree: f64,
+    /// Nodes (switches + users).
+    pub nodes: usize,
+    /// Edges.
+    pub edges: usize,
+}
+
+/// Computes calibration statistics for an instance.
+#[must_use]
+pub fn instance_stats(net: &QuantumNetwork) -> InstanceStats {
+    let g = net.graph();
+    let switches: Vec<_> = g.node_ids().filter(|&n| net.is_switch(n)).collect();
+    let avg_degree = if switches.is_empty() {
+        0.0
+    } else {
+        switches.iter().map(|&s| g.degree(s)).sum::<usize>() as f64 / switches.len() as f64
+    };
+    InstanceStats {
+        mean_link_success: fusion_sim::failure::mean_link_success(net),
+        avg_degree,
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+    }
+}
+
+/// Applies a generator-kind override, keeping everything else default.
+#[must_use]
+pub fn with_generator(config: &ExperimentConfig, kind: GeneratorKind) -> ExperimentConfig {
+    let mut out = config.clone();
+    out.topology.kind = kind;
+    out
+}
+
+/// Default physics constants, re-exported for the figure runners.
+#[must_use]
+pub fn default_physics() -> PhysicsParams {
+    PhysicsParams::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.topology.num_switches, 100);
+        assert_eq!(c.topology.num_user_pairs, 20);
+        assert_eq!(c.network.switch_capacity, 10);
+        assert_eq!(c.networks, 5);
+        assert!((c.network.physics.swap_success - 0.9).abs() < 1e-12);
+        assert!((c.network.physics.alpha - 1e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn instances_are_deterministic_and_distinct() {
+        let c = ExperimentConfig::quick();
+        let (a, da) = c.instance(0);
+        let (b, db) = c.instance(0);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(da, db);
+        let (other, _) = c.instance(1);
+        assert_ne!(
+            a.graph().edge_count(),
+            usize::MAX,
+            "sanity: instance generation ran"
+        );
+        // Different index, different seed: almost surely different edges.
+        assert!(a.graph().edge_count() != other.graph().edge_count()
+            || a.node_count() == other.node_count());
+    }
+
+    #[test]
+    fn all_algorithms_run_on_quick_config() {
+        let c = ExperimentConfig::quick();
+        let (net, demands) = c.instance(0);
+        for algo in Algorithm::ALL {
+            let plan = algo.route(&net, &demands, c.h);
+            let rate = plan.total_rate(&net);
+            assert!(
+                (0.0..=demands.len() as f64 + 1e-9).contains(&rate),
+                "{} produced rate {rate}",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let c = ExperimentConfig::quick();
+        let (net, _) = c.instance(0);
+        let stats = instance_stats(&net);
+        assert!(stats.mean_link_success > 0.0 && stats.mean_link_success < 1.0);
+        assert!(stats.avg_degree > 1.0);
+        assert_eq!(stats.nodes, net.node_count());
+    }
+}

@@ -1,0 +1,288 @@
+//! Algorithm 2 — Paths Selection: Yen's deviation structure driven by
+//! Algorithm 1, producing up to `h` candidate paths per (demand, width)
+//! for every width from `MAX_WIDTH` down to 1.
+//!
+//! Candidates are discovered with the n-fusion path metric (which is
+//! decomposable and therefore Dijkstra-compatible) and scored with the
+//! caller's [`SwapMode`]; capacity during selection is the *full* network
+//! capacity — contention is resolved later by Algorithm 3.
+
+use std::collections::HashSet;
+
+use fusion_graph::{Metric, NodeId, Path};
+
+use crate::algorithms::alg1::{largest_rate_path, PathConstraints};
+use crate::demand::{Demand, DemandId};
+use crate::flow::WidthedPath;
+use crate::metrics::path_rate;
+use crate::network::QuantumNetwork;
+use crate::plan::SwapMode;
+
+/// One candidate route emitted by Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct CandidatePath {
+    /// The demand this candidate serves.
+    pub demand: DemandId,
+    /// The loopless route.
+    pub path: Path,
+    /// Uniform channel width.
+    pub width: u32,
+    /// Mode-dependent success score used for Algorithm 3's ordering.
+    pub metric: Metric,
+}
+
+/// Runs Algorithm 2 for every demand: for each width from `max_width` down
+/// to 1, finds up to `h` highest-rate loopless paths via Yen deviations
+/// over Algorithm 1.
+///
+/// `capacity` is the per-node qubit budget used for feasibility during
+/// selection (the paper uses the full capacity here; B1 passes its running
+/// remainder).
+///
+/// # Panics
+///
+/// Panics if `h == 0` or `max_width == 0`.
+#[must_use]
+pub fn paths_selection(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    capacity: &[u32],
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+) -> Vec<CandidatePath> {
+    assert!(h > 0, "need at least one candidate per width");
+    assert!(max_width > 0, "max width must be positive");
+    let mut out = Vec::new();
+    for width in (1..=max_width).rev() {
+        for demand in demands {
+            for path in k_best_paths(net, demand, capacity, h, width) {
+                let wp = WidthedPath::uniform(path.clone(), width);
+                let metric = mode.score(net, &wp);
+                if metric > Metric::ZERO {
+                    out.push(CandidatePath { demand: demand.id, path, width, metric });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Yen's algorithm over Algorithm 1 for one demand at one width.
+fn k_best_paths(
+    net: &QuantumNetwork,
+    demand: &Demand,
+    capacity: &[u32],
+    h: usize,
+    width: u32,
+) -> Vec<Path> {
+    let base = PathConstraints::default();
+    let Some((first, metric)) =
+        largest_rate_path(net, demand.source, demand.dest, width, capacity, &base)
+    else {
+        return Vec::new();
+    };
+
+    // Pending deviation: discovery metric, path, and the banned hops
+    // inherited along its deviation branch — the paper's E'.
+    type Pending = (Metric, Path, HashSet<(NodeId, NodeId)>);
+    let mut accepted: Vec<(Path, Metric)> = Vec::new();
+    let mut queue: Vec<Pending> = vec![(metric, first, HashSet::new())];
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+
+    while accepted.len() < h {
+        // Pop the best pending candidate (deterministic tie-break on the
+        // node sequence).
+        let Some(best_idx) = queue
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.0.cmp(&b.0).then_with(|| b.1.nodes().cmp(a.1.nodes())))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (_, path, banned) = queue.swap_remove(best_idx);
+        if !seen.insert(path.nodes().to_vec()) {
+            continue;
+        }
+        accepted.push((path.clone(), Metric::ZERO));
+        if accepted.len() >= h {
+            break;
+        }
+
+        // Deviations at every hop of the newly accepted path.
+        for i in 0..path.hops() {
+            let spur_node = path.nodes()[i];
+            let root = path.prefix(i);
+
+            // The paper's tuples carry E' and extend it with the deviated
+            // edge e; the accepted-path bans below are recomputed per
+            // deviation (classic Yen) and not inherited.
+            let mut inherited = banned.clone();
+            inherited.insert(PathConstraints::hop_key(path.nodes()[i], path.nodes()[i + 1]));
+
+            let mut cons =
+                PathConstraints { banned_hops: inherited.clone(), ..Default::default() };
+            // Classic Yen: also ban the next hop of every accepted path
+            // sharing this root, so deviations cannot regenerate them.
+            for (acc, _) in &accepted {
+                if acc.len() > i + 1 && acc.nodes()[..=i] == *root.nodes() {
+                    cons.ban_hop(acc.nodes()[i], acc.nodes()[i + 1]);
+                }
+            }
+            for &n in &root.nodes()[..i] {
+                cons.ban_node(n);
+            }
+
+            let Some((spur, _)) =
+                largest_rate_path(net, spur_node, demand.dest, width, capacity, &cons)
+            else {
+                continue;
+            };
+            let combined = root.join(&spur);
+            if seen.contains(combined.nodes()) {
+                continue;
+            }
+            if queue.iter().any(|(_, p, _)| p == &combined) {
+                continue;
+            }
+            // Score the whole deviation with the discovery metric.
+            let m = path_rate(net, &combined, width);
+            if m == Metric::ZERO {
+                continue;
+            }
+            queue.push((m, combined, inherited));
+        }
+
+        // Paper line 14: bound the frontier to h outstanding paths.
+        while queue.len() + accepted.len() > h {
+            let Some(worst_idx) = queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.cmp(&b.0).then_with(|| b.1.nodes().cmp(a.1.nodes())))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            queue.swap_remove(worst_idx);
+        }
+    }
+    accepted.into_iter().map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DemandId;
+
+    /// Three disjoint routes of increasing length between one user pair.
+    fn triple_route() -> (QuantumNetwork, Demand, Vec<NodeId>) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let d = b.user(10.0, 0.0);
+        let a = b.switch(1.0, 1.0, 10);
+        let x1 = b.switch(1.0, 0.0, 10);
+        let x2 = b.switch(2.0, 0.0, 10);
+        let y1 = b.switch(1.0, -1.0, 10);
+        let y2 = b.switch(2.0, -1.0, 10);
+        let y3 = b.switch(3.0, -1.0, 10);
+        for (u, v, len) in [
+            // Route A: 2 hops through `a`.
+            (s, a, 1_000.0),
+            (a, d, 1_000.0),
+            // Route B: 3 hops.
+            (s, x1, 1_000.0),
+            (x1, x2, 1_000.0),
+            (x2, d, 1_000.0),
+            // Route C: 4 hops.
+            (s, y1, 1_000.0),
+            (y1, y2, 1_000.0),
+            (y2, y3, 1_000.0),
+            (y3, d, 1_000.0),
+        ] {
+            b.link_with_length(u, v, len).unwrap();
+        }
+        let mut net = b.build();
+        net.set_swap_success(0.9);
+        let demand = Demand::new(DemandId::new(0), s, d);
+        (net, demand, vec![s, d, a, x1, x2, y1, y2, y3])
+    }
+
+    #[test]
+    fn finds_k_paths_in_rate_order() {
+        let (net, demand, n) = triple_route();
+        let caps = net.capacities();
+        let paths = k_best_paths(&net, &demand, &caps, 3, 1);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].nodes(), &[n[0], n[2], n[1]], "2-hop route first");
+        assert_eq!(paths[1].hops(), 3);
+        assert_eq!(paths[2].hops(), 4);
+        // Rates must be non-increasing.
+        let rates: Vec<f64> =
+            paths.iter().map(|p| path_rate(&net, p, 1).value()).collect();
+        assert!(rates.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn h_bounds_output() {
+        let (net, demand, _) = triple_route();
+        let caps = net.capacities();
+        assert_eq!(k_best_paths(&net, &demand, &caps, 1, 1).len(), 1);
+        assert_eq!(k_best_paths(&net, &demand, &caps, 2, 1).len(), 2);
+        // Only 3 loopless routes exist.
+        assert_eq!(k_best_paths(&net, &demand, &caps, 10, 1).len(), 3);
+    }
+
+    #[test]
+    fn paths_are_distinct_and_loopless() {
+        let (net, demand, _) = triple_route();
+        let caps = net.capacities();
+        let paths = k_best_paths(&net, &demand, &caps, 10, 2);
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.nodes().to_vec()), "duplicate path {p}");
+        }
+    }
+
+    #[test]
+    fn selection_covers_all_widths_and_demands() {
+        let (net, demand, _) = triple_route();
+        let caps = net.capacities();
+        let candidates =
+            paths_selection(&net, &[demand], &caps, 2, 3, SwapMode::NFusion);
+        // Every returned width is in 1..=3 and has at most h = 2 entries.
+        for w in 1..=3u32 {
+            let count = candidates.iter().filter(|c| c.width == w).count();
+            assert!(count <= 2, "width {w} produced {count} candidates");
+            assert!(count >= 1, "width {w} missing");
+        }
+        // Widths above capacity/2 yield nothing.
+        let too_wide =
+            paths_selection(&net, &[demand], &caps, 2, 10, SwapMode::NFusion);
+        assert!(too_wide.iter().all(|c| c.width <= 5));
+    }
+
+    #[test]
+    fn candidate_metrics_match_mode() {
+        let (net, demand, _) = triple_route();
+        let caps = net.capacities();
+        let nf = paths_selection(&net, &[demand], &caps, 1, 1, SwapMode::NFusion);
+        let cl = paths_selection(&net, &[demand], &caps, 1, 1, SwapMode::Classic);
+        assert_eq!(nf[0].path, cl[0].path);
+        let wp = WidthedPath::uniform(nf[0].path.clone(), 1);
+        assert_eq!(nf[0].metric, SwapMode::NFusion.score(&net, &wp));
+        assert_eq!(cl[0].metric, SwapMode::Classic.score(&net, &wp));
+    }
+
+    #[test]
+    fn no_candidates_for_disconnected_demand() {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let d = b.user(1.0, 0.0);
+        let _sw = b.switch(0.5, 0.0, 10);
+        let net = b.build();
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let caps = net.capacities();
+        assert!(paths_selection(&net, &[demand], &caps, 3, 2, SwapMode::NFusion).is_empty());
+    }
+}

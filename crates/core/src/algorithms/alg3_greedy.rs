@@ -1,0 +1,275 @@
+//! Gain-per-qubit variant of Algorithm 3 (the pipeline default).
+//!
+//! The paper's pseudocode consumes candidates width-major: every width-5
+//! route in the network is placed before any width-4 route. In the
+//! evaluation regime its own baseline numbers imply (short routes over
+//! lossy links, per-link success ≈ 0.6-0.7), maximal-width channels buy
+//! almost no extra rate per qubit — a width-5 hop costs five times a
+//! width-1 hop for a channel-success gain that is already saturated — so a
+//! literal width-major merge strands half the network's qubits on one
+//! over-wide branch per demand and loses to even the B1 baseline
+//! (see EXPERIMENTS.md, "merge-order ablation").
+//!
+//! This variant keeps everything else from Algorithm 3 — candidate set,
+//! capacity accounting, same-demand edge sharing — but accepts candidates
+//! greedily by *marginal Eq.-1 gain per qubit spent*, which directly
+//! implements the paper's Main Idea 2 ("a shorter path will use fewer
+//! resources in the network, allowing the network to handle more
+//! demands"). Width-major order remains available as
+//! [`super::alg3::paths_merge`] for the ablation bench.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use fusion_graph::NodeId;
+
+use crate::algorithms::alg1::PathConstraints;
+use crate::algorithms::alg2::CandidatePath;
+use crate::algorithms::alg3::MergeOutcome;
+use crate::demand::{Demand, DemandId};
+use crate::flow::WidthedPath;
+use crate::metrics;
+use crate::network::QuantumNetwork;
+use crate::plan::{DemandPlan, SwapMode};
+
+/// Gains below this threshold are treated as saturation and not worth
+/// qubits.
+const MIN_GAIN: f64 = 1e-9;
+
+/// Runs the gain-per-qubit merge over the candidate set. Parameters are as
+/// in [`super::alg3::paths_merge_bounded`].
+#[must_use]
+pub fn paths_merge_greedy(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    candidates: &[CandidatePath],
+    mode: SwapMode,
+    share_edges: bool,
+    max_paths_per_demand: Option<usize>,
+) -> MergeOutcome {
+    let share_edges = share_edges && mode == SwapMode::NFusion;
+    let mut remaining = net.capacities();
+    let mut plans: Vec<DemandPlan> = demands.iter().map(|&d| DemandPlan::empty(d)).collect();
+    let index_of: HashMap<DemandId, usize> =
+        demands.iter().enumerate().map(|(i, d)| (d.id, i)).collect();
+    let mut assigned: HashSet<(DemandId, (NodeId, NodeId))> = HashSet::new();
+    let mut alive: Vec<bool> = vec![true; candidates.len()];
+
+    loop {
+        // Rank every still-viable candidate by marginal gain per qubit.
+        let mut best: Option<(f64, usize, BTreeMap<NodeId, u32>)> = None;
+        for (ci, cand) in candidates.iter().enumerate() {
+            if !alive[ci] {
+                continue;
+            }
+            let Some(&plan_idx) = index_of.get(&cand.demand) else {
+                alive[ci] = false;
+                continue;
+            };
+            let plan = &plans[plan_idx];
+            if let Some(limit) = max_paths_per_demand {
+                if plan.paths.len() >= limit {
+                    alive[ci] = false;
+                    continue;
+                }
+            }
+
+            // Qubit need over unshared hops (per-node totals).
+            let mut need: BTreeMap<NodeId, u32> = BTreeMap::new();
+            let mut cost: u32 = 0;
+            for (u, v) in cand.path.hops_iter() {
+                let key = (cand.demand, PathConstraints::hop_key(u, v));
+                if share_edges && assigned.contains(&key) {
+                    continue;
+                }
+                *need.entry(u).or_insert(0) += cand.width;
+                *need.entry(v).or_insert(0) += cand.width;
+                // Only switch qubits are scarce.
+                cost += u32::from(net.is_switch(u)) * cand.width
+                    + u32::from(net.is_switch(v)) * cand.width;
+            }
+            if need.is_empty() {
+                alive[ci] = false; // fully shared: nothing to add
+                continue;
+            }
+            if need.iter().any(|(&n, &a)| remaining[n.index()] < a) {
+                // Capacity only shrinks within a run unless sharing opens
+                // up; keep the candidate alive only in sharing mode.
+                if !share_edges {
+                    alive[ci] = false;
+                }
+                continue;
+            }
+
+            let gain = match mode {
+                SwapMode::NFusion => {
+                    let mut widened = plan.flow.clone();
+                    crate::algorithms::alg3::record_route(
+                        &mut widened,
+                        &cand.path,
+                        cand.width,
+                        share_edges,
+                    );
+                    metrics::flow_rate(net, &widened).value()
+                        - metrics::flow_rate(net, &plan.flow).value()
+                }
+                SwapMode::Classic => {
+                    // Independent alternative paths: gain of one more.
+                    let current = plan.rate(net, mode);
+                    let wp = WidthedPath::uniform(cand.path.clone(), cand.width);
+                    let s = metrics::classic::success_probability(net, &wp);
+                    (1.0 - (1.0 - current) * (1.0 - s)) - current
+                }
+            };
+            if gain < MIN_GAIN {
+                alive[ci] = false;
+                continue;
+            }
+            let score = gain / f64::from(cost.max(1));
+            if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
+                best = Some((score, ci, need));
+            }
+        }
+
+        let Some((_, ci, need)) = best else { break };
+        let cand = &candidates[ci];
+        let plan_idx = index_of[&cand.demand];
+        for (&node, &amount) in &need {
+            remaining[node.index()] -= amount;
+        }
+        for (u, v) in cand.path.hops_iter() {
+            assigned.insert((cand.demand, PathConstraints::hop_key(u, v)));
+        }
+        let plan = &mut plans[plan_idx];
+        crate::algorithms::alg3::record_route(&mut plan.flow, &cand.path, cand.width, share_edges);
+        plan.paths.push(WidthedPath::uniform(cand.path.clone(), cand.width));
+        alive[ci] = false;
+    }
+    MergeOutcome { plans, remaining }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::alg2::paths_selection;
+    use crate::demand::DemandId;
+    use fusion_graph::{Metric, Path};
+
+    fn cand(demand: usize, nodes: Vec<NodeId>, width: u32, metric: f64) -> CandidatePath {
+        CandidatePath {
+            demand: DemandId::new(demand),
+            path: Path::new(nodes),
+            width,
+            metric: Metric::new(metric),
+        }
+    }
+
+    /// One demand, one route, offered at widths 1, 2 and 5; p high enough
+    /// that width-5 wastes qubits.
+    fn high_p_net() -> (QuantumNetwork, Vec<NodeId>) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v1 = b.switch(1.0, 0.0, 10);
+        let v2 = b.switch(2.0, 0.0, 10);
+        let d = b.user(3.0, 0.0);
+        for (u, v) in [(s, v1), (v1, v2), (v2, d)] {
+            b.link(u, v).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.8));
+        net.set_swap_success(0.9);
+        (net, vec![s, v1, v2, d])
+    }
+
+    #[test]
+    fn prefers_cheap_width_when_links_are_good() {
+        let (net, n) = high_p_net();
+        let demands = [Demand::new(DemandId::new(0), n[0], n[3])];
+        let route = vec![n[0], n[1], n[2], n[3]];
+        let candidates = vec![
+            cand(0, route.clone(), 5, 0.80),
+            cand(0, route.clone(), 2, 0.78),
+            cand(0, route, 1, 0.52),
+        ];
+        let out =
+            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        // The first accepted path must be a narrow one (gain per qubit),
+        // leaving capacity for Algorithm 4 / other demands.
+        let first_width = out.plans[0].paths[0].widths[0];
+        assert!(first_width <= 2, "greedy picked width {first_width}");
+    }
+
+    #[test]
+    fn prefers_wide_when_links_are_bad() {
+        let (mut net, n) = high_p_net();
+        net.set_uniform_link_success(Some(0.1));
+        let demands = [Demand::new(DemandId::new(0), n[0], n[3])];
+        let route = vec![n[0], n[1], n[2], n[3]];
+        // Width-1: (0.1)^3 q^2 ~ 8e-4; width-5: (0.41)^3 q^2 ~ 0.056.
+        // Gain per qubit: wide wins by ~14x even at 5x the cost.
+        let candidates = vec![
+            cand(0, route.clone(), 5, 0.056),
+            cand(0, route, 1, 8.1e-4),
+        ];
+        let out =
+            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        assert_eq!(out.plans[0].paths[0].widths[0], 5);
+    }
+
+    #[test]
+    fn capacity_conserved_and_no_oversubscription() {
+        let (net, n) = high_p_net();
+        let demands = [
+            Demand::new(DemandId::new(0), n[0], n[3]),
+            Demand::new(DemandId::new(1), n[3], n[0]),
+        ];
+        let caps = net.capacities();
+        let candidates = paths_selection(&net, &demands, &caps, 3, 5, SwapMode::NFusion);
+        let out =
+            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        for node in [n[1], n[2]] {
+            let spent: u32 = out.plans.iter().map(|p| p.flow.qubits_at(node)).sum();
+            assert!(spent <= net.capacity(node));
+            assert_eq!(spent + out.remaining[node.index()], net.capacity(node));
+        }
+    }
+
+    #[test]
+    fn respects_path_cap() {
+        let (net, n) = high_p_net();
+        let demands = [Demand::new(DemandId::new(0), n[0], n[3])];
+        let route = vec![n[0], n[1], n[2], n[3]];
+        let candidates = vec![
+            cand(0, route.clone(), 1, 0.5),
+            cand(0, route, 2, 0.7),
+        ];
+        let out = paths_merge_greedy(
+            &net,
+            &demands,
+            &candidates,
+            SwapMode::NFusion,
+            true,
+            Some(1),
+        );
+        assert_eq!(out.plans[0].paths.len(), 1);
+    }
+
+    #[test]
+    fn saturated_demands_stop_consuming() {
+        let (mut net, n) = high_p_net();
+        net.set_uniform_link_success(Some(1.0));
+        net.set_swap_success(1.0);
+        let demands = [Demand::new(DemandId::new(0), n[0], n[3])];
+        let route = vec![n[0], n[1], n[2], n[3]];
+        let candidates = vec![
+            cand(0, route.clone(), 1, 1.0),
+            cand(0, route.clone(), 2, 1.0),
+            cand(0, route, 5, 1.0),
+        ];
+        let out =
+            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        // Rate 1.0 after the first width-1 path; everything else is
+        // saturation and must be declined.
+        assert_eq!(out.plans[0].paths.len(), 1);
+        assert_eq!(out.plans[0].paths[0].widths[0], 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Algorithm 4 — Remaining Qubits Assignment: spend leftover qubits on
+//! widening already-routed channels.
+//!
+//! For every network edge, while both endpoints still hold a free qubit,
+//! the link is offered to every demand whose route crosses that edge; the
+//! demand with the largest marginal entanglement-rate gain receives it.
+//! The loop stops when no demand gains anything (adding redundant links to
+//! saturated channels is useless once rates hit 1).
+
+use fusion_graph::NodeId;
+
+use crate::network::QuantumNetwork;
+use crate::plan::{DemandPlan, SwapMode};
+
+/// Minimum rate improvement considered worth a qubit pair. Guards against
+/// floating-point noise keeping the loop alive on saturated channels.
+const MIN_GAIN: f64 = 1e-12;
+
+/// Runs Algorithm 4, mutating the plans and the remaining-capacity vector.
+/// Returns the number of single links added.
+pub fn assign_remaining(
+    net: &QuantumNetwork,
+    plans: &mut [DemandPlan],
+    remaining: &mut [u32],
+    mode: SwapMode,
+) -> usize {
+    let mut added = 0;
+    for edge in net.graph().edge_ids() {
+        let (u, v) = net.graph().endpoints(edge);
+        loop {
+            if remaining[u.index()] == 0 || remaining[v.index()] == 0 {
+                break;
+            }
+            let Some((best_plan, best_hop)) = best_beneficiary(net, plans, mode, u, v) else {
+                break;
+            };
+            apply(net, &mut plans[best_plan], mode, u, v, best_hop);
+            remaining[u.index()] -= 1;
+            remaining[v.index()] -= 1;
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Finds the demand (and, under classic swapping, the specific path hop)
+/// that gains the most from one extra link on `{u, v}`.
+fn best_beneficiary(
+    net: &QuantumNetwork,
+    plans: &[DemandPlan],
+    mode: SwapMode,
+    u: NodeId,
+    v: NodeId,
+) -> Option<(usize, Option<(usize, usize)>)> {
+    // Best so far: (gain, plan index, classic (path, hop) coordinates).
+    type Best = (f64, usize, Option<(usize, usize)>);
+    let mut best: Option<Best> = None;
+    for (pi, plan) in plans.iter().enumerate() {
+        match mode {
+            SwapMode::NFusion => {
+                if plan.flow.undirected_width(u, v).is_none() {
+                    continue;
+                }
+                let before = plan.rate(net, mode);
+                let mut widened = plan.clone();
+                widened.flow.widen(u, v);
+                let gain = widened.rate(net, mode) - before;
+                if gain > MIN_GAIN && best.as_ref().is_none_or(|b| gain > b.0) {
+                    best = Some((gain, pi, None));
+                }
+            }
+            SwapMode::Classic => {
+                for (wi, wp) in plan.paths.iter().enumerate() {
+                    for (hi, (a, b)) in wp.path.hops_iter().enumerate() {
+                        if (a, b) != (u, v) && (a, b) != (v, u) {
+                            continue;
+                        }
+                        let before = plan.rate(net, mode);
+                        let mut widened = plan.clone();
+                        widened.paths[wi].widen_hop(hi);
+                        let gain = widened.rate(net, mode) - before;
+                        if gain > MIN_GAIN && best.as_ref().is_none_or(|b| gain > b.0) {
+                            best = Some((gain, pi, Some((wi, hi))));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, pi, hop)| (pi, hop))
+}
+
+fn apply(
+    net: &QuantumNetwork,
+    plan: &mut DemandPlan,
+    mode: SwapMode,
+    u: NodeId,
+    v: NodeId,
+    hop: Option<(usize, usize)>,
+) {
+    let _ = net;
+    match mode {
+        SwapMode::NFusion => {
+            let widened = plan.flow.widen(u, v);
+            debug_assert!(widened, "beneficiary guaranteed the edge exists");
+        }
+        SwapMode::Classic => {
+            let (wi, hi) = hop.expect("classic beneficiary names a hop");
+            plan.paths[wi].widen_hop(hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{Demand, DemandId};
+    use crate::flow::WidthedPath;
+    use fusion_graph::Path;
+
+    /// One demand routed over a 2-hop path with leftover qubits.
+    fn routed(cap: u32, width: u32) -> (QuantumNetwork, Vec<DemandPlan>, Vec<u32>) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let m = b.switch(1.0, 0.0, cap);
+        let d = b.user(2.0, 0.0);
+        b.link(s, m).unwrap();
+        b.link(m, d).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.3));
+        net.set_swap_success(0.9);
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        let path = Path::new(vec![s, m, d]);
+        plan.flow.add_path(&path, width);
+        plan.paths.push(WidthedPath::uniform(path, width));
+        let mut remaining = net.capacities();
+        remaining[m.index()] -= 2 * width;
+        (net, vec![plan], remaining)
+    }
+
+    #[test]
+    fn widens_until_qubits_run_out() {
+        let (net, mut plans, mut remaining) = routed(6, 1);
+        let before = plans[0].rate(&net, SwapMode::NFusion);
+        let added = assign_remaining(&net, &mut plans, &mut remaining, SwapMode::NFusion);
+        // 4 leftover qubits at the switch = 2 per side at most; each added
+        // link eats 1 qubit at the switch, so up to 4 additions split
+        // across the two edges.
+        assert_eq!(added, 4);
+        let after = plans[0].rate(&net, SwapMode::NFusion);
+        assert!(after > before, "rate must improve: {before} -> {after}");
+        // The switch is fully used; users are effectively unlimited.
+        let m = fusion_graph::NodeId::new(1);
+        assert_eq!(remaining[m.index()], 0);
+    }
+
+    #[test]
+    fn respects_zero_remaining() {
+        let (net, mut plans, mut remaining) = routed(2, 1);
+        // Switch capacity exactly spent by the width-1 path.
+        let added = assign_remaining(&net, &mut plans, &mut remaining, SwapMode::NFusion);
+        assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn skips_edges_outside_all_routes() {
+        // A second, unused edge pair must receive nothing.
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let m = b.switch(1.0, 0.0, 10);
+        let d = b.user(2.0, 0.0);
+        let stray = b.switch(5.0, 5.0, 10);
+        b.link(s, m).unwrap();
+        b.link(m, d).unwrap();
+        b.link(m, stray).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.3));
+        net.set_swap_success(0.9);
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        let path = Path::new(vec![s, m, d]);
+        plan.flow.add_path(&path, 1);
+        plan.paths.push(WidthedPath::uniform(path, 1));
+        let mut plans = vec![plan];
+        let mut remaining = net.capacities();
+        remaining[m.index()] -= 2;
+        assign_remaining(&net, &mut plans, &mut remaining, SwapMode::NFusion);
+        assert_eq!(
+            plans[0].flow.undirected_width(m, stray),
+            None,
+            "unused edges must stay out of the flow"
+        );
+    }
+
+    #[test]
+    fn stops_when_gain_vanishes() {
+        // With p = 1 every channel is already certain: no links added.
+        let (mut net, mut plans, mut remaining) = {
+            let (net, plans, remaining) = routed(10, 1);
+            (net, plans, remaining)
+        };
+        net.set_uniform_link_success(Some(1.0));
+        let added = assign_remaining(&net, &mut plans, &mut remaining, SwapMode::NFusion);
+        assert_eq!(added, 0, "saturated channels gain nothing");
+    }
+
+    #[test]
+    fn classic_mode_gains_nothing_from_width() {
+        // A single pre-committed lane cannot use extra parallel links, so
+        // Algorithm 4 finds no beneficiary under classic swapping.
+        let (net, mut plans, mut remaining) = routed(6, 1);
+        let before = plans[0].rate(&net, SwapMode::Classic);
+        let added = assign_remaining(&net, &mut plans, &mut remaining, SwapMode::Classic);
+        assert_eq!(added, 0);
+        assert_eq!(plans[0].rate(&net, SwapMode::Classic), before);
+    }
+
+    #[test]
+    fn best_gain_wins_between_demands() {
+        // Two demands share an edge; the one with the lossier remaining
+        // route gains more from an extra link.
+        let mut b = QuantumNetwork::builder();
+        let s1 = b.user(0.0, 1.0);
+        let s2 = b.user(0.0, -1.0);
+        let m = b.switch(1.0, 0.0, 4);
+        let d1 = b.user(2.0, 1.0);
+        let d2 = b.user(2.0, -1.0);
+        for (u, v) in [(s1, m), (s2, m), (m, d1), (m, d2)] {
+            b.link(u, v).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.4));
+        net.set_swap_success(0.9);
+        let mk = |id: usize, s, d, w| {
+            let demand = Demand::new(DemandId::new(id), s, d);
+            let mut plan = DemandPlan::empty(demand);
+            let path = Path::new(vec![s, m, d]);
+            plan.flow.add_path(&path, w);
+            plan.paths.push(WidthedPath::uniform(path, w));
+            plan
+        };
+        // Demand 0 already has width 3; demand 1 only width 1 — demand 1
+        // gains far more from the first extra link on its own edges.
+        let mut plans = vec![mk(0, s1, d1, 1), mk(1, s2, d2, 1)];
+        let mut remaining = vec![0; net.node_count()];
+        remaining[m.index()] = 2;
+        remaining[s2.index()] = 10;
+        remaining[d2.index()] = 10;
+        remaining[s1.index()] = 0; // demand 0's user-side edges are frozen
+        remaining[d1.index()] = 0;
+        assign_remaining(&net, &mut plans, &mut remaining, SwapMode::NFusion);
+        // Only demand 1's hops could be widened (s2/d2 had budget).
+        assert!(plans[1].flow.undirected_width(s2, m).unwrap() >= 2);
+        assert_eq!(plans[0].flow.undirected_width(s1, m), Some(1));
+    }
+}

@@ -1,0 +1,255 @@
+//! The composed entanglement-routing pipeline (§IV-C): Algorithm 2 builds
+//! the candidate set, Algorithm 3 merges it into resourced routes,
+//! Algorithm 4 spends the leftover qubits. `ALG-N-FUSION` is this pipeline
+//! under [`SwapMode::NFusion`]; the paper's Q-CAST baseline is the same
+//! pipeline under [`SwapMode::Classic`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::algorithms::{alg2, alg3, alg3_greedy, alg4};
+use crate::demand::Demand;
+use crate::network::QuantumNetwork;
+use crate::plan::{NetworkPlan, SwapMode};
+
+/// Order in which Algorithm 3 consumes the candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeOrder {
+    /// Greedy by marginal entanglement-rate gain per qubit spent (default;
+    /// implements Main Idea 2's resource-efficiency principle).
+    GainPerQubit,
+    /// The paper's literal order: widest first, metric-sorted within a
+    /// width. Kept for the merge-order ablation.
+    WidthMajor,
+}
+
+/// Tuning knobs of the routing pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Candidate paths per (demand, width) in Algorithm 2 (paper's `h`).
+    pub h: usize,
+    /// Upper bound on channel width; `None` uses the largest switch
+    /// capacity (the paper's `MAX_WIDTH`).
+    pub max_width: Option<u32>,
+    /// Whether to run Algorithm 4 (disable for the `Alg-3` ablation of
+    /// Fig. 7).
+    pub use_alg4: bool,
+    /// Whether Algorithm 3 may merge same-demand paths into flow-like
+    /// graphs (n-fusion only; disable for the merge ablation).
+    pub merge_paths: bool,
+    /// Maximum accepted routes per demand; `None` is unlimited. Classic
+    /// swapping uses `Some(1)`: Q-CAST routes one major path per request,
+    /// and per-state multi-path redundancy is exactly the flexibility the
+    /// paper attributes to n-fusion.
+    pub max_paths_per_demand: Option<usize>,
+    /// Candidate consumption order for Algorithm 3.
+    pub merge_order: MergeOrder,
+    /// Swapping technology.
+    pub mode: SwapMode,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig {
+            h: 5,
+            max_width: None,
+            use_alg4: true,
+            merge_paths: true,
+            max_paths_per_demand: None,
+            merge_order: MergeOrder::GainPerQubit,
+            mode: SwapMode::NFusion,
+        }
+    }
+}
+
+impl RoutingConfig {
+    /// The paper's headline configuration: n-fusion with Algorithm 4.
+    #[must_use]
+    pub fn n_fusion() -> Self {
+        Self::default()
+    }
+
+    /// n-fusion without Algorithm 4 (the `Alg-3` series in Fig. 7).
+    #[must_use]
+    pub fn n_fusion_without_alg4() -> Self {
+        RoutingConfig { use_alg4: false, ..Self::default() }
+    }
+
+    /// Classic-swapping restriction of the pipeline (the Q-CAST baseline):
+    /// one major path per request, as in Q-CAST [17].
+    #[must_use]
+    pub fn classic() -> Self {
+        RoutingConfig {
+            mode: SwapMode::Classic,
+            max_paths_per_demand: Some(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the full routing pipeline and returns the network plan.
+///
+/// # Panics
+///
+/// Panics if `config.h == 0` or the resolved width bound is zero (a network
+/// whose switches have no qubits cannot route anything).
+#[must_use]
+pub fn route(net: &QuantumNetwork, demands: &[Demand], config: &RoutingConfig) -> NetworkPlan {
+    let max_width = config.max_width.unwrap_or_else(|| net.max_switch_capacity());
+    assert!(max_width > 0, "network has no switch qubits to route with");
+
+    // Step I: candidate construction against the full capacity.
+    let capacity = net.capacities();
+    let candidates =
+        alg2::paths_selection(net, demands, &capacity, config.h, max_width, config.mode);
+
+    // Step II: capacity-aware merge.
+    let alg3::MergeOutcome { mut plans, mut remaining } = match config.merge_order {
+        MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy(
+            net,
+            demands,
+            &candidates,
+            config.mode,
+            config.merge_paths,
+            config.max_paths_per_demand,
+        ),
+        MergeOrder::WidthMajor => alg3::paths_merge_bounded(
+            net,
+            demands,
+            &candidates,
+            config.mode,
+            config.merge_paths,
+            config.max_paths_per_demand,
+        ),
+    };
+
+    // Step III: leftover qubits widen existing channels.
+    let alg4_links = if config.use_alg4 {
+        alg4::assign_remaining(net, &mut plans, &mut remaining, config.mode)
+    } else {
+        0
+    };
+
+    NetworkPlan { mode: config.mode, plans, leftover: remaining, alg4_links }
+}
+
+/// Convenience wrapper: the paper's `ALG-N-FUSION` with default knobs.
+#[must_use]
+pub fn alg_n_fusion(net: &QuantumNetwork, demands: &[Demand]) -> NetworkPlan {
+    route(net, demands, &RoutingConfig::n_fusion())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Demand;
+    use crate::network::{NetworkParams, QuantumNetwork};
+    use fusion_topology::TopologyConfig;
+
+    fn small_world() -> (QuantumNetwork, Vec<Demand>) {
+        let topo = TopologyConfig {
+            num_switches: 30,
+            num_user_pairs: 5,
+            avg_degree: 6.0,
+            ..TopologyConfig::default()
+        }
+        .generate(42);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        (net, demands)
+    }
+
+    #[test]
+    fn pipeline_produces_positive_rate() {
+        let (net, demands) = small_world();
+        let plan = alg_n_fusion(&net, &demands);
+        assert_eq!(plan.plans.len(), demands.len());
+        assert!(plan.total_rate(&net) > 0.0, "default network must route something");
+        assert!(plan.served_demands() > 0);
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        let (net, demands) = small_world();
+        let plan = alg_n_fusion(&net, &demands);
+        for i in 0..demands.len() {
+            let r = plan.demand_rate(&net, i);
+            assert!((0.0..=1.0 + 1e-9).contains(&r), "demand {i} rate {r}");
+        }
+        assert!(plan.total_rate(&net) <= demands.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn alg4_never_hurts() {
+        let (net, demands) = small_world();
+        let with = route(&net, &demands, &RoutingConfig::n_fusion());
+        let without = route(&net, &demands, &RoutingConfig::n_fusion_without_alg4());
+        assert!(
+            with.total_rate(&net) >= without.total_rate(&net) - 1e-9,
+            "Algorithm 4 must be monotone: {} vs {}",
+            with.total_rate(&net),
+            without.total_rate(&net)
+        );
+        assert_eq!(without.alg4_links, 0);
+    }
+
+    #[test]
+    fn n_fusion_beats_classic_on_same_network() {
+        // Headline claim (§V-C1) on a small instance, in the paper's
+        // realistic small-p regime.
+        let (mut net, demands) = small_world();
+        net.set_uniform_link_success(Some(0.25));
+        let nf = route(&net, &demands, &RoutingConfig::n_fusion());
+        let classic = route(&net, &demands, &RoutingConfig::classic());
+        assert!(
+            nf.total_rate(&net) >= classic.total_rate(&net) - 1e-9,
+            "n-fusion {} must dominate classic {}",
+            nf.total_rate(&net),
+            classic.total_rate(&net)
+        );
+    }
+
+    #[test]
+    fn capacity_never_oversubscribed() {
+        let (net, demands) = small_world();
+        let plan = alg_n_fusion(&net, &demands);
+        for node in net.graph().node_ids().filter(|&v| net.is_switch(v)) {
+            let spent: u32 = plan.plans.iter().map(|p| p.flow.qubits_at(node)).sum();
+            assert!(
+                spent <= net.capacity(node),
+                "switch {node} uses {spent} of {} qubits",
+                net.capacity(node)
+            );
+            assert_eq!(
+                spent + plan.leftover[node.index()],
+                net.capacity(node),
+                "leftover bookkeeping broken at {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_input() {
+        let (net, demands) = small_world();
+        let a = alg_n_fusion(&net, &demands);
+        let b = alg_n_fusion(&net, &demands);
+        assert_eq!(a.total_rate(&net), b.total_rate(&net));
+        assert_eq!(a.alg4_links, b.alg4_links);
+        for (pa, pb) in a.plans.iter().zip(&b.plans) {
+            assert_eq!(pa.flow, pb.flow);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no switch qubits")]
+    fn zero_capacity_network_rejected() {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v = b.switch(1.0, 0.0, 0);
+        let d = b.user(2.0, 0.0);
+        b.link(s, v).unwrap();
+        b.link(v, d).unwrap();
+        let net = b.build();
+        let demands = [Demand::new(crate::demand::DemandId::new(0), s, d)];
+        let _ = alg_n_fusion(&net, &demands);
+    }
+}

@@ -1,0 +1,9 @@
+//! The paper's comparison algorithms (§V-B): Q-CAST, Q-CAST-N, and B1.
+
+pub mod b1;
+pub mod qcast;
+pub mod qcast_n;
+
+pub use b1::{route_b1, DEFAULT_REGION_PATHS};
+pub use qcast::route_qcast;
+pub use qcast_n::route_qcast_n;

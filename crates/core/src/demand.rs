@@ -1,0 +1,111 @@
+use std::fmt;
+
+use fusion_graph::NodeId;
+use fusion_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one demanded quantum state `ϱ` (paper §III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DemandId(usize);
+
+impl DemandId {
+    /// Creates a demand id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        DemandId(index)
+    }
+
+    /// Raw index of this demand.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DemandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ϱ{}", self.0)
+    }
+}
+
+/// One demanded quantum state between a quantum-user pair.
+///
+/// Multiple demands may share the same user pair; each demand is routed and
+/// resourced independently (flow-like graphs of different states never share
+/// quantum links, §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Demand {
+    /// Stable identifier.
+    pub id: DemandId,
+    /// Source user `S`.
+    pub source: NodeId,
+    /// Destination user `D`.
+    pub dest: NodeId,
+}
+
+impl Demand {
+    /// Creates a demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == dest`.
+    #[must_use]
+    pub fn new(id: DemandId, source: NodeId, dest: NodeId) -> Self {
+        assert_ne!(source, dest, "a demand needs two distinct users");
+        Demand { id, source, dest }
+    }
+
+    /// Builds the demand list from a generated topology (one state per
+    /// generated user pair).
+    #[must_use]
+    pub fn from_topology(topology: &Topology) -> Vec<Demand> {
+        topology
+            .demands
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| Demand::new(DemandId::new(i), s, d))
+            .collect()
+    }
+}
+
+impl fmt::Display for Demand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ⇄ {}", self.id, self.source, self.dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_topology::TopologyConfig;
+
+    #[test]
+    fn from_topology_enumerates_pairs() {
+        let topo = TopologyConfig {
+            num_switches: 15,
+            num_user_pairs: 4,
+            ..TopologyConfig::default()
+        }
+        .generate(1);
+        let demands = Demand::from_topology(&topo);
+        assert_eq!(demands.len(), 4);
+        for (i, d) in demands.iter().enumerate() {
+            assert_eq!(d.id.index(), i);
+            assert_ne!(d.source, d.dest);
+            assert!(topo.graph.node(d.source).is_user());
+            assert!(topo.graph.node(d.dest).is_user());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct users")]
+    fn rejects_self_demand() {
+        let _ = Demand::new(DemandId::new(0), NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Demand::new(DemandId::new(2), NodeId::new(0), NodeId::new(5));
+        assert_eq!(d.to_string(), "ϱ2: n0 ⇄ n5");
+    }
+}

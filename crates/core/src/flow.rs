@@ -1,0 +1,328 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use fusion_graph::{NodeId, Path};
+use serde::{Deserialize, Serialize};
+
+/// A loopless path annotated with a per-hop channel width.
+///
+/// Algorithm 2 emits uniform-width paths; Algorithm 4 may widen individual
+/// hops afterwards, so widths are stored per hop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WidthedPath {
+    /// The node sequence.
+    pub path: Path,
+    /// Channel width of each hop; `widths.len() == path.hops()`.
+    pub widths: Vec<u32>,
+}
+
+impl WidthedPath {
+    /// Wraps a path with the same width on every hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or the path is trivial.
+    #[must_use]
+    pub fn uniform(path: Path, width: u32) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(!path.is_trivial(), "a routed path needs at least one hop");
+        let widths = vec![width; path.hops()];
+        WidthedPath { path, widths }
+    }
+
+    /// Width of hop `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn width(&self, i: usize) -> u32 {
+        self.widths[i]
+    }
+
+    /// Iterates `(u, v, width)` over the hops.
+    pub fn hops(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.path
+            .hops_iter()
+            .zip(self.widths.iter())
+            .map(|((u, v), &w)| (u, v, w))
+    }
+
+    /// Increments the width of hop `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn widen_hop(&mut self, i: usize) {
+        self.widths[i] += 1;
+    }
+}
+
+/// A flow-like graph (paper Definition 1): the union of one demand's routed
+/// paths, oriented from the source user to the destination user, with a
+/// channel width per directed edge.
+///
+/// Paths sharing an edge for the same quantum state share its qubits, so
+/// merging paths into a flow-like graph is how n-fusion saves resources
+/// (§IV-B idea 1).
+///
+/// # Examples
+///
+/// ```
+/// use fusion_core::FlowGraph;
+/// use fusion_graph::{NodeId, Path};
+///
+/// let n: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+/// let mut flow = FlowGraph::new(n[0], n[3]);
+/// flow.add_path(&Path::new(vec![n[0], n[1], n[3]]), 2);
+/// flow.add_path(&Path::new(vec![n[0], n[2], n[3]]), 1);
+/// assert_eq!(flow.edge_width(n[0], n[1]), Some(2));
+/// assert_eq!(flow.branch_nodes().len(), 1); // n0 branches
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowGraph {
+    source: NodeId,
+    sink: NodeId,
+    edges: BTreeMap<(NodeId, NodeId), u32>,
+}
+
+impl FlowGraph {
+    /// Creates an empty flow-like graph between two users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink`.
+    #[must_use]
+    pub fn new(source: NodeId, sink: NodeId) -> Self {
+        assert_ne!(source, sink, "flow graph needs two distinct endpoints");
+        FlowGraph { source, sink, edges: BTreeMap::new() }
+    }
+
+    /// The source user.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The destination user.
+    #[must_use]
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// `true` if no path has been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a path oriented source → sink. Edges already present in either
+    /// orientation keep their existing width (the new path shares those
+    /// qubits; §IV-C Algorithm 3), new edges get `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path does not run from source to sink or `width == 0`.
+    pub fn add_path(&mut self, path: &Path, width: u32) {
+        assert!(width > 0, "width must be positive");
+        assert_eq!(path.source(), self.source, "path must start at the flow source");
+        assert_eq!(path.destination(), self.sink, "path must end at the flow sink");
+        for (u, v) in path.hops_iter() {
+            if self.edges.contains_key(&(u, v)) || self.edges.contains_key(&(v, u)) {
+                continue;
+            }
+            self.edges.insert((u, v), width);
+        }
+    }
+
+    /// Width of the directed edge `(u, v)`, if present.
+    #[must_use]
+    pub fn edge_width(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        self.edges.get(&(u, v)).copied()
+    }
+
+    /// Width of the edge between `u` and `v` in either orientation.
+    #[must_use]
+    pub fn undirected_width(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        self.edge_width(u, v).or_else(|| self.edge_width(v, u))
+    }
+
+    /// Adds `width` parallel links between `u` and `v`: sums with an
+    /// existing edge in either orientation, otherwise inserts the directed
+    /// edge `(u, v)`. Used when re-evaluating independently-resourced paths
+    /// (Q-CAST-N) whose widths stack rather than share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn add_parallel(&mut self, u: NodeId, v: NodeId, width: u32) {
+        assert!(width > 0, "width must be positive");
+        for key in [(u, v), (v, u)] {
+            if let Some(w) = self.edges.get_mut(&key) {
+                *w += width;
+                return;
+            }
+        }
+        self.edges.insert((u, v), width);
+    }
+
+    /// Increments the width of the edge between `u` and `v` (either
+    /// orientation). Returns `true` if the edge existed.
+    pub fn widen(&mut self, u: NodeId, v: NodeId) -> bool {
+        for key in [(u, v), (v, u)] {
+            if let Some(w) = self.edges.get_mut(&key) {
+                *w += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterates all directed edges as `(u, v, width)` in deterministic
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Iterates the children (out-neighbors) of `node` with widths.
+    pub fn children(&self, node: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.edges
+            .range((node, NodeId::new(0))..=(node, NodeId::new(usize::MAX)))
+            .map(|(&(_, v), &w)| (v, w))
+    }
+
+    /// Every node referenced by some edge, in ascending order.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut set = BTreeSet::new();
+        for &(u, v) in self.edges.keys() {
+            set.insert(u);
+            set.insert(v);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Nodes with more than one child: the branch nodes of Definition 1.
+    #[must_use]
+    pub fn branch_nodes(&self) -> Vec<NodeId> {
+        let mut out_degree: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for &(u, _) in self.edges.keys() {
+            *out_degree.entry(u).or_insert(0) += 1;
+        }
+        out_degree.into_iter().filter(|&(_, d)| d > 1).map(|(n, _)| n).collect()
+    }
+
+    /// Total qubits this flow graph consumes at `node`: the sum of widths of
+    /// incident edges (each link end pins one qubit).
+    #[must_use]
+    pub fn qubits_at(&self, node: NodeId) -> u32 {
+        self.edges
+            .iter()
+            .filter(|(&(u, v), _)| u == node || v == node)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn widthed_path_uniform() {
+        let n = ids(3);
+        let wp = WidthedPath::uniform(Path::new(vec![n[0], n[1], n[2]]), 3);
+        assert_eq!(wp.widths, vec![3, 3]);
+        assert_eq!(wp.width(1), 3);
+        let hops: Vec<_> = wp.hops().collect();
+        assert_eq!(hops, vec![(n[0], n[1], 3), (n[1], n[2], 3)]);
+    }
+
+    #[test]
+    fn widthed_path_widen_hop() {
+        let n = ids(3);
+        let mut wp = WidthedPath::uniform(Path::new(vec![n[0], n[1], n[2]]), 1);
+        wp.widen_hop(0);
+        assert_eq!(wp.widths, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn widthed_path_rejects_zero_width() {
+        let n = ids(2);
+        let _ = WidthedPath::uniform(Path::new(vec![n[0], n[1]]), 0);
+    }
+
+    #[test]
+    fn add_path_keeps_existing_widths() {
+        let n = ids(4);
+        let mut flow = FlowGraph::new(n[0], n[3]);
+        flow.add_path(&Path::new(vec![n[0], n[1], n[3]]), 3);
+        // The second path shares (0,1) and must not overwrite its width.
+        flow.add_path(&Path::new(vec![n[0], n[1], n[2], n[3]]), 1);
+        assert_eq!(flow.edge_width(n[0], n[1]), Some(3));
+        assert_eq!(flow.edge_width(n[1], n[2]), Some(1));
+        assert_eq!(flow.edge_count(), 4);
+    }
+
+    #[test]
+    fn children_and_branches() {
+        let n = ids(4);
+        let mut flow = FlowGraph::new(n[0], n[3]);
+        flow.add_path(&Path::new(vec![n[0], n[1], n[3]]), 2);
+        flow.add_path(&Path::new(vec![n[0], n[2], n[3]]), 2);
+        let kids: Vec<_> = flow.children(n[0]).collect();
+        assert_eq!(kids, vec![(n[1], 2), (n[2], 2)]);
+        assert_eq!(flow.branch_nodes(), vec![n[0]]);
+        assert!(flow.children(n[3]).next().is_none());
+    }
+
+    #[test]
+    fn widen_both_orientations() {
+        let n = ids(3);
+        let mut flow = FlowGraph::new(n[0], n[2]);
+        flow.add_path(&Path::new(vec![n[0], n[1], n[2]]), 1);
+        assert!(flow.widen(n[1], n[0]), "reverse orientation must match");
+        assert_eq!(flow.edge_width(n[0], n[1]), Some(2));
+        assert!(!flow.widen(n[0], n[2]), "absent edge is reported");
+        assert_eq!(flow.undirected_width(n[2], n[1]), Some(1));
+    }
+
+    #[test]
+    fn qubit_accounting() {
+        let n = ids(4);
+        let mut flow = FlowGraph::new(n[0], n[3]);
+        flow.add_path(&Path::new(vec![n[0], n[1], n[3]]), 2);
+        flow.add_path(&Path::new(vec![n[0], n[2], n[3]]), 1);
+        // Node 0 touches edges of width 2 and 1.
+        assert_eq!(flow.qubits_at(n[0]), 3);
+        assert_eq!(flow.qubits_at(n[1]), 4);
+        assert_eq!(flow.qubits_at(n[2]), 2);
+    }
+
+    #[test]
+    fn nodes_listed_once() {
+        let n = ids(4);
+        let mut flow = FlowGraph::new(n[0], n[3]);
+        flow.add_path(&Path::new(vec![n[0], n[1], n[3]]), 1);
+        flow.add_path(&Path::new(vec![n[0], n[2], n[3]]), 1);
+        assert_eq!(flow.nodes(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at the flow source")]
+    fn add_path_checks_endpoints() {
+        let n = ids(4);
+        let mut flow = FlowGraph::new(n[0], n[3]);
+        flow.add_path(&Path::new(vec![n[1], n[3]]), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Entanglement routing over quantum networks using GHZ measurements.
+//!
+//! This crate is the core of a reproduction of Zeng et al.,
+//! *"Entanglement Routing over Quantum Networks Using
+//! Greenberger-Horne-Zeilinger Measurements"* (ICDCS 2023): routing
+//! algorithms that maximize the expected number of quantum states shared
+//! between user pairs when switches can fuse **n ≥ 2** entanglement links
+//! at once via joint GHZ-basis measurements (*n-fusion*), instead of the
+//! classic two-link Bell-state-measurement swap.
+//!
+//! # Layout
+//!
+//! * [`QuantumNetwork`] — switches, users, qubit capacities, fiber links,
+//!   and the physical success model (§III).
+//! * [`Demand`] — the quantum states requested by user pairs.
+//! * [`metrics`] — entanglement rates of channels, paths, and flow-like
+//!   graphs (Equation 1), plus the classic-swapping DP used by Q-CAST.
+//! * [`algorithms`] — Algorithms 1-4 and the composed
+//!   [`algorithms::alg_n_fusion`] pipeline.
+//! * [`baselines`] — Q-CAST, Q-CAST-N, and B1 from the evaluation.
+//! * [`multiparty`] — extension: k-user GHZ-state distribution via hub
+//!   fusion (the paper's stated future direction).
+//! * [`FlowGraph`] / [`NetworkPlan`] — routed structures and their rates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fusion_core::{algorithms, Demand, NetworkParams, QuantumNetwork};
+//! use fusion_topology::TopologyConfig;
+//!
+//! // A 30-switch Waxman network with 4 demanded states.
+//! let topo = TopologyConfig {
+//!     num_switches: 30,
+//!     num_user_pairs: 4,
+//!     ..TopologyConfig::default()
+//! }
+//! .generate(7);
+//! let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+//! let demands = Demand::from_topology(&topo);
+//!
+//! let plan = algorithms::alg_n_fusion(&net, &demands);
+//! println!("network entanglement rate: {:.3}", plan.total_rate(&net));
+//! assert!(plan.total_rate(&net) >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod demand;
+mod flow;
+mod network;
+mod plan;
+
+pub mod algorithms;
+pub mod baselines;
+pub mod metrics;
+pub mod multiparty;
+
+pub use demand::{Demand, DemandId};
+pub use flow::{FlowGraph, WidthedPath};
+pub use network::{
+    NetworkBuilder, NetworkError, NetworkParams, NodeProps, PhysicsParams, QuantumNetwork,
+    USER_CAPACITY,
+};
+pub use plan::{DemandPlan, NetworkPlan, SwapMode};

@@ -1,0 +1,414 @@
+//! Classic-swapping (BSM) metrics used by the Q-CAST baseline [17].
+//!
+//! Under 2-fusion one shared state occupies exactly one *lane*: a
+//! pre-committed chain of one link per hop, swapped by one BSM per
+//! intermediate switch. In the paper's synchronized one-shot protocol
+//! (§III-B) both the link assignment and the BSM pairings are fixed before
+//! heralding outcomes are known — the inability to adapt to which links
+//! actually succeeded is precisely the flexibility n-fusion adds (§IV-A),
+//! and it is what the paper's own classic formulas encode: Fig. 6b rates a
+//! width-2, 2-hop path at `2p²q` for *two* states (one lane each), and
+//! idea 4 rates classic width-`w` at `w·p^z·q^(z-1)` — `w` independent
+//! lanes, each `p^z·q^(z-1)`. The per-state scoring is therefore
+//! [`success_probability`] = `Π p_j · q^(z-1)`, independent of width.
+//!
+//! Two stronger classic models are kept for the ablation bench
+//! (`ablation-classic`):
+//!
+//! * **multi-lane** ([`success_probability_multilane`]) — the state may
+//!   ride any of the `min w_j` pre-committed lanes;
+//! * **adaptive** ([`success_probability_adaptive`]) — Q-CAST's own
+//!   analysis model, where a switch re-pairs any successful left link with
+//!   any successful right link (min-of-binomials DP with per-swap
+//!   thinning).
+
+use crate::flow::WidthedPath;
+use crate::network::QuantumNetwork;
+
+/// Resolves the `(link success, width)` sequence of a path; `None` if a hop
+/// has no edge.
+fn resolve_hops(net: &QuantumNetwork, wp: &WidthedPath) -> Option<Vec<(f64, u32)>> {
+    wp.hops()
+        .map(|(u, v, w)| net.hop(u, v).map(|(_, p)| (p, w)))
+        .collect()
+}
+
+/// Number of parallel links hop `j` contributes to lane `l` when `w` links
+/// are spread evenly over `lanes` lanes.
+fn lane_links(w: u32, lanes: u32, l: u32) -> u32 {
+    w / lanes + u32::from(l < w % lanes)
+}
+
+/// Probability that a demanded state is established on this path under
+/// the paper's classic model: its single pre-committed lane survives every
+/// hop (`p_j` each, extra width serves other states) and every
+/// intermediate BSM (`q` each).
+#[must_use]
+pub fn success_probability(net: &QuantumNetwork, wp: &WidthedPath) -> f64 {
+    let Some(hops) = resolve_hops(net, wp) else {
+        return 0.0;
+    };
+    let q = net.swap_success();
+    let swaps = q.powi(hops.len() as i32 - 1);
+    hops.iter().map(|&(p, _)| p).product::<f64>() * swaps
+}
+
+/// Per-lane end-to-end success probabilities of a path under the
+/// *multi-lane* fixed-lane model (ablation only).
+///
+/// The lane count is the minimum hop width; wider hops back their lanes
+/// with extra parallel links. Each lane needs every hop segment to succeed
+/// (`1 - (1-p)^links`) and every one of the `z - 1` intermediate BSMs to
+/// succeed (`q` each).
+#[must_use]
+pub fn lane_successes(net: &QuantumNetwork, wp: &WidthedPath) -> Vec<f64> {
+    let Some(hops) = resolve_hops(net, wp) else {
+        return Vec::new();
+    };
+    let lanes = hops.iter().map(|&(_, w)| w).min().unwrap_or(0);
+    if lanes == 0 {
+        return Vec::new();
+    }
+    let q = net.swap_success();
+    let swaps = q.powi(hops.len() as i32 - 1);
+    (0..lanes)
+        .map(|l| {
+            let mut lane = swaps;
+            for &(p, w) in &hops {
+                lane *= 1.0 - (1.0 - p).powi(lane_links(w, lanes, l) as i32);
+            }
+            lane
+        })
+        .collect()
+}
+
+/// Probability that a demanded state is established under the multi-lane
+/// model: at least one pre-committed lane survives end to end (ablation
+/// only).
+#[must_use]
+pub fn success_probability_multilane(net: &QuantumNetwork, wp: &WidthedPath) -> f64 {
+    let fail: f64 = lane_successes(net, wp).iter().map(|s| 1.0 - s).product();
+    1.0 - fail
+}
+
+/// Expected number of surviving end-to-end Bell pairs across all
+/// pre-committed lanes — Q-CAST's `EXT` under fixed lanes. This is the
+/// paper's idea-4 classic rate `w·p^z·q^(z-1)` for uniform widths.
+#[must_use]
+pub fn expected_pairs(net: &QuantumNetwork, wp: &WidthedPath) -> f64 {
+    lane_successes(net, wp).iter().sum()
+}
+
+/// Probability mass function of `Binomial(n, p)` over `0..=n`.
+fn binomial_pmf(n: u32, p: f64) -> Vec<f64> {
+    let n = n as usize;
+    let mut dist = vec![0.0; n + 1];
+    if p <= 0.0 {
+        dist[0] = 1.0;
+        return dist;
+    }
+    if p >= 1.0 {
+        dist[n] = 1.0;
+        return dist;
+    }
+    // Multiplicative recurrence keeps everything in f64 range.
+    let mut term = (1.0 - p).powi(n as i32);
+    for (k, slot) in dist.iter_mut().enumerate() {
+        *slot = term;
+        if k < n {
+            term *= (n - k) as f64 / (k + 1) as f64 * p / (1.0 - p);
+        }
+    }
+    dist
+}
+
+/// Distribution of `min(A, B)` for independent non-negative integer
+/// variables given by their pmfs.
+fn min_distribution(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let n = a.len().min(b.len());
+    let mut out = vec![0.0; n];
+    // Tail sums: P[A >= k], P[B >= k].
+    let tail = |d: &[f64], k: usize| -> f64 { d.iter().skip(k).sum() };
+    for (k, slot) in out.iter_mut().enumerate() {
+        // P[min = k] = P[A>=k]P[B>=k] - P[A>=k+1]P[B>=k+1]
+        *slot = tail(a, k) * tail(b, k) - tail(a, k + 1) * tail(b, k + 1);
+    }
+    out
+}
+
+/// Binomial thinning: each of the `k` surviving pairs independently passes
+/// the switch's BSM with probability `q`.
+fn thin(dist: &[f64], q: f64) -> Vec<f64> {
+    let mut out = vec![0.0; dist.len()];
+    for (k, &pk) in dist.iter().enumerate() {
+        if pk == 0.0 {
+            continue;
+        }
+        let pmf = binomial_pmf(k as u32, q);
+        for (i, &pi) in pmf.iter().enumerate() {
+            out[i] += pk * pi;
+        }
+    }
+    out
+}
+
+/// Exact distribution of end-to-end surviving Bell-pair counts under
+/// Q-CAST's *adaptive* model: each hop succeeds on `Binomial(w, p)` links,
+/// the joining switch re-pairs any successful left link with any
+/// successful right link, and every matched pair survives the BSM with
+/// probability `q`.
+///
+/// Index `i` of the result is the probability that exactly `i` pairs
+/// survive. Returns a point mass at 0 if some hop has no edge in the
+/// network.
+///
+/// # Panics
+///
+/// Panics if the path is trivial.
+#[must_use]
+pub fn pair_distribution(net: &QuantumNetwork, wp: &WidthedPath) -> Vec<f64> {
+    let Some(hops) = resolve_hops(net, wp) else {
+        return vec![1.0];
+    };
+    assert!(!hops.is_empty(), "classic metric needs at least one hop");
+
+    let q = net.swap_success();
+    let (p0, w0) = hops[0];
+    let mut dist = binomial_pmf(w0, p0);
+    for &(p, w) in &hops[1..] {
+        let x = binomial_pmf(w, p);
+        let matched = min_distribution(&dist, &x);
+        dist = thin(&matched, q);
+    }
+    dist
+}
+
+/// Success probability under the adaptive re-pairing model: at least one
+/// pair survives end to end.
+#[must_use]
+pub fn success_probability_adaptive(net: &QuantumNetwork, wp: &WidthedPath) -> f64 {
+    1.0 - pair_distribution(net, wp)[0]
+}
+
+/// Q-CAST's `EXT` metric under the adaptive model: the expected number of
+/// surviving end-to-end Bell pairs.
+#[must_use]
+pub fn expected_pairs_adaptive(net: &QuantumNetwork, wp: &WidthedPath) -> f64 {
+    pair_distribution(net, wp)
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| i as f64 * p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_graph::Path;
+    use proptest::prelude::*;
+
+    /// Chain with `hops` hops, switch endpoints so every hop count works,
+    /// uniform p and q.
+    fn chain(hops: usize, p: f64, q: f64) -> (QuantumNetwork, Path) {
+        let mut b = QuantumNetwork::builder();
+        let nodes: Vec<_> = (0..=hops).map(|i| b.switch(i as f64, 0.0, 100)).collect();
+        for w in nodes.windows(2) {
+            b.link(w[0], w[1]).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(p));
+        net.set_swap_success(q);
+        (net, Path::new(nodes))
+    }
+
+    #[test]
+    fn binomial_pmf_basics() {
+        let d = binomial_pmf(2, 0.5);
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 0.25).abs() < 1e-12);
+        assert_eq!(binomial_pmf(3, 0.0), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(binomial_pmf(3, 1.0), vec![0.0, 0.0, 0.0, 1.0]);
+        let sum: f64 = binomial_pmf(9, 0.37).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_distribution_brute_force() {
+        let a = binomial_pmf(2, 0.3);
+        let b = binomial_pmf(2, 0.6);
+        let m = min_distribution(&a, &b);
+        let mut brute = [0.0; 3];
+        for i in 0..=2usize {
+            for j in 0..=2usize {
+                brute[i.min(j)] += a[i] * b[j];
+            }
+        }
+        for k in 0..3 {
+            assert!((m[k] - brute[k]).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn lane_links_spread_evenly() {
+        // 5 links over 2 lanes: 3 + 2.
+        assert_eq!(lane_links(5, 2, 0), 3);
+        assert_eq!(lane_links(5, 2, 1), 2);
+        // Uniform width w over w lanes: 1 each.
+        for l in 0..4 {
+            assert_eq!(lane_links(4, 4, l), 1);
+        }
+    }
+
+    #[test]
+    fn single_hop_models() {
+        let (net, path) = chain(1, 0.3, 0.9);
+        let wp = crate::flow::WidthedPath::uniform(path, 3);
+        // Single lane: exactly one of the three links is the state's.
+        assert!((success_probability(&net, &wp) - 0.3).abs() < 1e-12);
+        // Multi-lane / adaptive: any of the three links may carry it.
+        let expect = 1.0 - 0.7_f64.powi(3);
+        assert!((success_probability_multilane(&net, &wp) - expect).abs() < 1e-12);
+        assert!((success_probability_adaptive(&net, &wp) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_one_matches_series_formula() {
+        // One lane: success = p^hops * q^(hops-1) in all three models.
+        let (net, path) = chain(3, 0.4, 0.8);
+        let wp = crate::flow::WidthedPath::uniform(path, 1);
+        let expect = 0.4_f64.powi(3) * 0.8_f64.powi(2);
+        assert!((success_probability(&net, &wp) - expect).abs() < 1e-12);
+        assert!((success_probability_multilane(&net, &wp) - expect).abs() < 1e-12);
+        assert!((success_probability_adaptive(&net, &wp) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_is_irrelevant_to_single_lane() {
+        let (net, path) = chain(3, 0.4, 0.8);
+        let narrow = crate::flow::WidthedPath::uniform(path.clone(), 1);
+        let wide = crate::flow::WidthedPath::uniform(path, 5);
+        assert_eq!(
+            success_probability(&net, &narrow),
+            success_probability(&net, &wide)
+        );
+    }
+
+    #[test]
+    fn multilane_closed_form() {
+        // z = 2 hops, w = 2: multilane success = 1 - (1 - p²q)², EXT = 2p²q
+        // (the paper's idea-4 classic rate w·p^z·q^(z-1)).
+        let (net, path) = chain(2, 0.5, 0.9);
+        let wp = crate::flow::WidthedPath::uniform(path, 2);
+        let lane = 0.25 * 0.9;
+        let expect = 1.0 - (1.0 - lane) * (1.0 - lane);
+        assert!((success_probability_multilane(&net, &wp) - expect).abs() < 1e-12);
+        assert!((expected_pairs(&net, &wp) - 2.0 * lane).abs() < 1e-12);
+        // Single-lane: one of those lanes.
+        assert!((success_probability(&net, &wp) - lane).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_hierarchy_single_multilane_adaptive() {
+        // Each relaxation of pre-commitment can only help.
+        for (p, q, w, hops) in
+            [(0.5, 0.9, 3, 3), (0.2, 0.7, 2, 4), (0.8, 0.5, 4, 2)]
+        {
+            let (net, path) = chain(hops, p, q);
+            let wp = crate::flow::WidthedPath::uniform(path, w);
+            let single = success_probability(&net, &wp);
+            let multi = success_probability_multilane(&net, &wp);
+            let adaptive = success_probability_adaptive(&net, &wp);
+            assert!(
+                single <= multi + 1e-12 && multi <= adaptive + 1e-12,
+                "hierarchy violated at p={p}, q={q}, w={w}, z={hops}: \
+                 {single} / {multi} / {adaptive}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_widths_back_lanes() {
+        // Hop widths (2, 1): one lane whose first segment has 2 links.
+        let (net, path) = chain(2, 0.4, 0.9);
+        let mut wp = crate::flow::WidthedPath::uniform(path, 1);
+        wp.widths[0] = 2;
+        let lanes = lane_successes(&net, &wp);
+        assert_eq!(lanes.len(), 1);
+        let expect = (1.0 - 0.6_f64 * 0.6) * 0.4 * 0.9;
+        assert!((lanes[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ext_on_perfect_path_is_width() {
+        let (net, path) = chain(2, 1.0, 1.0);
+        let wp = crate::flow::WidthedPath::uniform(path, 4);
+        assert!((expected_pairs(&net, &wp) - 4.0).abs() < 1e-12);
+        assert!((expected_pairs_adaptive(&net, &wp) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edge_gives_zero() {
+        let mut b = QuantumNetwork::builder();
+        let u = b.switch(0.0, 0.0, 4);
+        let v = b.switch(1.0, 0.0, 4);
+        let _bridge = b.switch(0.5, 0.0, 4);
+        let net = b.build();
+        let wp = crate::flow::WidthedPath::uniform(Path::new(vec![u, v]), 1);
+        assert_eq!(success_probability(&net, &wp), 0.0);
+        assert_eq!(success_probability_multilane(&net, &wp), 0.0);
+        assert_eq!(success_probability_adaptive(&net, &wp), 0.0);
+        assert_eq!(expected_pairs(&net, &wp), 0.0);
+    }
+
+    proptest! {
+        /// The adaptive distribution is a pmf; both models' success
+        /// probabilities are monotone in p, q, and width; adaptive
+        /// dominates fixed-lane everywhere.
+        #[test]
+        fn model_sanity(
+            p in 0.05f64..0.95,
+            q in 0.05f64..0.95,
+            w in 1u32..5,
+            hops in 1usize..5,
+        ) {
+            let (net, path) = chain(hops, p, q);
+            let wp = crate::flow::WidthedPath::uniform(path.clone(), w);
+            let dist = pair_distribution(&net, &wp);
+            let sum: f64 = dist.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(dist.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+            prop_assert!(
+                success_probability_adaptive(&net, &wp)
+                    >= success_probability_multilane(&net, &wp) - 1e-12
+            );
+            prop_assert!(
+                success_probability_multilane(&net, &wp)
+                    >= success_probability(&net, &wp) - 1e-12
+            );
+
+            // Multilane success is monotone in width; single-lane ignores it.
+            let wider = crate::flow::WidthedPath::uniform(path.clone(), w + 1);
+            prop_assert!(
+                success_probability_multilane(&net, &wider)
+                    >= success_probability_multilane(&net, &wp) - 1e-12
+            );
+            prop_assert!(
+                (success_probability(&net, &wider) - success_probability(&net, &wp)).abs()
+                    < 1e-12
+            );
+
+            // Monotone in p.
+            let (net_hi, _) = chain(hops, (p + 0.04).min(1.0), q);
+            prop_assert!(
+                success_probability(&net_hi, &wp) >= success_probability(&net, &wp) - 1e-12
+            );
+
+            // Monotone in q.
+            let (net_q, _) = chain(hops, p, (q + 0.04).min(1.0));
+            prop_assert!(
+                success_probability(&net_q, &wp) >= success_probability(&net, &wp) - 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Routing metrics (paper §III-C): entanglement rates of channels, paths,
+//! and flow-like graphs under n-fusion, plus the classic-swapping (BSM)
+//! metrics used by the Q-CAST baseline.
+
+pub mod classic;
+
+use std::collections::BTreeMap;
+
+use fusion_graph::{Metric, NodeId, Path};
+
+use crate::flow::{FlowGraph, WidthedPath};
+use crate::network::QuantumNetwork;
+
+/// Success probability of a width-`w` channel given single-link success
+/// `p`: `1 - (1 - p)^w`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `w == 0`.
+#[must_use]
+pub fn channel_success(p: f64, width: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "link probability out of range: {p}");
+    assert!(width > 0, "width must be positive");
+    1.0 - (1.0 - p).powi(width as i32)
+}
+
+/// Entanglement rate of a uniform-width path under n-fusion (§III-C):
+/// `q^s · Π_e (1 - (1 - p_e)^w)` with `s` the number of intermediate
+/// switches.
+///
+/// Returns [`Metric::ZERO`] if some hop has no edge in the network.
+///
+/// # Panics
+///
+/// Panics if the path is trivial or `width == 0`.
+#[must_use]
+pub fn path_rate(net: &QuantumNetwork, path: &Path, width: u32) -> Metric {
+    let wp = WidthedPath::uniform(path.clone(), width);
+    widthed_path_rate(net, &wp)
+}
+
+/// Entanglement rate of a path with per-hop widths under n-fusion.
+///
+/// Returns [`Metric::ZERO`] if some hop has no edge in the network.
+#[must_use]
+pub fn widthed_path_rate(net: &QuantumNetwork, wp: &WidthedPath) -> Metric {
+    let mut rate = 1.0;
+    for (u, v, w) in wp.hops() {
+        let Some((edge, _)) = net.hop(u, v) else {
+            return Metric::ZERO;
+        };
+        rate *= net.channel_success(edge, w);
+    }
+    for &mid in wp.path.intermediates() {
+        if net.is_switch(mid) {
+            rate *= net.swap_success();
+        }
+    }
+    Metric::new(rate)
+}
+
+/// Entanglement rate of a flow-like graph — the paper's Equation 1.
+///
+/// The recursion treats sibling branches as independent alternatives:
+///
+/// `P(a → sink) = q_a^[a is an intermediate switch] ·
+///   (1 - Π_children (1 - C(a,u) · P(u → sink)))`
+///
+/// with `C(a,u)` the width-`w` channel success of the edge. On
+/// *branch-disjoint* flow graphs — parallel branches share nothing but
+/// their endpoints and reconverge only at the sink — this equals the exact
+/// connectivity reliability; when branches reconverge earlier (shared
+/// suffixes, cross-edges) the shared part is double-counted and Eq. 1 is
+/// optimistic. Both regimes are validated against exact enumeration in
+/// `fusion-sim`.
+///
+/// Returns [`Metric::ZERO`] for an empty flow graph or one referencing a
+/// missing network edge.
+#[must_use]
+pub fn flow_rate(net: &QuantumNetwork, flow: &FlowGraph) -> Metric {
+    if flow.is_empty() {
+        return Metric::ZERO;
+    }
+    let mut memo: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut on_stack: Vec<NodeId> = Vec::new();
+    let rate = descend(net, flow, flow.source(), &mut memo, &mut on_stack);
+    Metric::new(rate.clamp(0.0, 1.0))
+}
+
+fn descend(
+    net: &QuantumNetwork,
+    flow: &FlowGraph,
+    node: NodeId,
+    memo: &mut BTreeMap<NodeId, f64>,
+    on_stack: &mut Vec<NodeId>,
+) -> f64 {
+    if node == flow.sink() {
+        return 1.0;
+    }
+    if let Some(&m) = memo.get(&node) {
+        return m;
+    }
+    if on_stack.contains(&node) {
+        // A reverse-oriented overlap created a cycle; treat the back-branch
+        // as contributing nothing rather than recursing forever.
+        return 0.0;
+    }
+    on_stack.push(node);
+    let mut fail_all = 1.0;
+    for (child, width) in flow.children(node) {
+        let Some((edge, _)) = net.hop(node, child) else {
+            continue;
+        };
+        let channel = net.channel_success(edge, width);
+        let downstream = descend(net, flow, child, memo, on_stack);
+        fail_all *= 1.0 - channel * downstream;
+    }
+    on_stack.pop();
+    let mut rate = 1.0 - fail_all;
+    // The node's own fusion: one GHZ measurement per state per switch.
+    if net.is_switch(node) {
+        rate *= net.swap_success();
+    }
+    memo.insert(node, rate);
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::QuantumNetwork;
+    use fusion_graph::NodeId;
+
+    /// Builds the Fig. 4 example: Alice = Carol (width 2) = Bob (width 1),
+    /// with uniform link success `p` and swap success `q`.
+    fn fig4(p: f64, q: f64) -> (QuantumNetwork, NodeId, NodeId, NodeId) {
+        let mut b = QuantumNetwork::builder();
+        let alice = b.user(0.0, 0.0);
+        let carol = b.switch(1.0, 0.0, 10);
+        let bob = b.user(2.0, 0.0);
+        b.link(alice, carol).unwrap();
+        b.link(carol, bob).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(p));
+        net.set_swap_success(q);
+        (net, alice, carol, bob)
+    }
+
+    #[test]
+    fn channel_success_formula() {
+        assert!((channel_success(0.3, 1) - 0.3).abs() < 1e-12);
+        assert!((channel_success(0.3, 2) - 0.51).abs() < 1e-12);
+        assert!((channel_success(1.0, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(channel_success(0.0, 5), 0.0);
+    }
+
+    #[test]
+    fn fig4_path_rate() {
+        // Paper: rate = (1 - (1-p)^2) · p · q with width 2 on Alice-Carol.
+        let (net, alice, carol, bob) = fig4(0.4, 0.9);
+        let mut wp =
+            WidthedPath::uniform(Path::new(vec![alice, carol, bob]), 1);
+        wp.widths[0] = 2;
+        let expect = (1.0 - 0.6_f64 * 0.6) * 0.4 * 0.9;
+        assert!((widthed_path_rate(&net, &wp).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_path_rate_matches_closed_form() {
+        let (net, alice, carol, bob) = fig4(0.25, 0.8);
+        let path = Path::new(vec![alice, carol, bob]);
+        let rate = path_rate(&net, &path, 2);
+        let c = 1.0 - 0.75_f64 * 0.75;
+        assert!((rate.value() - c * c * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edge_rates_zero() {
+        let (net, alice, _carol, bob) = fig4(0.5, 0.9);
+        let path = Path::new(vec![alice, bob]);
+        assert_eq!(path_rate(&net, &path, 1), Metric::ZERO);
+    }
+
+    #[test]
+    fn flow_rate_on_simple_path_equals_path_rate() {
+        let (net, alice, carol, bob) = fig4(0.3, 0.7);
+        let path = Path::new(vec![alice, carol, bob]);
+        let mut flow = FlowGraph::new(alice, bob);
+        flow.add_path(&path, 2);
+        let a = flow_rate(&net, &flow).value();
+        let b = path_rate(&net, &path, 2).value();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    /// Fig. 6a: S = v (width 2) = D (width 2); one 4-fusion switch.
+    #[test]
+    fn fig6a_fusion_flow() {
+        let (net, s, v, d) = fig4(0.2, 0.85);
+        let mut flow = FlowGraph::new(s, d);
+        let path = Path::new(vec![s, v, d]);
+        flow.add_path(&path, 2);
+        let c = 1.0 - 0.8_f64 * 0.8;
+        assert!((flow_rate(&net, &flow).value() - 0.85 * c * c).abs() < 1e-12);
+    }
+
+    /// Two disjoint branches: S→v1→D and S→v2→D. Eq. 1 combines them as
+    /// independent alternatives.
+    #[test]
+    fn parallel_branches_combine_independently() {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v1 = b.switch(1.0, 1.0, 10);
+        let v2 = b.switch(1.0, -1.0, 10);
+        let d = b.user(2.0, 0.0);
+        b.link(s, v1).unwrap();
+        b.link(v1, d).unwrap();
+        b.link(s, v2).unwrap();
+        b.link(v2, d).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.5));
+        net.set_swap_success(0.9);
+
+        let mut flow = FlowGraph::new(s, d);
+        flow.add_path(&Path::new(vec![s, v1, d]), 1);
+        flow.add_path(&Path::new(vec![s, v2, d]), 1);
+        let one_branch = 0.5 * 0.9 * 0.5;
+        let expect = 1.0 - (1.0 - one_branch) * (1.0 - one_branch);
+        assert!((flow_rate(&net, &flow).value() - expect).abs() < 1e-12);
+    }
+
+    /// Branches that reconverge at an intermediate switch: the diamond.
+    /// Eq. 1 multiplies the shared suffix into each branch independently —
+    /// exactness is not expected, but the value must stay in [0, 1] and
+    /// exceed the single-branch rate.
+    #[test]
+    fn diamond_reconvergence_is_sane() {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let x = b.switch(1.0, 1.0, 10);
+        let y = b.switch(1.0, -1.0, 10);
+        let m = b.switch(2.0, 0.0, 10);
+        let d = b.user(3.0, 0.0);
+        for (u, v) in [(s, x), (s, y), (x, m), (y, m), (m, d)] {
+            b.link(u, v).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.5));
+        net.set_swap_success(0.9);
+        let mut flow = FlowGraph::new(s, d);
+        flow.add_path(&Path::new(vec![s, x, m, d]), 1);
+        flow.add_path(&Path::new(vec![s, y, m, d]), 1);
+        let single = flow_rate(
+            &net,
+            &{
+                let mut f = FlowGraph::new(s, d);
+                f.add_path(&Path::new(vec![s, x, m, d]), 1);
+                f
+            },
+        );
+        let both = flow_rate(&net, &flow);
+        assert!(both > single);
+        assert!(both.value() <= 1.0);
+    }
+
+    #[test]
+    fn empty_flow_rates_zero() {
+        let (net, alice, _c, bob) = fig4(0.5, 0.9);
+        let flow = FlowGraph::new(alice, bob);
+        assert_eq!(flow_rate(&net, &flow), Metric::ZERO);
+    }
+
+    #[test]
+    fn wider_is_better_shorter_is_better() {
+        // Main ideas 2 and 3 (§IV-B): rates improve with width and degrade
+        // with hops.
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v1 = b.switch(1.0, 0.0, 10);
+        let v2 = b.switch(2.0, 0.0, 10);
+        let d = b.user(3.0, 0.0);
+        b.link(s, v1).unwrap();
+        b.link(v1, v2).unwrap();
+        b.link(v2, d).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.3));
+        net.set_swap_success(0.9);
+        let two_hop = Path::new(vec![s, v1, v2, d]);
+        assert!(path_rate(&net, &two_hop, 2) > path_rate(&net, &two_hop, 1));
+
+        let mut b2 = QuantumNetwork::builder();
+        let s2 = b2.user(0.0, 0.0);
+        let v = b2.switch(1.0, 0.0, 10);
+        let d2 = b2.user(2.0, 0.0);
+        b2.link(s2, v).unwrap();
+        b2.link(v, d2).unwrap();
+        let mut short_net = b2.build();
+        short_net.set_uniform_link_success(Some(0.3));
+        short_net.set_swap_success(0.9);
+        let one_mid = Path::new(vec![s2, v, d2]);
+        assert!(path_rate(&short_net, &one_mid, 1) > path_rate(&net, &two_hop, 1));
+    }
+}

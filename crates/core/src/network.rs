@@ -1,0 +1,486 @@
+use fusion_graph::{EdgeId, NodeId, UnGraph};
+use fusion_topology::{Position, Role, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Physical-layer parameters of the quantum network (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicsParams {
+    /// Fiber attenuation constant: a single link of length `L` succeeds
+    /// with probability `exp(-alpha · L)` (default `1e-4`).
+    pub alpha: f64,
+    /// Success probability `q` of one entanglement-swapping (fusion)
+    /// operation at a switch, identical for every arity (default `0.9`).
+    pub swap_success: f64,
+    /// When set, every link succeeds with this probability regardless of
+    /// length — used by the Fig. 8a sweep "to avoid the randomness brought
+    /// by the network generation".
+    pub uniform_link_success: Option<f64>,
+}
+
+impl Default for PhysicsParams {
+    fn default() -> Self {
+        PhysicsParams { alpha: 1e-4, swap_success: 0.9, uniform_link_success: None }
+    }
+}
+
+/// Parameters for deriving a [`QuantumNetwork`] from a generated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Qubits in each switch's solid memory (the paper's main resource
+    /// limitation; default 10).
+    pub switch_capacity: u32,
+    /// Physical-layer constants.
+    pub physics: PhysicsParams,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams { switch_capacity: 10, physics: PhysicsParams::default() }
+    }
+}
+
+/// Node payload of a quantum network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeProps {
+    /// Switch or user.
+    pub role: Role,
+    /// Deployment position.
+    pub position: Position,
+    /// Communication qubits available for routing. Users are modelled with
+    /// effectively unlimited memory (§III-D).
+    pub capacity: u32,
+}
+
+/// Edge payload: one fiber span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeProps {
+    /// Euclidean length in network units.
+    pub length: f64,
+}
+
+/// Errors raised while constructing a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// An edge connected a node to itself.
+    SelfLoop(NodeId),
+    /// An edge connected two quantum-users directly (§V-A forbids this).
+    UserUserLink(NodeId, NodeId),
+    /// Two parallel fibers between the same node pair; widths model
+    /// parallelism instead.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::SelfLoop(n) => write!(f, "self-loop at {n}"),
+            NetworkError::UserUserLink(a, b) => {
+                write!(f, "users {a} and {b} may not connect directly")
+            }
+            NetworkError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge between {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// The quantum network: sites, fiber spans, qubit capacities, and the
+/// physical success model (paper §III).
+///
+/// Construct one from a generated [`Topology`] with
+/// [`QuantumNetwork::from_topology`] or by hand with
+/// [`QuantumNetwork::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use fusion_core::QuantumNetwork;
+///
+/// let mut b = QuantumNetwork::builder();
+/// let s = b.user(0.0, 0.0);
+/// let v = b.switch(1_000.0, 0.0, 10);
+/// let d = b.user(2_000.0, 0.0);
+/// b.link(s, v)?;
+/// b.link(v, d)?;
+/// let net = b.build();
+/// assert_eq!(net.capacity(v), 10);
+/// assert!(net.link_success(net.graph().find_edge(s, v).unwrap()) > 0.9);
+/// # Ok::<(), fusion_core::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumNetwork {
+    graph: UnGraph<NodeProps, EdgeProps>,
+    physics: PhysicsParams,
+}
+
+/// Capacity assigned to quantum-users: effectively unlimited, but small
+/// enough that arithmetic on sums of capacities cannot overflow `u32`.
+pub const USER_CAPACITY: u32 = u32::MAX / 4;
+
+impl QuantumNetwork {
+    /// Starts building a network by hand.
+    #[must_use]
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::new()
+    }
+
+    /// Derives a network from a generated topology: switches get
+    /// `params.switch_capacity` qubits, users get unlimited memory, links
+    /// keep their fiber lengths.
+    #[must_use]
+    pub fn from_topology(topology: &Topology, params: &NetworkParams) -> Self {
+        let mut graph = UnGraph::with_capacity(
+            topology.graph.node_count(),
+            topology.graph.edge_count(),
+        );
+        for site in topology.graph.node_weights() {
+            let capacity = match site.role {
+                Role::Switch => params.switch_capacity,
+                Role::User => USER_CAPACITY,
+            };
+            graph.add_node(NodeProps { role: site.role, position: site.position, capacity });
+        }
+        for e in topology.graph.edges() {
+            graph.add_edge(e.source, e.target, EdgeProps { length: e.weight.length });
+        }
+        QuantumNetwork { graph, physics: params.physics }
+    }
+
+    /// The underlying site graph.
+    #[must_use]
+    pub fn graph(&self) -> &UnGraph<NodeProps, EdgeProps> {
+        &self.graph
+    }
+
+    /// Number of nodes (switches + users).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `true` if `node` is a quantum-user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn is_user(&self, node: NodeId) -> bool {
+        self.graph.node(node).role == Role::User
+    }
+
+    /// `true` if `node` is a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn is_switch(&self, node: NodeId) -> bool {
+        self.graph.node(node).role == Role::Switch
+    }
+
+    /// Qubit capacity of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn capacity(&self, node: NodeId) -> u32 {
+        self.graph.node(node).capacity
+    }
+
+    /// Initial per-node capacity vector, indexed by node id.
+    #[must_use]
+    pub fn capacities(&self) -> Vec<u32> {
+        self.graph.node_weights().map(|p| p.capacity).collect()
+    }
+
+    /// The largest switch capacity — the paper's `MAX_WIDTH` bound.
+    #[must_use]
+    pub fn max_switch_capacity(&self) -> u32 {
+        self.graph
+            .node_weights()
+            .filter(|p| p.role == Role::Switch)
+            .map(|p| p.capacity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Physical parameters.
+    #[must_use]
+    pub fn physics(&self) -> &PhysicsParams {
+        &self.physics
+    }
+
+    /// Swap (fusion) success probability `q`.
+    #[must_use]
+    pub fn swap_success(&self) -> f64 {
+        self.physics.swap_success
+    }
+
+    /// Sets the swap success probability (Fig. 8b sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn set_swap_success(&mut self, q: f64) {
+        assert!(q > 0.0 && q <= 1.0, "swap success must be in (0,1], got {q}");
+        self.physics.swap_success = q;
+    }
+
+    /// Forces every link to the same success probability (Fig. 8a sweep),
+    /// or restores the length-based model with `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn set_uniform_link_success(&mut self, p: Option<f64>) {
+        if let Some(p) = p {
+            assert!(p > 0.0 && p <= 1.0, "link success must be in (0,1], got {p}");
+        }
+        self.physics.uniform_link_success = p;
+    }
+
+    /// Success probability of a single entanglement attempt over `edge`:
+    /// `exp(-alpha·L)`, or the uniform override when set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    #[must_use]
+    pub fn link_success(&self, edge: EdgeId) -> f64 {
+        if let Some(p) = self.physics.uniform_link_success {
+            return p;
+        }
+        let length = self.graph.edge(edge).weight.length;
+        // Fully lossless (p = 1) only for zero-length fibers; clamp away
+        // from zero so metrics stay in (0, 1].
+        (-self.physics.alpha * length).exp().max(1e-12)
+    }
+
+    /// Success probability of a width-`w` channel over `edge`:
+    /// `1 - (1 - p)^w` (§III-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds or `w == 0`.
+    #[must_use]
+    pub fn channel_success(&self, edge: EdgeId, width: u32) -> f64 {
+        assert!(width > 0, "channel width must be positive");
+        let p = self.link_success(edge);
+        1.0 - (1.0 - p).powi(width as i32)
+    }
+
+    /// Looks up the edge between `u` and `v` and returns it with its
+    /// single-link success probability.
+    #[must_use]
+    pub fn hop(&self, u: NodeId, v: NodeId) -> Option<(EdgeId, f64)> {
+        let e = self.graph.find_edge(u, v)?;
+        Some((e, self.link_success(e)))
+    }
+}
+
+/// Incremental constructor for hand-built networks (tests, examples).
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    graph: UnGraph<NodeProps, EdgeProps>,
+    physics: PhysicsParams,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder with default physics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the physical parameters.
+    pub fn physics(&mut self, physics: PhysicsParams) -> &mut Self {
+        self.physics = physics;
+        self
+    }
+
+    /// Adds a switch with the given position and qubit capacity.
+    pub fn switch(&mut self, x: f64, y: f64, capacity: u32) -> NodeId {
+        self.graph.add_node(NodeProps {
+            role: Role::Switch,
+            position: Position::new(x, y),
+            capacity,
+        })
+    }
+
+    /// Adds a quantum-user (unlimited memory).
+    pub fn user(&mut self, x: f64, y: f64) -> NodeId {
+        self.graph.add_node(NodeProps {
+            role: Role::User,
+            position: Position::new(x, y),
+            capacity: USER_CAPACITY,
+        })
+    }
+
+    /// Connects two nodes with a fiber whose length is their Euclidean
+    /// distance.
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-loops, user-user links, and duplicate edges.
+    pub fn link(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, NetworkError> {
+        let d = self
+            .graph
+            .node(a)
+            .position
+            .distance(self.graph.node(b).position);
+        self.link_with_length(a, b, d)
+    }
+
+    /// Connects two nodes with an explicit fiber length (which may differ
+    /// from the geometric distance, e.g. for routed fiber).
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-loops, user-user links, and duplicate edges.
+    pub fn link_with_length(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        length: f64,
+    ) -> Result<EdgeId, NetworkError> {
+        if a == b {
+            return Err(NetworkError::SelfLoop(a));
+        }
+        if self.graph.node(a).role == Role::User && self.graph.node(b).role == Role::User {
+            return Err(NetworkError::UserUserLink(a, b));
+        }
+        if self.graph.contains_edge(a, b) {
+            return Err(NetworkError::DuplicateEdge(a, b));
+        }
+        Ok(self.graph.add_edge(a, b, EdgeProps { length }))
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn build(self) -> QuantumNetwork {
+        QuantumNetwork { graph: self.graph, physics: self.physics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_topology::TopologyConfig;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = QuantumNetwork::builder();
+        let u = b.user(0.0, 0.0);
+        let s = b.switch(3.0, 4.0, 8);
+        let e = b.link(u, s).unwrap();
+        let net = b.build();
+        assert!(net.is_user(u));
+        assert!(net.is_switch(s));
+        assert_eq!(net.capacity(s), 8);
+        assert_eq!(net.capacity(u), USER_CAPACITY);
+        assert_eq!(net.graph().edge(e).weight.length, 5.0);
+        assert_eq!(net.max_switch_capacity(), 8);
+    }
+
+    #[test]
+    fn builder_rejects_bad_links() {
+        let mut b = QuantumNetwork::builder();
+        let u1 = b.user(0.0, 0.0);
+        let u2 = b.user(1.0, 0.0);
+        let s = b.switch(2.0, 0.0, 4);
+        assert_eq!(b.link(u1, u1), Err(NetworkError::SelfLoop(u1)));
+        assert_eq!(b.link(u1, u2), Err(NetworkError::UserUserLink(u1, u2)));
+        b.link(u1, s).unwrap();
+        assert_eq!(b.link(u1, s), Err(NetworkError::DuplicateEdge(u1, s)));
+        assert_eq!(b.link(s, u1), Err(NetworkError::DuplicateEdge(s, u1)));
+    }
+
+    #[test]
+    fn link_success_follows_exponential_law() {
+        let mut b = QuantumNetwork::builder();
+        let s1 = b.switch(0.0, 0.0, 4);
+        let s2 = b.switch(10_000.0, 0.0, 4);
+        let e = b.link(s1, s2).unwrap();
+        let net = b.build();
+        // alpha = 1e-4, L = 10_000 => p = e^-1.
+        assert!((net.link_success(e) - (-1.0_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_override_and_sweeps() {
+        let mut b = QuantumNetwork::builder();
+        let s1 = b.switch(0.0, 0.0, 4);
+        let s2 = b.switch(5_000.0, 0.0, 4);
+        let e = b.link(s1, s2).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.3));
+        assert_eq!(net.link_success(e), 0.3);
+        net.set_uniform_link_success(None);
+        assert!(net.link_success(e) > 0.3);
+        net.set_swap_success(0.5);
+        assert_eq!(net.swap_success(), 0.5);
+    }
+
+    #[test]
+    fn channel_success_saturates_with_width() {
+        let mut b = QuantumNetwork::builder();
+        let s1 = b.switch(0.0, 0.0, 4);
+        let s2 = b.switch(0.0, 0.0, 4);
+        let e = b.link_with_length(s1, s2, 20_000.0).unwrap();
+        let net = b.build();
+        let p = net.link_success(e);
+        let c1 = net.channel_success(e, 1);
+        let c2 = net.channel_success(e, 2);
+        let c8 = net.channel_success(e, 8);
+        assert!((c1 - p).abs() < 1e-12);
+        assert!((c2 - (1.0 - (1.0 - p) * (1.0 - p))).abs() < 1e-12);
+        assert!(c1 < c2 && c2 < c8 && c8 < 1.0);
+    }
+
+    #[test]
+    fn from_topology_assigns_capacities() {
+        let config = TopologyConfig {
+            num_switches: 20,
+            num_user_pairs: 3,
+            ..TopologyConfig::default()
+        };
+        let topo = config.generate(5);
+        let params = NetworkParams { switch_capacity: 12, ..NetworkParams::default() };
+        let net = QuantumNetwork::from_topology(&topo, &params);
+        assert_eq!(net.node_count(), topo.graph.node_count());
+        for s in topo.switch_ids() {
+            assert_eq!(net.capacity(s), 12);
+        }
+        for u in topo.user_ids() {
+            assert_eq!(net.capacity(u), USER_CAPACITY);
+        }
+        assert_eq!(net.graph().edge_count(), topo.graph.edge_count());
+    }
+
+    #[test]
+    fn hop_lookup() {
+        let mut b = QuantumNetwork::builder();
+        let s1 = b.switch(0.0, 0.0, 4);
+        let s2 = b.switch(100.0, 0.0, 4);
+        let s3 = b.switch(200.0, 0.0, 4);
+        b.link(s1, s2).unwrap();
+        let net = b.build();
+        assert!(net.hop(s1, s2).is_some());
+        assert!(net.hop(s1, s3).is_none());
+        let (_, p) = net.hop(s2, s1).unwrap();
+        assert!(p > 0.98);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let mut b = QuantumNetwork::builder();
+        let s1 = b.switch(0.0, 0.0, 4);
+        let s2 = b.switch(1.0, 0.0, 4);
+        let e = b.link(s1, s2).unwrap();
+        let _ = b.build().channel_success(e, 0);
+    }
+}

@@ -1,0 +1,202 @@
+use fusion_graph::Metric;
+use serde::{Deserialize, Serialize};
+
+use crate::demand::Demand;
+use crate::flow::{FlowGraph, WidthedPath};
+use crate::metrics;
+use crate::network::QuantumNetwork;
+
+/// Which entanglement-swapping technology the switches use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwapMode {
+    /// n-fusion via GHZ measurements: switches fuse any number of links per
+    /// state in one joint measurement; routes may merge into flow-like
+    /// graphs (the paper's contribution).
+    NFusion,
+    /// Classic 2-qubit Bell-state-measurement swapping: routes stay plain
+    /// paths with independent lanes (Q-CAST's model).
+    Classic,
+}
+
+impl SwapMode {
+    /// Scores one widthed path under this swapping technology: the
+    /// probability that the demanded state is established through it.
+    #[must_use]
+    pub fn score(self, net: &QuantumNetwork, wp: &WidthedPath) -> Metric {
+        match self {
+            SwapMode::NFusion => metrics::widthed_path_rate(net, wp),
+            SwapMode::Classic => Metric::new(metrics::classic::success_probability(net, wp)),
+        }
+    }
+}
+
+/// The routed structure serving one demanded quantum state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandPlan {
+    /// The demand being served.
+    pub demand: Demand,
+    /// Accepted paths with per-hop widths. Under classic swapping every
+    /// path owns its qubits exclusively; under n-fusion paths may share
+    /// edges, and [`DemandPlan::flow`] is the authoritative merged
+    /// structure (Algorithm 4 widens the flow, not the paths).
+    pub paths: Vec<WidthedPath>,
+    /// The merged flow-like graph (meaningful under n-fusion).
+    pub flow: FlowGraph,
+}
+
+impl DemandPlan {
+    /// A plan with no routes (rate zero).
+    #[must_use]
+    pub fn empty(demand: Demand) -> Self {
+        DemandPlan { demand, paths: Vec::new(), flow: FlowGraph::new(demand.source, demand.dest) }
+    }
+
+    /// `true` when no route was allocated.
+    #[must_use]
+    pub fn is_unserved(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Analytic success probability of this demand under `mode`.
+    ///
+    /// * n-fusion: Equation 1 on the merged flow-like graph.
+    /// * classic: independent alternatives — `1 - Π (1 - s_i)` over the
+    ///   accepted paths' BSM success probabilities.
+    #[must_use]
+    pub fn rate(&self, net: &QuantumNetwork, mode: SwapMode) -> f64 {
+        match mode {
+            SwapMode::NFusion => metrics::flow_rate(net, &self.flow).value(),
+            SwapMode::Classic => {
+                let fail: f64 = self
+                    .paths
+                    .iter()
+                    .map(|wp| 1.0 - metrics::classic::success_probability(net, wp))
+                    .product();
+                1.0 - fail
+            }
+        }
+    }
+}
+
+/// The routing decision for every demanded state in the network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkPlan {
+    /// Swapping technology the plan was built for.
+    pub mode: SwapMode,
+    /// One plan per demand, in demand order.
+    pub plans: Vec<DemandPlan>,
+    /// Qubits left at each node after routing (indexed by node id).
+    pub leftover: Vec<u32>,
+    /// Number of single links added by Algorithm 4 (0 when disabled).
+    pub alg4_links: usize,
+}
+
+impl NetworkPlan {
+    /// Analytic success probability of demand `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn demand_rate(&self, net: &QuantumNetwork, i: usize) -> f64 {
+        self.plans[i].rate(net, self.mode)
+    }
+
+    /// The network entanglement rate: the expected number of demanded
+    /// states established per attempt (paper §III-C).
+    #[must_use]
+    pub fn total_rate(&self, net: &QuantumNetwork) -> f64 {
+        self.plans.iter().map(|p| p.rate(net, self.mode)).sum()
+    }
+
+    /// Number of demands that received at least one route.
+    #[must_use]
+    pub fn served_demands(&self) -> usize {
+        self.plans.iter().filter(|p| !p.is_unserved()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DemandId;
+    use fusion_graph::{NodeId, Path};
+
+    fn simple_net() -> (QuantumNetwork, NodeId, NodeId, NodeId) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v = b.switch(1.0, 0.0, 10);
+        let d = b.user(2.0, 0.0);
+        b.link(s, v).unwrap();
+        b.link(v, d).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.5));
+        net.set_swap_success(0.8);
+        (net, s, v, d)
+    }
+
+    #[test]
+    fn empty_plan_has_zero_rate() {
+        let (net, s, _v, d) = simple_net();
+        let plan = DemandPlan::empty(Demand::new(DemandId::new(0), s, d));
+        assert!(plan.is_unserved());
+        assert_eq!(plan.rate(&net, SwapMode::NFusion), 0.0);
+        assert_eq!(plan.rate(&net, SwapMode::Classic), 0.0);
+    }
+
+    #[test]
+    fn nfusion_rate_uses_flow() {
+        let (net, s, v, d) = simple_net();
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        let path = Path::new(vec![s, v, d]);
+        plan.flow.add_path(&path, 2);
+        plan.paths.push(WidthedPath::uniform(path, 2));
+        let c = 1.0 - 0.25;
+        assert!((plan.rate(&net, SwapMode::NFusion) - c * c * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_rate_combines_paths_independently() {
+        let (net, s, v, d) = simple_net();
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        let path = Path::new(vec![s, v, d]);
+        plan.paths.push(WidthedPath::uniform(path.clone(), 1));
+        plan.paths.push(WidthedPath::uniform(path, 1));
+        let single = 0.5 * 0.5 * 0.8;
+        let expect = 1.0 - (1.0 - single) * (1.0 - single);
+        assert!((plan.rate(&net, SwapMode::Classic) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_plan_totals() {
+        let (net, s, v, d) = simple_net();
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut p1 = DemandPlan::empty(demand);
+        let path = Path::new(vec![s, v, d]);
+        p1.flow.add_path(&path, 1);
+        p1.paths.push(WidthedPath::uniform(path, 1));
+        let p2 = DemandPlan::empty(Demand::new(DemandId::new(1), d, s));
+        let plan = NetworkPlan {
+            mode: SwapMode::NFusion,
+            plans: vec![p1, p2],
+            leftover: net.capacities(),
+            alg4_links: 0,
+        };
+        assert_eq!(plan.served_demands(), 1);
+        assert!((plan.total_rate(&net) - plan.demand_rate(&net, 0)).abs() < 1e-12);
+        assert_eq!(plan.demand_rate(&net, 1), 0.0);
+    }
+
+    #[test]
+    fn score_matches_mode() {
+        let (net, s, v, d) = simple_net();
+        let wp = WidthedPath::uniform(Path::new(vec![s, v, d]), 2);
+        let nf = SwapMode::NFusion.score(&net, &wp).value();
+        let cl = SwapMode::Classic.score(&net, &wp).value();
+        assert!((nf - 0.75 * 0.75 * 0.8).abs() < 1e-12);
+        // Classic: one pre-committed lane regardless of width: p²q.
+        assert!((cl - 0.25 * 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,467 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside an [`UnGraph`].
+///
+/// Node ids are dense indices assigned in insertion order, which keeps the
+/// routing algorithms deterministic for a fixed construction sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+/// Identifier of an edge inside an [`UnGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the raw index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        EdgeId(index)
+    }
+}
+
+/// A borrowed view of one edge: its id, endpoints, and payload.
+#[derive(Debug, PartialEq, Eq)]
+pub struct EdgeRef<'a, E> {
+    /// Edge identifier.
+    pub id: EdgeId,
+    /// First endpoint (the `u` passed to [`UnGraph::add_edge`]).
+    pub source: NodeId,
+    /// Second endpoint (the `v` passed to [`UnGraph::add_edge`]).
+    pub target: NodeId,
+    /// Edge payload.
+    pub weight: &'a E,
+}
+
+// Manual impls: `EdgeRef` borrows the payload, so it is copyable regardless
+// of whether `E` itself is.
+impl<'a, E> Clone for EdgeRef<'a, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, E> Copy for EdgeRef<'a, E> {}
+
+impl<'a, E> EdgeRef<'a, E> {
+    /// Returns the endpoint of this edge that is not `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of the edge.
+    #[must_use]
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.source {
+            self.target
+        } else if node == self.target {
+            self.source
+        } else {
+            panic!("{node} is not an endpoint of edge {}", self.id)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeEntry<E> {
+    source: NodeId,
+    target: NodeId,
+    weight: E,
+}
+
+/// An undirected multigraph with typed node and edge payloads.
+///
+/// Nodes and edges are stored in insertion order and addressed by dense
+/// [`NodeId`] / [`EdgeId`] indices; neighbors are kept in per-node adjacency
+/// lists. Parallel edges and self-loops are permitted at this layer (the
+/// quantum-network model above rejects self-loops itself).
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::UnGraph;
+///
+/// let mut g: UnGraph<(), f64> = UnGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let e = g.add_edge(a, b, 2.5);
+/// assert_eq!(g.edge(e).weight, &2.5);
+/// assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![b]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnGraph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeEntry<E>>,
+    adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> UnGraph<N, E> {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        UnGraph { nodes: Vec::new(), edges: Vec::new(), adjacency: Vec::new() }
+    }
+
+    /// Creates an empty graph with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        UnGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            adjacency: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node with the given payload and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(weight);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `u` and `v` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: E) -> EdgeId {
+        assert!(u.index() < self.nodes.len(), "node {u} out of bounds");
+        assert!(v.index() < self.nodes.len(), "node {v} out of bounds");
+        let id = EdgeId(self.edges.len());
+        self.edges.push(EdgeEntry { source: u, target: v, weight });
+        self.adjacency[u.index()].push(id);
+        if u != v {
+            self.adjacency[v.index()].push(id);
+        }
+        id
+    }
+
+    /// Returns the payload of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn node(&self, node: NodeId) -> &N {
+        &self.nodes[node.index()]
+    }
+
+    /// Returns a mutable reference to the payload of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn node_mut(&mut self, node: NodeId) -> &mut N {
+        &mut self.nodes[node.index()]
+    }
+
+    /// Returns a borrowed view of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    #[must_use]
+    pub fn edge(&self, edge: EdgeId) -> EdgeRef<'_, E> {
+        let entry = &self.edges[edge.index()];
+        EdgeRef { id: edge, source: entry.source, target: entry.target, weight: &entry.weight }
+    }
+
+    /// Returns a mutable reference to the payload of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    #[must_use]
+    pub fn edge_weight_mut(&mut self, edge: EdgeId) -> &mut E {
+        &mut self.edges[edge.index()].weight
+    }
+
+    /// Returns the endpoints of `edge` as `(source, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    #[must_use]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let entry = &self.edges[edge.index()];
+        (entry.source, entry.target)
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over all edge ids in index order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Iterates over all edges in index order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeRef<'_, E>> + '_ {
+        self.edges.iter().enumerate().map(|(i, entry)| EdgeRef {
+            id: EdgeId(i),
+            source: entry.source,
+            target: entry.target,
+            weight: &entry.weight,
+        })
+    }
+
+    /// Iterates over the edges incident to `node` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn incident_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.adjacency[node.index()].iter().map(move |&id| self.edge(id))
+    }
+
+    /// Iterates over the neighbors of `node` in insertion order.
+    ///
+    /// A self-loop yields `node` itself once; parallel edges yield the same
+    /// neighbor multiple times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.incident_edges(node).map(move |e| e.other(node))
+    }
+
+    /// Number of edges incident to `node` (self-loops count once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Returns the first edge connecting `u` and `v`, if any.
+    #[must_use]
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency.get(u.index())?.iter().copied().find(|&id| {
+            let (a, b) = self.endpoints(id);
+            (a == u && b == v) || (a == v && b == u)
+        })
+    }
+
+    /// Returns `true` if there is at least one edge between `u` and `v`.
+    #[must_use]
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Iterates over node payloads in index order.
+    pub fn node_weights(&self) -> impl ExactSizeIterator<Item = &N> + '_ {
+        self.nodes.iter()
+    }
+
+    /// Total degree divided by node count; 0 for an empty graph.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edges.len() as f64 / self.nodes.len() as f64
+    }
+}
+
+impl<N, E> Default for UnGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (UnGraph<char, u32>, [NodeId; 3], [EdgeId; 3]) {
+        let mut g = UnGraph::new();
+        let a = g.add_node('a');
+        let b = g.add_node('b');
+        let c = g.add_node('c');
+        let ab = g.add_edge(a, b, 1);
+        let bc = g.add_edge(b, c, 2);
+        let ca = g.add_edge(c, a, 3);
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn counts_and_payloads() {
+        let (g, [a, b, c], [ab, ..]) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(*g.node(a), 'a');
+        assert_eq!(*g.node(b), 'b');
+        assert_eq!(*g.node(c), 'c');
+        assert_eq!(g.edge(ab).weight, &1);
+    }
+
+    #[test]
+    fn node_mut_updates_payload() {
+        let (mut g, [a, ..], _) = triangle();
+        *g.node_mut(a) = 'z';
+        assert_eq!(*g.node(a), 'z');
+    }
+
+    #[test]
+    fn edge_weight_mut_updates_payload() {
+        let (mut g, _, [ab, ..]) = triangle();
+        *g.edge_weight_mut(ab) = 42;
+        assert_eq!(g.edge(ab).weight, &42);
+    }
+
+    #[test]
+    fn neighbors_in_insertion_order() {
+        let (g, [a, b, c], _) = triangle();
+        assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.neighbors(b).collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(g.degree(c), 2);
+    }
+
+    #[test]
+    fn endpoints_and_other() {
+        let (g, [a, b, _], [ab, ..]) = triangle();
+        assert_eq!(g.endpoints(ab), (a, b));
+        assert_eq!(g.edge(ab).other(a), b);
+        assert_eq!(g.edge(ab).other(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let (g, [_, _, c], [ab, ..]) = triangle();
+        let _ = g.edge(ab).other(c);
+    }
+
+    #[test]
+    fn find_edge_both_directions() {
+        let (g, [a, b, c], [ab, bc, _]) = triangle();
+        assert_eq!(g.find_edge(a, b), Some(ab));
+        assert_eq!(g.find_edge(b, a), Some(ab));
+        assert_eq!(g.find_edge(c, b), Some(bc));
+        assert!(g.contains_edge(a, c));
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g: UnGraph<(), u32> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e1 = g.add_edge(a, b, 1);
+        let e2 = g.add_edge(a, b, 2);
+        assert_ne!(e1, e2);
+        assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![b, b]);
+        assert_eq!(g.find_edge(a, b), Some(e1));
+    }
+
+    #[test]
+    fn self_loop_counts_once_in_adjacency() {
+        let mut g: UnGraph<(), u32> = UnGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, 7);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_rejects_unknown_node() {
+        let mut g: UnGraph<(), u32> = UnGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId::new(5), 1);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (g, nodes, edges) = triangle();
+        assert_eq!(g.node_ids().collect::<Vec<_>>(), nodes.to_vec());
+        assert_eq!(g.edge_ids().collect::<Vec<_>>(), edges.to_vec());
+        assert_eq!(g.edges().count(), 3);
+        assert_eq!(g.node_weights().copied().collect::<String>(), "abc");
+    }
+
+    #[test]
+    fn average_degree() {
+        let (g, ..) = triangle();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        let empty: UnGraph<(), ()> = UnGraph::new();
+        assert_eq!(empty.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn ids_display_and_convert() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(EdgeId::new(4).to_string(), "e4");
+        assert_eq!(NodeId::from(2).index(), 2);
+        assert_eq!(EdgeId::from(9).index(), 9);
+    }
+}

@@ -1,0 +1,195 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A totally ordered, finite `f64` used as a routing metric.
+///
+/// Entanglement-rate metrics are probabilities and products of
+/// probabilities, so they are always finite and never NaN. `Metric` encodes
+/// that invariant once so that search frontiers can live in a
+/// [`std::collections::BinaryHeap`] without ad-hoc `partial_cmp` unwraps.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::Metric;
+///
+/// let a = Metric::new(0.25);
+/// let b = Metric::new(0.75);
+/// assert!(a < b);
+/// assert_eq!((a * b).value(), 0.1875);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metric(f64);
+
+impl Metric {
+    /// The zero metric (certain failure).
+    pub const ZERO: Metric = Metric(0.0);
+    /// The unit metric (certain success; multiplicative identity).
+    pub const ONE: Metric = Metric(1.0);
+
+    /// Creates a metric from a finite `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "metric must be finite, got {value}");
+        Metric(value)
+    }
+
+    /// Creates a metric, returning `None` for NaN or infinite input.
+    #[must_use]
+    pub fn try_new(value: f64) -> Option<Self> {
+        value.is_finite().then_some(Metric(value))
+    }
+
+    /// Returns the underlying `f64`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two metrics.
+    #[must_use]
+    pub fn max(self, other: Metric) -> Metric {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two metrics.
+    #[must_use]
+    pub fn min(self, other: Metric) -> Metric {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Metric {
+    fn default() -> Self {
+        Metric::ZERO
+    }
+}
+
+impl Eq for Metric {}
+
+impl PartialOrd for Metric {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Metric {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("metric is never NaN")
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Metric> for f64 {
+    fn from(m: Metric) -> f64 {
+        m.0
+    }
+}
+
+impl Add for Metric {
+    type Output = Metric;
+    fn add(self, rhs: Metric) -> Metric {
+        Metric::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Metric {
+    type Output = Metric;
+    fn sub(self, rhs: Metric) -> Metric {
+        Metric::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Metric {
+    type Output = Metric;
+    fn mul(self, rhs: Metric) -> Metric {
+        Metric::new(self.0 * rhs.0)
+    }
+}
+
+impl Div for Metric {
+    type Output = Metric;
+    fn div(self, rhs: Metric) -> Metric {
+        Metric::new(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Metric::new(0.5), Metric::new(0.1), Metric::new(0.9)];
+        v.sort();
+        assert_eq!(v, vec![Metric::new(0.1), Metric::new(0.5), Metric::new(0.9)]);
+    }
+
+    #[test]
+    fn arithmetic_matches_f64() {
+        let a = Metric::new(0.5);
+        let b = Metric::new(0.25);
+        assert_eq!((a + b).value(), 0.75);
+        assert_eq!((a - b).value(), 0.25);
+        assert_eq!((a * b).value(), 0.125);
+        assert_eq!((a / b).value(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric must be finite")]
+    fn nan_rejected() {
+        let _ = Metric::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric must be finite")]
+    fn infinity_rejected() {
+        let _ = Metric::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn try_new_filters_non_finite() {
+        assert!(Metric::try_new(f64::NAN).is_none());
+        assert!(Metric::try_new(f64::NEG_INFINITY).is_none());
+        assert_eq!(Metric::try_new(0.25), Some(Metric::new(0.25)));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Metric::new(0.2);
+        let b = Metric::new(0.8);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Metric::ZERO.value(), 0.0);
+        assert_eq!(Metric::ONE.value(), 1.0);
+        assert_eq!(Metric::default(), Metric::ZERO);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Metric::new(0.25).to_string(), "0.25");
+    }
+}

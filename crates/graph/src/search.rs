@@ -1,0 +1,390 @@
+//! Graph search primitives: Dijkstra (min-sum and max-product), BFS, and
+//! connected components.
+//!
+//! The max-product variant is the skeleton of the paper's Algorithm 1: the
+//! entanglement rate of a path is a product of per-channel success
+//! probabilities and per-switch swap probabilities, all in `(0, 1]`, so the
+//! greedy frontier argument of Dijkstra applies with `max`/`*` in place of
+//! `min`/`+`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeRef, NodeId, UnGraph};
+use crate::metric::Metric;
+use crate::path::Path;
+
+/// Result of a min-sum Dijkstra run from a single source.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Option<f64>>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the source to `node`, or `None` if unreachable.
+    #[must_use]
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        self.dist[node.index()]
+    }
+
+    /// Reconstructs the shortest path from the source to `node`.
+    #[must_use]
+    pub fn path_to(&self, node: NodeId) -> Option<Path> {
+        self.dist[node.index()]?;
+        let mut nodes = vec![node];
+        let mut cur = node;
+        while cur != self.source {
+            cur = self.prev[cur.index()]?;
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path::new(nodes))
+    }
+
+    /// The source node of this run.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+}
+
+/// Classic min-sum Dijkstra with a per-edge cost closure.
+///
+/// Edges for which `cost` returns a negative value are treated as unusable.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or if a cost is NaN.
+pub fn dijkstra<N, E>(
+    graph: &UnGraph<N, E>,
+    source: NodeId,
+    mut cost: impl FnMut(EdgeRef<'_, E>, &E) -> f64,
+) -> ShortestPaths {
+    let n = graph.node_count();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Metric, NodeId)>> = BinaryHeap::new();
+    dist[source.index()] = Some(0.0);
+    heap.push(Reverse((Metric::ZERO, source)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u.index()] != Some(d.value()) {
+            continue; // stale entry
+        }
+        for e in graph.incident_edges(u) {
+            let w = cost(e, e.weight);
+            if w < 0.0 {
+                continue;
+            }
+            assert!(!w.is_nan(), "edge cost must not be NaN");
+            let v = e.other(u);
+            let nd = d.value() + w;
+            if dist[v.index()].is_none_or(|old| nd < old) {
+                dist[v.index()] = Some(nd);
+                prev[v.index()] = Some(u);
+                heap.push(Reverse((Metric::new(nd), v)));
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+/// Result of a max-product Dijkstra run from a single source.
+#[derive(Debug, Clone)]
+pub struct BestRates {
+    source: NodeId,
+    metric: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl BestRates {
+    /// Best (largest) product metric from the source to `node`; `0.0` means
+    /// unreachable.
+    #[must_use]
+    pub fn metric(&self, node: NodeId) -> Metric {
+        Metric::new(self.metric[node.index()])
+    }
+
+    /// Reconstructs the best path to `node`, together with its metric.
+    /// Returns `None` if `node` is unreachable.
+    #[must_use]
+    pub fn path_to(&self, node: NodeId) -> Option<(Path, Metric)> {
+        if self.metric[node.index()] <= 0.0 && node != self.source {
+            return None;
+        }
+        let mut nodes = vec![node];
+        let mut cur = node;
+        while cur != self.source {
+            cur = self.prev[cur.index()]?;
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some((Path::new(nodes), Metric::new(self.metric[node.index()])))
+    }
+}
+
+/// Max-product Dijkstra: finds, for every node, the path from `source`
+/// maximizing the product of edge factors and transit factors.
+///
+/// * `edge_factor(from, e)` — multiplicative success factor in `(0, 1]` for
+///   traversing edge `e` out of node `from`; return `None` to forbid the
+///   traversal (e.g. the far endpoint lacks capacity).
+/// * `transit_factor(u)` — factor charged when a path passes *through*
+///   non-source node `u` (i.e. when an edge leaves `u` after one entered);
+///   return `None` to forbid transit through `u` (it may still be a path
+///   endpoint).
+///
+/// The greedy argument requires all factors to lie in `(0, 1]`, which holds
+/// for probabilities; factors outside that range panic.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or a factor is outside `(0, 1]`.
+pub fn max_product_dijkstra<N, E>(
+    graph: &UnGraph<N, E>,
+    source: NodeId,
+    mut edge_factor: impl FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
+    mut transit_factor: impl FnMut(NodeId) -> Option<f64>,
+) -> BestRates {
+    let n = graph.node_count();
+    let mut metric = vec![0.0_f64; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<(Metric, NodeId)> = BinaryHeap::new();
+    metric[source.index()] = 1.0;
+    heap.push((Metric::ONE, source));
+
+    while let Some((m, u)) = heap.pop() {
+        if metric[u.index()] != m.value() {
+            continue; // stale entry
+        }
+        // Transit factor applies when the path continues through u.
+        let through = if u == source {
+            1.0
+        } else {
+            match transit_factor(u) {
+                Some(t) => {
+                    assert!(t > 0.0 && t <= 1.0, "transit factor must be in (0,1], got {t}");
+                    t
+                }
+                None => continue,
+            }
+        };
+        for e in graph.incident_edges(u) {
+            let Some(f) = edge_factor(u, e) else { continue };
+            assert!(f > 0.0 && f <= 1.0, "edge factor must be in (0,1], got {f}");
+            let v = e.other(u);
+            let nm = m.value() * through * f;
+            if nm > metric[v.index()] {
+                metric[v.index()] = nm;
+                prev[v.index()] = Some(u);
+                heap.push((Metric::new(nm), v));
+            }
+        }
+    }
+    BestRates { source, metric, prev }
+}
+
+/// Hop distances from `source` by breadth-first search; `None` = unreachable.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+#[must_use]
+pub fn bfs_hops<N, E>(graph: &UnGraph<N, E>, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        for v in graph.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Labels every node with a connected-component index in `0..k` and returns
+/// `(labels, k)`.
+#[must_use]
+pub fn connected_components<N, E>(graph: &UnGraph<N, E>) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in graph.node_ids() {
+        if labels[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        labels[start.index()] = next;
+        while let Some(u) = stack.pop() {
+            for v in graph.neighbors(u) {
+                if labels[v.index()] == usize::MAX {
+                    labels[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next)
+}
+
+/// `true` if the graph is non-empty and every node is reachable from node 0.
+#[must_use]
+pub fn is_connected<N, E>(graph: &UnGraph<N, E>) -> bool {
+    if graph.is_empty() {
+        return false;
+    }
+    let (_, k) = connected_components(graph);
+    k == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the weighted graph
+    /// `a --1-- b --1-- d`, `a --4-- c --1-- d`.
+    fn diamond() -> (UnGraph<(), f64>, [NodeId; 4]) {
+        let mut g = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(a, c, 4.0);
+        g.add_edge(c, d, 1.0);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn dijkstra_finds_min_sum() {
+        let (g, [a, b, _c, d]) = diamond();
+        let sp = dijkstra(&g, a, |_, w| *w);
+        assert_eq!(sp.distance(d), Some(2.0));
+        let p = sp.path_to(d).unwrap();
+        assert_eq!(p.nodes(), &[a, b, d]);
+        assert_eq!(sp.source(), a);
+    }
+
+    #[test]
+    fn dijkstra_negative_cost_bans_edge() {
+        let (g, [a, b, c, d]) = diamond();
+        // Ban the a-b edge: the only route is via c.
+        let sp = dijkstra(&g, a, |e, w| {
+            if (e.source, e.target) == (a, b) || (e.source, e.target) == (b, a) {
+                -1.0
+            } else {
+                *w
+            }
+        });
+        assert_eq!(sp.distance(d), Some(5.0));
+        assert_eq!(sp.path_to(d).unwrap().nodes(), &[a, c, d]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let sp = dijkstra(&g, a, |_, w| *w);
+        assert_eq!(sp.distance(b), None);
+        assert!(sp.path_to(b).is_none());
+        assert_eq!(sp.distance(a), Some(0.0));
+        assert_eq!(sp.path_to(a).unwrap().nodes(), &[a]);
+    }
+
+    #[test]
+    fn max_product_prefers_fewer_lossy_hops() {
+        // a-b-d: 0.9 * 0.9 = 0.81 through one transit (0.5) = 0.405
+        // a-d direct: 0.5
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 0.9);
+        g.add_edge(b, d, 0.9);
+        g.add_edge(a, d, 0.5);
+        let best = max_product_dijkstra(&g, a, |_, e| Some(*e.weight), |_| Some(0.5));
+        assert!((best.metric(d).value() - 0.5).abs() < 1e-12);
+        assert_eq!(best.path_to(d).unwrap().0.nodes(), &[a, d]);
+    }
+
+    #[test]
+    fn max_product_uses_transit_when_better() {
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 0.9);
+        g.add_edge(b, d, 0.9);
+        g.add_edge(a, d, 0.5);
+        // With q = 0.9 the two-hop route wins: 0.9^3 = 0.729 > 0.5.
+        let best = max_product_dijkstra(&g, a, |_, e| Some(*e.weight), |_| Some(0.9));
+        assert!((best.metric(d).value() - 0.729).abs() < 1e-12);
+        assert_eq!(best.path_to(d).unwrap().0.nodes(), &[a, b, d]);
+    }
+
+    #[test]
+    fn max_product_forbidden_transit() {
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 0.9);
+        g.add_edge(b, d, 0.9);
+        let best = max_product_dijkstra(&g, a, |_, e| Some(*e.weight), |_| None);
+        // b is reachable as an endpoint but cannot be transited.
+        assert!(best.path_to(b).is_some());
+        assert!(best.path_to(d).is_none());
+    }
+
+    #[test]
+    fn max_product_forbidden_edge() {
+        let (g, [a, b, _c, d]) = diamond();
+        let best = max_product_dijkstra(
+            &g,
+            a,
+            |_, e| {
+                let banned = (e.source == a && e.target == b) || (e.source == b && e.target == a);
+                (!banned).then_some(0.9)
+            },
+            |_| Some(1.0),
+        );
+        assert_eq!(best.path_to(d).unwrap().0.nodes(), &[a, _c, d]);
+    }
+
+    #[test]
+    fn bfs_hops_counts() {
+        let (g, [a, b, c, d]) = diamond();
+        let hops = bfs_hops(&g, a);
+        assert_eq!(hops[a.index()], Some(0));
+        assert_eq!(hops[b.index()], Some(1));
+        assert_eq!(hops[c.index()], Some(1));
+        assert_eq!(hops[d.index()], Some(2));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let (g, _) = diamond();
+        assert!(is_connected(&g));
+        let mut g2: UnGraph<(), f64> = UnGraph::new();
+        let a = g2.add_node(());
+        let _b = g2.add_node(());
+        let c = g2.add_node(());
+        g2.add_edge(a, c, 1.0);
+        let (labels, k) = connected_components(&g2);
+        assert_eq!(k, 2);
+        assert_eq!(labels[a.index()], labels[c.index()]);
+        assert!(!is_connected(&g2));
+        let empty: UnGraph<(), ()> = UnGraph::new();
+        assert!(!is_connected(&empty));
+    }
+}

@@ -1,0 +1,206 @@
+/// Union-find (disjoint-set forest) with path compression and union by rank.
+///
+/// Used for percolation connectivity checks in the Monte Carlo simulator and
+/// as the backbone of the entanglement-group registry.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::DisjointSets;
+///
+/// let mut ds = DisjointSets::new(4);
+/// ds.union(0, 1);
+/// ds.union(2, 3);
+/// assert!(ds.same_set(0, 1));
+/// assert!(!ds.same_set(1, 2));
+/// assert_eq!(ds.set_size(3), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets labelled `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if there are no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct sets.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Adds a new singleton element and returns its label.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.size.push(1);
+        self.sets += 1;
+        id
+    }
+
+    /// Returns the representative of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of bounds.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[ra] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of bounds.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_start_disjoint() {
+        let mut ds = DisjointSets::new(3);
+        assert_eq!(ds.set_count(), 3);
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.same_set(0, 1));
+        assert_eq!(ds.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut ds = DisjointSets::new(5);
+        assert!(ds.union(0, 1));
+        assert!(ds.union(1, 2));
+        assert!(!ds.union(0, 2), "already merged");
+        assert_eq!(ds.set_count(), 3);
+        assert_eq!(ds.set_size(0), 3);
+        assert!(ds.same_set(0, 2));
+        assert!(!ds.same_set(0, 3));
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut ds = DisjointSets::new(1);
+        let id = ds.push();
+        assert_eq!(id, 1);
+        assert_eq!(ds.set_count(), 2);
+        ds.union(0, id);
+        assert_eq!(ds.set_count(), 1);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ds = DisjointSets::new(0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.set_count(), 0);
+    }
+
+    proptest! {
+        /// Union-find must agree with a naive label-propagation model.
+        #[test]
+        fn matches_naive_model(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..60)) {
+            let n = 20;
+            let mut ds = DisjointSets::new(n);
+            let mut labels: Vec<usize> = (0..n).collect();
+            for (a, b) in ops {
+                ds.union(a, b);
+                let (la, lb) = (labels[a], labels[b]);
+                if la != lb {
+                    for l in labels.iter_mut() {
+                        if *l == lb {
+                            *l = la;
+                        }
+                    }
+                }
+            }
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(ds.set_count(), distinct.len());
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(ds.same_set(a, b), labels[a] == labels[b]);
+                }
+            }
+            // Set sizes must sum to n and match the naive model.
+            for a in 0..n {
+                let expected = labels.iter().filter(|&&l| l == labels[a]).count();
+                prop_assert_eq!(ds.set_size(a), expected);
+            }
+        }
+    }
+}

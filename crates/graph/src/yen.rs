@@ -1,0 +1,280 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! The paper's Algorithm 2 reuses Yen's deviation structure with the
+//! entanglement-rate metric of Algorithm 1; this module provides the classic
+//! min-sum formulation used by the topology tooling and the B1 baseline's
+//! region construction, plus it documents and tests the deviation machinery
+//! in its simplest setting.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::graph::{NodeId, UnGraph};
+use crate::metric::Metric;
+use crate::path::Path;
+use crate::search::{dijkstra, ShortestPaths};
+
+/// A path together with its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostedPath {
+    /// The loopless path.
+    pub path: Path,
+    /// Sum of edge costs along the path.
+    pub cost: f64,
+}
+
+fn path_cost<N, E>(
+    graph: &UnGraph<N, E>,
+    path: &Path,
+    cost: &mut impl FnMut(NodeId, NodeId, &E) -> f64,
+) -> f64 {
+    path.hops_iter()
+        .map(|(u, v)| {
+            let e = graph.find_edge(u, v).expect("validated path");
+            let w = graph.edge(e);
+            cost(u, v, w.weight)
+        })
+        .sum()
+}
+
+fn dijkstra_with_bans<N, E>(
+    graph: &UnGraph<N, E>,
+    source: NodeId,
+    banned_nodes: &HashSet<NodeId>,
+    banned_hops: &HashSet<(NodeId, NodeId)>,
+    cost: &mut impl FnMut(NodeId, NodeId, &E) -> f64,
+) -> ShortestPaths {
+    dijkstra(graph, source, |e, w| {
+        let (u, v) = (e.source, e.target);
+        if banned_nodes.contains(&u) || banned_nodes.contains(&v) {
+            return -1.0;
+        }
+        if banned_hops.contains(&(u, v)) || banned_hops.contains(&(v, u)) {
+            return -1.0;
+        }
+        cost(u, v, w)
+    })
+}
+
+/// Finds up to `k` loopless minimum-cost paths from `source` to `target`,
+/// in non-decreasing cost order.
+///
+/// `cost` is evaluated per hop `(u, v, edge payload)` and must be
+/// non-negative; negative costs mark an edge unusable.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::{yen::yen_k_shortest, UnGraph};
+///
+/// let mut g: UnGraph<(), f64> = UnGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 1.0);
+/// g.add_edge(a, c, 3.0);
+///
+/// let paths = yen_k_shortest(&g, a, c, 2, |_, _, w| *w);
+/// assert_eq!(paths.len(), 2);
+/// assert_eq!(paths[0].cost, 2.0);
+/// assert_eq!(paths[1].cost, 3.0);
+/// ```
+pub fn yen_k_shortest<N, E>(
+    graph: &UnGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    mut cost: impl FnMut(NodeId, NodeId, &E) -> f64,
+) -> Vec<CostedPath> {
+    let mut accepted: Vec<CostedPath> = Vec::new();
+    if k == 0 || source == target {
+        return accepted;
+    }
+
+    let first = dijkstra(graph, source, |e, w| cost(e.source, e.target, w));
+    let Some(best) = first.path_to(target) else {
+        return accepted;
+    };
+    let best_cost = path_cost(graph, &best, &mut cost);
+    accepted.push(CostedPath { path: best, cost: best_cost });
+
+    // Min-heap of candidate deviations keyed by cost; the node list is a
+    // tiebreaker so ordering is deterministic.
+    let mut candidates: BinaryHeap<Reverse<(Metric, Vec<NodeId>)>> = BinaryHeap::new();
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    seen.insert(accepted[0].path.nodes().to_vec());
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least one accepted path").path.clone();
+        for i in 0..prev.hops() {
+            let spur_node = prev.nodes()[i];
+            let root = prev.prefix(i);
+
+            // Ban the next hop of every accepted path sharing this root, per
+            // Yen: the spur path must deviate here.
+            let mut banned_hops: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for a in &accepted {
+                if a.path.len() > i + 1 && a.path.nodes()[..=i] == *root.nodes() {
+                    banned_hops.insert((a.path.nodes()[i], a.path.nodes()[i + 1]));
+                }
+            }
+            // Root nodes other than the spur node must not reappear.
+            let banned_nodes: HashSet<NodeId> =
+                root.nodes()[..i].iter().copied().collect();
+
+            let spur_tree =
+                dijkstra_with_bans(graph, spur_node, &banned_nodes, &banned_hops, &mut cost);
+            let Some(spur) = spur_tree.path_to(target) else { continue };
+            let total = root.join(&spur);
+            let nodes = total.nodes().to_vec();
+            if seen.insert(nodes.clone()) {
+                let c = path_cost(graph, &total, &mut cost);
+                candidates.push(Reverse((Metric::new(c), nodes)));
+            }
+        }
+        let Some(Reverse((c, nodes))) = candidates.pop() else { break };
+        accepted.push(CostedPath { path: Path::new(nodes), cost: c.value() });
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The classic Yen example graph.
+    fn yen_example() -> (UnGraph<(), f64>, [NodeId; 6]) {
+        let mut g = UnGraph::new();
+        let c = g.add_node(()); // 0
+        let d = g.add_node(()); // 1
+        let e = g.add_node(()); // 2
+        let f = g.add_node(()); // 3
+        let gg = g.add_node(()); // 4
+        let h = g.add_node(()); // 5
+        g.add_edge(c, d, 3.0);
+        g.add_edge(c, e, 2.0);
+        g.add_edge(d, f, 4.0);
+        g.add_edge(e, d, 1.0);
+        g.add_edge(e, f, 2.0);
+        g.add_edge(e, gg, 3.0);
+        g.add_edge(f, gg, 2.0);
+        g.add_edge(f, h, 1.0);
+        g.add_edge(gg, h, 2.0);
+        (g, [c, d, e, f, gg, h])
+    }
+
+    #[test]
+    fn finds_three_best_paths_in_order() {
+        let (g, [c, _d, e, f, gg, h]) = yen_example();
+        let paths = yen_k_shortest(&g, c, h, 3, |_, _, w| *w);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].path.nodes(), &[c, e, f, h]);
+        assert_eq!(paths[0].cost, 5.0);
+        // The undirected graph has two paths tied at cost 7:
+        // c-e-g-h and c-d-e-f-h. Both ranks 2 and 3 must come from that tie.
+        assert_eq!(paths[1].cost, 7.0);
+        assert_eq!(paths[2].cost, 7.0);
+        let tie: Vec<Vec<NodeId>> =
+            vec![vec![c, e, gg, h], vec![c, _d, e, f, h]];
+        assert!(tie.contains(&paths[1].path.nodes().to_vec()));
+        assert!(tie.contains(&paths[2].path.nodes().to_vec()));
+        assert_ne!(paths[1].path, paths[2].path);
+    }
+
+    #[test]
+    fn paths_are_distinct_and_sorted() {
+        let (g, [c, .., h]) = yen_example();
+        let paths = yen_k_shortest(&g, c, h, 10, |_, _, w| *w);
+        for w in paths.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+            assert_ne!(w[0].path, w[1].path);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_same_endpoints() {
+        let (g, [c, .., h]) = yen_example();
+        assert!(yen_k_shortest(&g, c, h, 0, |_, _, w| *w).is_empty());
+        assert!(yen_k_shortest(&g, c, c, 3, |_, _, w| *w).is_empty());
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert!(yen_k_shortest(&g, a, b, 3, |_, _, w| *w).is_empty());
+    }
+
+    /// Enumerates every simple path between two nodes with DFS.
+    fn all_simple_paths(
+        g: &UnGraph<(), f64>,
+        s: NodeId,
+        t: NodeId,
+    ) -> Vec<(Vec<NodeId>, f64)> {
+        fn dfs(
+            g: &UnGraph<(), f64>,
+            cur: NodeId,
+            t: NodeId,
+            visited: &mut Vec<NodeId>,
+            cost: f64,
+            out: &mut Vec<(Vec<NodeId>, f64)>,
+        ) {
+            if cur == t {
+                out.push((visited.clone(), cost));
+                return;
+            }
+            for e in g.incident_edges(cur) {
+                let v = e.other(cur);
+                if visited.contains(&v) {
+                    continue;
+                }
+                visited.push(v);
+                dfs(g, v, t, visited, cost + *e.weight, out);
+                visited.pop();
+            }
+        }
+        let mut out = Vec::new();
+        let mut visited = vec![s];
+        dfs(g, s, t, &mut visited, 0.0, &mut out);
+        out
+    }
+
+    proptest! {
+        /// On random graphs Yen must return exactly the k cheapest simple
+        /// paths found by brute-force enumeration.
+        #[test]
+        fn matches_brute_force(
+            edges in proptest::collection::vec((0usize..7, 0usize..7, 1u32..10), 1..16),
+            k in 1usize..6,
+        ) {
+            let mut g: UnGraph<(), f64> = UnGraph::new();
+            for _ in 0..7 {
+                g.add_node(());
+            }
+            let mut used = HashSet::new();
+            for (u, v, w) in edges {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if used.insert(key) {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), f64::from(w));
+                }
+            }
+            let s = NodeId::new(0);
+            let t = NodeId::new(6);
+            let yen = yen_k_shortest(&g, s, t, k, |_, _, w| *w);
+            let mut brute = all_simple_paths(&g, s, t);
+            brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            prop_assert_eq!(yen.len(), brute.len().min(k));
+            for (got, want) in yen.iter().zip(brute.iter()) {
+                // Costs must match the brute-force ranking (paths may tie).
+                prop_assert!((got.cost - want.1).abs() < 1e-9,
+                    "cost mismatch: got {} want {}", got.cost, want.1);
+            }
+        }
+    }
+}

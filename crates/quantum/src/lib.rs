@@ -1,0 +1,37 @@
+//! Quantum substrate: GHZ entanglement semantics for the n-fusion routing
+//! stack.
+//!
+//! Two layers back the routing model (paper §II):
+//!
+//! * [`EntanglementRegistry`] — an abstract, fast bookkeeping layer that
+//!   tracks which qubits are entangled into which GHZ groups under
+//!   *create-pair*, *n-fusion* (joint GHZ measurement over n qubits,
+//!   merging n groups) and *1-fusion* (single-qubit Pauli measurement,
+//!   shrinking a group). The Monte Carlo simulator uses this layer.
+//! * [`stabilizer`] — an exact Aaronson-Gottesman stabilizer-tableau
+//!   simulator that executes the actual fusion circuits (CNOTs, Hadamards,
+//!   Z measurements, Pauli corrections) and verifies that the registry's
+//!   bookkeeping matches real GHZ-measurement physics.
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_quantum::EntanglementRegistry;
+//!
+//! let mut reg = EntanglementRegistry::new();
+//! let [a1, m1, m2, a2] = [reg.alloc(), reg.alloc(), reg.alloc(), reg.alloc()];
+//! reg.create_pair(a1, m1)?; // Bell pair held by Alice and the switch
+//! reg.create_pair(m2, a2)?; // Bell pair held by the switch and Bob
+//! reg.fuse(&[m1, m2])?;     // 2-fusion (BSM) inside the switch
+//! assert!(reg.are_entangled(a1, a2));
+//! # Ok::<(), fusion_quantum::RegistryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+
+pub mod stabilizer;
+
+pub use registry::{EntanglementRegistry, FusionOutcome, GroupId, QubitId, RegistryError};

@@ -1,0 +1,555 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::Rng;
+
+/// Identifier of a qubit inside an [`EntanglementRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QubitId(usize);
+
+impl QubitId {
+    /// Raw index of this qubit.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a live GHZ group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(usize);
+
+impl GroupId {
+    /// Raw index of this group.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Errors returned by registry operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The qubit id does not exist in this registry.
+    UnknownQubit(QubitId),
+    /// Expected a free qubit but it is entangled or consumed.
+    NotFree(QubitId),
+    /// Expected an entangled qubit but it is free or consumed.
+    NotEntangled(QubitId),
+    /// A fusion needs at least one measured qubit.
+    EmptyFusion,
+    /// The same qubit was listed twice in one fusion.
+    DuplicateQubit(QubitId),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownQubit(q) => write!(f, "unknown qubit {q}"),
+            RegistryError::NotFree(q) => write!(f, "qubit {q} is not free"),
+            RegistryError::NotEntangled(q) => write!(f, "qubit {q} is not entangled"),
+            RegistryError::EmptyFusion => write!(f, "fusion requires at least one qubit"),
+            RegistryError::DuplicateQubit(q) => write!(f, "qubit {q} listed twice"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Result of a successful fusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionOutcome {
+    /// The surviving GHZ group, or `None` when fewer than two qubits remain
+    /// (the leftover qubit, if any, returns to the free pool).
+    pub group: Option<GroupId>,
+    /// Number of qubits jointly measured (the fusion arity `n`).
+    pub arity: usize,
+    /// Number of qubits in the surviving group (0 when `group` is `None`).
+    pub survivors: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QubitState {
+    Free,
+    Entangled(GroupId),
+    Consumed,
+}
+
+/// Tracks which qubits form which GHZ groups (paper §II-B).
+///
+/// The registry is the abstract counterpart of the stabilizer-circuit layer:
+/// an `n`-fusion jointly measures `n` qubits drawn from one or more GHZ
+/// groups and — on success — leaves all *remaining* qubits of the involved
+/// groups in one larger GHZ state. A failed (probabilistic) fusion destroys
+/// the entanglement of every involved group. A 1-fusion is a single-qubit
+/// Pauli measurement that removes one qubit from its group, turning an
+/// n-GHZ state into an (n-1)-GHZ state.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_quantum::EntanglementRegistry;
+///
+/// let mut reg = EntanglementRegistry::new();
+/// let q: Vec<_> = (0..6).map(|_| reg.alloc()).collect();
+/// reg.create_pair(q[0], q[1])?;
+/// reg.create_pair(q[2], q[3])?;
+/// reg.create_pair(q[4], q[5])?;
+/// // 3-fusion inside a switch holding q1, q2, q4:
+/// let out = reg.fuse(&[q[1], q[2], q[4]])?;
+/// assert_eq!(out.survivors, 3); // q0, q3, q5 now share a 3-GHZ state
+/// assert!(reg.are_entangled(q[0], q[5]));
+/// # Ok::<(), fusion_quantum::RegistryError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EntanglementRegistry {
+    states: Vec<QubitState>,
+    groups: Vec<Option<BTreeSet<QubitId>>>,
+}
+
+impl EntanglementRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh free qubit.
+    pub fn alloc(&mut self) -> QubitId {
+        let id = QubitId(self.states.len());
+        self.states.push(QubitState::Free);
+        id
+    }
+
+    /// Allocates `n` fresh free qubits.
+    pub fn alloc_n(&mut self, n: usize) -> Vec<QubitId> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+
+    /// Total number of qubits ever allocated.
+    #[must_use]
+    pub fn qubit_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of live GHZ groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.is_some()).count()
+    }
+
+    fn state(&self, q: QubitId) -> Result<QubitState, RegistryError> {
+        self.states
+            .get(q.index())
+            .copied()
+            .ok_or(RegistryError::UnknownQubit(q))
+    }
+
+    /// `true` if `q` is free (allocated, not entangled, not consumed).
+    #[must_use]
+    pub fn is_free(&self, q: QubitId) -> bool {
+        matches!(self.state(q), Ok(QubitState::Free))
+    }
+
+    /// The group containing `q`, if it is entangled.
+    #[must_use]
+    pub fn group_of(&self, q: QubitId) -> Option<GroupId> {
+        match self.state(q) {
+            Ok(QubitState::Entangled(g)) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Members of a live group in ascending qubit order.
+    #[must_use]
+    pub fn group_members(&self, g: GroupId) -> Option<Vec<QubitId>> {
+        self.groups
+            .get(g.index())
+            .and_then(|slot| slot.as_ref())
+            .map(|set| set.iter().copied().collect())
+    }
+
+    /// The GHZ arity (member count) of a live group.
+    #[must_use]
+    pub fn group_size(&self, g: GroupId) -> Option<usize> {
+        self.groups.get(g.index()).and_then(|slot| slot.as_ref()).map(BTreeSet::len)
+    }
+
+    /// `true` if `a` and `b` currently share a GHZ state.
+    #[must_use]
+    pub fn are_entangled(&self, a: QubitId, b: QubitId) -> bool {
+        match (self.group_of(a), self.group_of(b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false,
+        }
+    }
+
+    /// Entangles two free qubits into a Bell pair (a 2-GHZ group), the
+    /// result of a successful link-level entanglement attempt (§III-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either qubit is unknown, already entangled,
+    /// consumed, or if `a == b`.
+    pub fn create_pair(&mut self, a: QubitId, b: QubitId) -> Result<GroupId, RegistryError> {
+        if a == b {
+            return Err(RegistryError::DuplicateQubit(a));
+        }
+        for q in [a, b] {
+            match self.state(q)? {
+                QubitState::Free => {}
+                _ => return Err(RegistryError::NotFree(q)),
+            }
+        }
+        let gid = GroupId(self.groups.len());
+        self.groups.push(Some(BTreeSet::from([a, b])));
+        self.states[a.index()] = QubitState::Entangled(gid);
+        self.states[b.index()] = QubitState::Entangled(gid);
+        Ok(gid)
+    }
+
+    fn involved_groups(&self, measured: &[QubitId]) -> Result<Vec<GroupId>, RegistryError> {
+        if measured.is_empty() {
+            return Err(RegistryError::EmptyFusion);
+        }
+        let mut seen = BTreeSet::new();
+        for &q in measured {
+            if !seen.insert(q) {
+                return Err(RegistryError::DuplicateQubit(q));
+            }
+        }
+        let mut groups = Vec::new();
+        for &q in measured {
+            match self.state(q)? {
+                QubitState::Entangled(g) => {
+                    if !groups.contains(&g) {
+                        groups.push(g);
+                    }
+                }
+                _ => return Err(RegistryError::NotEntangled(q)),
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Performs a successful n-fusion: jointly GHZ-measures `measured`,
+    /// merging all involved groups and removing the measured qubits.
+    ///
+    /// With a single qubit this is a Pauli measurement (1-fusion) that
+    /// shrinks its group by one. If fewer than two qubits remain across the
+    /// involved groups, the survivors return to the free pool and no group
+    /// survives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `measured` is empty, repeats a qubit, or contains
+    /// a qubit that is not currently entangled.
+    pub fn fuse(&mut self, measured: &[QubitId]) -> Result<FusionOutcome, RegistryError> {
+        let groups = self.involved_groups(measured)?;
+        let mut merged: BTreeSet<QubitId> = BTreeSet::new();
+        for g in &groups {
+            let members = self.groups[g.index()].take().expect("group is live");
+            merged.extend(members);
+        }
+        for &q in measured {
+            merged.remove(&q);
+            self.states[q.index()] = QubitState::Consumed;
+        }
+        let arity = measured.len();
+        if merged.len() < 2 {
+            for &q in &merged {
+                self.states[q.index()] = QubitState::Free;
+            }
+            return Ok(FusionOutcome { group: None, arity, survivors: 0 });
+        }
+        let gid = GroupId(self.groups.len());
+        for &q in &merged {
+            self.states[q.index()] = QubitState::Entangled(gid);
+        }
+        let survivors = merged.len();
+        self.groups.push(Some(merged));
+        Ok(FusionOutcome { group: Some(gid), arity, survivors })
+    }
+
+    /// Records a *failed* probabilistic fusion: the measured qubits are
+    /// consumed and the entanglement of every involved group is destroyed
+    /// (their surviving members return to the free pool, their states now
+    /// useless for the current quantum state).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EntanglementRegistry::fuse`].
+    pub fn fail_fuse(&mut self, measured: &[QubitId]) -> Result<(), RegistryError> {
+        let groups = self.involved_groups(measured)?;
+        for g in groups {
+            let members = self.groups[g.index()].take().expect("group is live");
+            for q in members {
+                self.states[q.index()] = QubitState::Free;
+            }
+        }
+        for &q in measured {
+            self.states[q.index()] = QubitState::Consumed;
+        }
+        Ok(())
+    }
+
+    /// Attempts a fusion that succeeds with probability `success`, sampling
+    /// from `rng`. Returns the outcome on success, `None` on failure.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EntanglementRegistry::fuse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `success` is outside `[0, 1]`.
+    pub fn try_fuse(
+        &mut self,
+        rng: &mut impl Rng,
+        success: f64,
+        measured: &[QubitId],
+    ) -> Result<Option<FusionOutcome>, RegistryError> {
+        // Validate before sampling so errors do not depend on RNG state.
+        self.involved_groups(measured)?;
+        if rng.gen_bool(success) {
+            Ok(Some(self.fuse(measured)?))
+        } else {
+            self.fail_fuse(measured)?;
+            Ok(None)
+        }
+    }
+
+    /// Pauli-measures `q` out of its group (1-fusion): an n-GHZ state
+    /// becomes an (n-1)-GHZ state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` is not entangled.
+    pub fn measure_out(&mut self, q: QubitId) -> Result<FusionOutcome, RegistryError> {
+        self.fuse(&[q])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reg_with_pairs(n: usize) -> (EntanglementRegistry, Vec<(QubitId, QubitId)>) {
+        let mut reg = EntanglementRegistry::new();
+        let pairs: Vec<_> = (0..n)
+            .map(|_| {
+                let a = reg.alloc();
+                let b = reg.alloc();
+                reg.create_pair(a, b).unwrap();
+                (a, b)
+            })
+            .collect();
+        (reg, pairs)
+    }
+
+    #[test]
+    fn create_pair_entangles() {
+        let (reg, pairs) = reg_with_pairs(1);
+        let (a, b) = pairs[0];
+        assert!(reg.are_entangled(a, b));
+        assert_eq!(reg.group_count(), 1);
+        let g = reg.group_of(a).unwrap();
+        assert_eq!(reg.group_size(g), Some(2));
+        assert_eq!(reg.group_members(g).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn create_pair_rejects_entangled() {
+        let (mut reg, pairs) = reg_with_pairs(1);
+        let (a, _) = pairs[0];
+        let c = reg.alloc();
+        assert_eq!(reg.create_pair(a, c), Err(RegistryError::NotFree(a)));
+        assert_eq!(reg.create_pair(c, c), Err(RegistryError::DuplicateQubit(c)));
+    }
+
+    #[test]
+    fn bsm_swapping_is_two_fusion() {
+        // Fig. 1a: the switch holds one qubit of each Bell pair and fuses.
+        let (mut reg, pairs) = reg_with_pairs(2);
+        let (alice, sw1) = pairs[0];
+        let (sw2, bob) = pairs[1];
+        let out = reg.fuse(&[sw1, sw2]).unwrap();
+        assert_eq!(out.arity, 2);
+        assert_eq!(out.survivors, 2);
+        assert!(reg.are_entangled(alice, bob));
+        assert!(!reg.is_free(sw1), "measured qubits are consumed");
+        assert_eq!(reg.group_of(sw1), None);
+    }
+
+    #[test]
+    fn three_fusion_merges_three_groups() {
+        // Fig. 1b / Fig. 2: a 3-GHZ measurement fuses three links at once.
+        let (mut reg, pairs) = reg_with_pairs(3);
+        let measured: Vec<_> = pairs.iter().map(|&(_, m)| m).collect();
+        let out = reg.fuse(&measured).unwrap();
+        assert_eq!(out.arity, 3);
+        assert_eq!(out.survivors, 3);
+        let far: Vec<_> = pairs.iter().map(|&(a, _)| a).collect();
+        assert!(reg.are_entangled(far[0], far[1]));
+        assert!(reg.are_entangled(far[1], far[2]));
+        let g = out.group.unwrap();
+        assert_eq!(reg.group_members(g).unwrap(), far);
+    }
+
+    #[test]
+    fn fusion_within_single_group_shrinks_it() {
+        // Fusing two qubits of the same 4-GHZ group leaves a 2-GHZ group.
+        let (mut reg, pairs) = reg_with_pairs(2);
+        let (a, m1) = pairs[0];
+        let (m2, b) = pairs[1];
+        reg.fuse(&[m1, m2]).unwrap(); // (a, b) Bell
+        let (c, m3) = {
+            let c = reg.alloc();
+            let m = reg.alloc();
+            reg.create_pair(c, m).unwrap();
+            (c, m)
+        };
+        let out = reg.fuse(&[b, m3]).unwrap(); // chain to 2-GHZ on {a, c}
+        assert_eq!(out.survivors, 2);
+        assert!(reg.are_entangled(a, c));
+    }
+
+    #[test]
+    fn pauli_measurement_shrinks_group() {
+        let (mut reg, pairs) = reg_with_pairs(3);
+        let measured: Vec<_> = pairs.iter().map(|&(_, m)| m).collect();
+        let out = reg.fuse(&measured).unwrap();
+        let g = out.group.unwrap();
+        let members = reg.group_members(g).unwrap();
+        let out2 = reg.measure_out(members[0]).unwrap();
+        assert_eq!(out2.arity, 1);
+        assert_eq!(out2.survivors, 2);
+        assert!(reg.are_entangled(members[1], members[2]));
+    }
+
+    #[test]
+    fn measuring_down_to_one_frees_the_survivor() {
+        let (mut reg, pairs) = reg_with_pairs(1);
+        let (a, b) = pairs[0];
+        let out = reg.measure_out(a).unwrap();
+        assert_eq!(out.group, None);
+        assert_eq!(out.survivors, 0);
+        assert!(reg.is_free(b), "lone survivor returns to the free pool");
+        assert_eq!(reg.group_count(), 0);
+    }
+
+    #[test]
+    fn failed_fusion_destroys_involved_groups() {
+        let (mut reg, pairs) = reg_with_pairs(2);
+        let (alice, sw1) = pairs[0];
+        let (sw2, bob) = pairs[1];
+        reg.fail_fuse(&[sw1, sw2]).unwrap();
+        assert!(!reg.are_entangled(alice, bob));
+        assert!(reg.is_free(alice));
+        assert!(reg.is_free(bob));
+        assert!(!reg.is_free(sw1), "measured qubits are consumed even on failure");
+        assert_eq!(reg.group_count(), 0);
+    }
+
+    #[test]
+    fn try_fuse_samples_success() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (mut reg, pairs) = reg_with_pairs(2);
+        let (_, sw1) = pairs[0];
+        let (sw2, _) = pairs[1];
+        let out = reg.try_fuse(&mut rng, 1.0, &[sw1, sw2]).unwrap();
+        assert!(out.is_some());
+
+        let (mut reg2, pairs2) = reg_with_pairs(2);
+        let out2 = reg2.try_fuse(&mut rng, 0.0, &[pairs2[0].1, pairs2[1].0]).unwrap();
+        assert!(out2.is_none());
+    }
+
+    #[test]
+    fn fuse_validates_inputs() {
+        let (mut reg, pairs) = reg_with_pairs(1);
+        let (a, _) = pairs[0];
+        let free = reg.alloc();
+        assert_eq!(reg.fuse(&[]), Err(RegistryError::EmptyFusion));
+        assert_eq!(reg.fuse(&[a, a]), Err(RegistryError::DuplicateQubit(a)));
+        assert_eq!(reg.fuse(&[free]), Err(RegistryError::NotEntangled(free)));
+        assert_eq!(
+            reg.fuse(&[QubitId(999)]),
+            Err(RegistryError::UnknownQubit(QubitId(999)))
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(RegistryError::EmptyFusion.to_string(), "fusion requires at least one qubit");
+        assert_eq!(RegistryError::NotFree(QubitId(3)).to_string(), "qubit q3 is not free");
+    }
+
+    proptest! {
+        /// Random fusion workloads must preserve the partition invariants:
+        /// every entangled qubit belongs to exactly one live group, every
+        /// live group has >= 2 members, consumed qubits belong to none, and
+        /// a successful merge of k groups with m measured qubits leaves
+        /// sum(sizes) - m survivors.
+        #[test]
+        fn partition_invariants(ops in proptest::collection::vec((0usize..40, 0usize..40), 1..60)) {
+            let (mut reg, pairs) = reg_with_pairs(20);
+            let qubits: Vec<QubitId> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+            for (i, j) in ops {
+                let (a, b) = (qubits[i], qubits[j]);
+                // Attempt a 2-fusion when both are entangled; expected
+                // survivor count is checked when the fusion is legal.
+                let ga = reg.group_of(a);
+                let gb = reg.group_of(b);
+                match (ga, gb) {
+                    (Some(ga), Some(gb)) if a != b => {
+                        let before: usize = if ga == gb {
+                            reg.group_size(ga).unwrap()
+                        } else {
+                            reg.group_size(ga).unwrap() + reg.group_size(gb).unwrap()
+                        };
+                        let out = reg.fuse(&[a, b]).unwrap();
+                        let expect = before - 2;
+                        if expect >= 2 {
+                            prop_assert_eq!(out.survivors, expect);
+                        } else {
+                            prop_assert_eq!(out.group, None);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Partition invariants over the final state.
+            let mut seen_in_groups = std::collections::HashSet::new();
+            for gi in 0..reg.groups.len() {
+                if let Some(members) = reg.group_members(GroupId(gi)) {
+                    prop_assert!(members.len() >= 2, "live group below Bell size");
+                    for q in members {
+                        prop_assert_eq!(reg.group_of(q), Some(GroupId(gi)));
+                        prop_assert!(seen_in_groups.insert(q), "qubit in two groups");
+                    }
+                }
+            }
+            for &q in &qubits {
+                if reg.group_of(q).is_none() {
+                    prop_assert!(!seen_in_groups.contains(&q));
+                }
+            }
+        }
+    }
+}

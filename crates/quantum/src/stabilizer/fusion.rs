@@ -1,0 +1,239 @@
+//! Circuit-level GHZ fusion (paper §II-B, Figs. 1-2).
+//!
+//! An n-fusion jointly measures one qubit from each of n GHZ groups in the
+//! GHZ basis. The measurement circuit is the textbook one: CNOT fan-in from
+//! the first measured qubit to the others, a Hadamard on the first, then
+//! Z-basis measurements everywhere; the classical outcomes select Pauli
+//! corrections that rotate the survivors onto the canonical GHZ state.
+
+use rand::Rng;
+
+use super::tableau::Tableau;
+
+/// Fuses the listed GHZ `groups` by jointly measuring `measured[i]` (which
+/// must belong to `groups[i]`) in the GHZ basis, then applies the
+/// outcome-dependent Pauli corrections. Afterwards every unmeasured member
+/// of every group shares one canonical GHZ state.
+///
+/// Returns the measurement outcomes (first entry is the X-basis outcome of
+/// the fan-in qubit, the rest are Z-basis outcomes).
+///
+/// # Panics
+///
+/// Panics if `groups` is empty, lengths differ, some `measured[i]` is not a
+/// member of `groups[i]`, or a group has fewer than 2 members.
+pub fn fuse_groups(
+    tab: &mut Tableau,
+    groups: &[Vec<usize>],
+    measured: &[usize],
+    rng: &mut impl Rng,
+) -> Vec<bool> {
+    assert!(!groups.is_empty(), "fusion needs at least one group");
+    assert_eq!(groups.len(), measured.len(), "one measured qubit per group");
+    for (g, &m) in groups.iter().zip(measured) {
+        assert!(g.contains(&m), "measured qubit {m} not in its group");
+        assert!(g.len() >= 2, "groups must hold at least a Bell pair");
+    }
+
+    // GHZ-basis measurement circuit.
+    let pivot = measured[0];
+    for &m in &measured[1..] {
+        tab.cnot(pivot, m);
+    }
+    tab.h(pivot);
+    let outcomes: Vec<bool> = measured.iter().map(|&m| tab.measure_z(m, rng)).collect();
+
+    // Bit-flip corrections: a `1` on measured[i] (i >= 1) means group i is
+    // X-flipped relative to group 0; flip all its survivors back.
+    for (i, group) in groups.iter().enumerate().skip(1) {
+        if outcomes[i] {
+            for &q in group {
+                if q != measured[i] {
+                    tab.x(q);
+                }
+            }
+        }
+    }
+    // Phase correction: a `1` on the fan-in (X-basis) qubit flips the
+    // relative sign of the |1…1⟩ branch; one Z anywhere fixes it.
+    if outcomes[0] {
+        let survivor = groups
+            .iter()
+            .zip(measured)
+            .flat_map(|(g, &m)| g.iter().copied().filter(move |&q| q != m))
+            .next()
+            .expect("every group has a survivor");
+        tab.z(survivor);
+    }
+    outcomes
+}
+
+/// Removes qubit `q` from its GHZ `group` with a single-qubit X-basis
+/// measurement (1-fusion): an n-GHZ state becomes an (n-1)-GHZ state.
+/// Returns the measurement outcome.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `group` or the group has fewer than 2 members.
+pub fn measure_out_x(
+    tab: &mut Tableau,
+    group: &[usize],
+    q: usize,
+    rng: &mut impl Rng,
+) -> bool {
+    assert!(group.contains(&q), "qubit {q} not in group");
+    assert!(group.len() >= 2, "group must hold at least a Bell pair");
+    tab.h(q);
+    let outcome = tab.measure_z(q, rng);
+    if outcome {
+        let survivor = group.iter().copied().find(|&s| s != q).expect("len >= 2");
+        tab.z(survivor);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Prepares `sizes.len()` disjoint GHZ groups on a fresh tableau and
+    /// returns (tableau, groups).
+    fn prepare(sizes: &[usize]) -> (Tableau, Vec<Vec<usize>>) {
+        let total: usize = sizes.iter().sum();
+        let mut tab = Tableau::new(total);
+        let mut groups = Vec::new();
+        let mut next = 0;
+        for &s in sizes {
+            let group: Vec<usize> = (next..next + s).collect();
+            tab.prepare_ghz(&group);
+            groups.push(group);
+            next += s;
+        }
+        (tab, groups)
+    }
+
+    fn survivors(groups: &[Vec<usize>], measured: &[usize]) -> Vec<usize> {
+        groups
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|q| !measured.contains(q))
+            .collect()
+    }
+
+    #[test]
+    fn bsm_swapping_yields_bell_pair() {
+        // Two Bell pairs fused through a switch: the classic swap (Fig. 1a).
+        for seed in 0..25 {
+            let (mut tab, groups) = prepare(&[2, 2]);
+            let measured = vec![groups[0][1], groups[1][0]];
+            let mut rng = StdRng::seed_from_u64(seed);
+            fuse_groups(&mut tab, &groups, &measured, &mut rng);
+            let s = survivors(&groups, &measured);
+            assert!(tab.is_ghz(&s), "seed {seed}: swap must yield a Bell pair");
+        }
+    }
+
+    #[test]
+    fn three_fusion_yields_ghz() {
+        // Fig. 1b: a 3-GHZ measurement fusing three Bell pairs.
+        for seed in 0..25 {
+            let (mut tab, groups) = prepare(&[2, 2, 2]);
+            let measured = vec![groups[0][1], groups[1][0], groups[2][0]];
+            let mut rng = StdRng::seed_from_u64(seed);
+            fuse_groups(&mut tab, &groups, &measured, &mut rng);
+            let s = survivors(&groups, &measured);
+            assert_eq!(s.len(), 3);
+            assert!(tab.is_ghz(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fig2_six_ghz_from_three_groups() {
+        // Fig. 2: three processor sets (sizes 3, 3, 3) fused into a 6-GHZ
+        // state by measuring one qubit of each.
+        for seed in 0..10 {
+            let (mut tab, groups) = prepare(&[3, 3, 3]);
+            let measured = vec![groups[0][2], groups[1][0], groups[2][0]];
+            let mut rng = StdRng::seed_from_u64(seed);
+            fuse_groups(&mut tab, &groups, &measured, &mut rng);
+            let s = survivors(&groups, &measured);
+            assert_eq!(s.len(), 6);
+            assert!(tab.is_ghz(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn measure_out_shrinks_ghz() {
+        // 1-fusion: n-GHZ -> (n-1)-GHZ (paper §II-B, n = 1 case).
+        for seed in 0..25 {
+            let (mut tab, groups) = prepare(&[4]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            measure_out_x(&mut tab, &groups[0], groups[0][1], &mut rng);
+            assert!(tab.is_ghz(&[0, 2, 3]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chained_fusions_build_long_range_entanglement() {
+        // A 3-switch repeater chain: 4 Bell pairs, 3 successive swaps.
+        for seed in 0..10 {
+            let (mut tab, groups) = prepare(&[2, 2, 2, 2]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Swap at switch 1 joins pairs 0,1.
+            fuse_groups(
+                &mut tab,
+                &groups[0..2],
+                &[groups[0][1], groups[1][0]],
+                &mut rng,
+            );
+            let g01 = vec![groups[0][0], groups[1][1]];
+            // Swap at switch 2 joins the result with pair 2.
+            fuse_groups(
+                &mut tab,
+                &[g01.clone(), groups[2].clone()],
+                &[g01[1], groups[2][0]],
+                &mut rng,
+            );
+            let g012 = vec![g01[0], groups[2][1]];
+            // Swap at switch 3 joins with pair 3.
+            fuse_groups(
+                &mut tab,
+                &[g012.clone(), groups[3].clone()],
+                &[g012[1], groups[3][0]],
+                &mut rng,
+            );
+            assert!(tab.is_ghz(&[groups[0][0], groups[3][1]]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in its group")]
+    fn fuse_rejects_foreign_qubit() {
+        let (mut tab, groups) = prepare(&[2, 2]);
+        let mut rng = StdRng::seed_from_u64(0);
+        fuse_groups(&mut tab, &groups, &[groups[0][0], groups[0][1]], &mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Fusing k random-size GHZ groups always yields the canonical GHZ
+        /// state on all survivors, for any RNG seed (i.e. any measurement
+        /// outcome pattern).
+        #[test]
+        fn fusion_always_yields_canonical_ghz(
+            sizes in proptest::collection::vec(2usize..5, 1..4),
+            seed in 0u64..1000,
+        ) {
+            let (mut tab, groups) = prepare(&sizes);
+            let measured: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            fuse_groups(&mut tab, &groups, &measured, &mut rng);
+            let s = survivors(&groups, &measured);
+            prop_assert!(tab.is_ghz(&s));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Exact stabilizer-circuit simulation of GHZ measurements.
+//!
+//! The routing layers treat an n-fusion as an abstract "merge these GHZ
+//! groups" step; this module grounds that abstraction. [`Tableau`] is an
+//! Aaronson-Gottesman stabilizer simulator (CHP-style) and [`fusion`]
+//! executes the actual GHZ-basis measurement circuits — CNOT fan-in,
+//! Hadamard, Z measurements, conditional Pauli corrections — proving that a
+//! successful n-fusion over n groups leaves the survivors in exactly the
+//! canonical GHZ state `(|0…0⟩ + |1…1⟩)/√2` (paper §II-B).
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_quantum::stabilizer::Tableau;
+//!
+//! let mut tab = Tableau::new(3);
+//! tab.prepare_ghz(&[0, 1, 2]);
+//! assert!(tab.is_ghz(&[0, 1, 2]));
+//! assert!(!tab.is_ghz(&[0, 1]));
+//! ```
+
+mod fusion;
+mod pauli;
+mod tableau;
+
+pub use fusion::{fuse_groups, measure_out_x};
+pub use pauli::PauliString;
+pub use tableau::Tableau;

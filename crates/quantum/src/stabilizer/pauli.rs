@@ -1,0 +1,187 @@
+use std::fmt;
+
+/// A signed n-qubit Pauli operator in the symplectic `(x, z)` encoding.
+///
+/// Qubit `j` carries `I`, `X`, `Z`, or `Y` according to `(x[j], z[j])` being
+/// `(0,0)`, `(1,0)`, `(0,1)`, or `(1,1)`. `negative` flips the global sign.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_quantum::stabilizer::PauliString;
+///
+/// // The X⊗X⊗X stabilizer of a 3-qubit GHZ state.
+/// let xs = PauliString::x_string(3, &[0, 1, 2]);
+/// assert_eq!(xs.to_string(), "+XXX");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    negative: bool,
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        PauliString { x: vec![false; n], z: vec![false; n], negative: false }
+    }
+
+    /// An operator with `X` on each listed qubit and identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of bounds.
+    #[must_use]
+    pub fn x_string(n: usize, qubits: &[usize]) -> Self {
+        let mut p = Self::identity(n);
+        for &q in qubits {
+            assert!(q < n, "qubit {q} out of bounds for {n}-qubit operator");
+            p.x[q] = true;
+        }
+        p
+    }
+
+    /// An operator with `Z` on each listed qubit and identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of bounds.
+    #[must_use]
+    pub fn z_string(n: usize, qubits: &[usize]) -> Self {
+        let mut p = Self::identity(n);
+        for &q in qubits {
+            assert!(q < n, "qubit {q} out of bounds for {n}-qubit operator");
+            p.z[q] = true;
+        }
+        p
+    }
+
+    /// Flips the global sign and returns the operator.
+    #[must_use]
+    pub fn negated(mut self) -> Self {
+        self.negative = !self.negative;
+        self
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` for the zero-qubit operator.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// `true` if the global sign is negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// X bit of qubit `j`.
+    #[must_use]
+    pub fn x_bit(&self, j: usize) -> bool {
+        self.x[j]
+    }
+
+    /// Z bit of qubit `j`.
+    #[must_use]
+    pub fn z_bit(&self, j: usize) -> bool {
+        self.z[j]
+    }
+
+    /// `true` when the unsigned parts of `self` and `other` are equal.
+    #[must_use]
+    pub fn same_unsigned(&self, other: &PauliString) -> bool {
+        self.x == other.x && self.z == other.z
+    }
+
+    /// `true` if the two operators commute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "operator size mismatch");
+        let mut anti = false;
+        for j in 0..self.len() {
+            // Single-qubit Paulis anticommute iff they differ and neither
+            // is the identity: symplectic product x1·z2 + z1·x2 (mod 2).
+            anti ^= (self.x[j] && other.z[j]) ^ (self.z[j] && other.x[j]);
+        }
+        !anti
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.negative { '-' } else { '+' })?;
+        for j in 0..self.len() {
+            let c = match (self.x[j], self.z[j]) {
+                (false, false) => 'I',
+                (true, false) => 'X',
+                (false, true) => 'Z',
+                (true, true) => 'Y',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bits() {
+        let p = PauliString::x_string(3, &[0, 2]);
+        assert_eq!(p.to_string(), "+XIX");
+        assert!(p.x_bit(0) && !p.x_bit(1));
+        let q = PauliString::z_string(3, &[1]).negated();
+        assert_eq!(q.to_string(), "-IZI");
+        assert!(q.is_negative());
+    }
+
+    #[test]
+    fn commutation_rules() {
+        let x0 = PauliString::x_string(2, &[0]);
+        let z0 = PauliString::z_string(2, &[0]);
+        let z1 = PauliString::z_string(2, &[1]);
+        let xx = PauliString::x_string(2, &[0, 1]);
+        let zz = PauliString::z_string(2, &[0, 1]);
+        assert!(!x0.commutes_with(&z0), "X and Z on the same qubit anticommute");
+        assert!(x0.commutes_with(&z1), "disjoint supports commute");
+        assert!(xx.commutes_with(&zz), "two anticommuting sites cancel");
+        assert!(xx.commutes_with(&xx));
+    }
+
+    #[test]
+    fn same_unsigned_ignores_sign() {
+        let p = PauliString::x_string(2, &[0]);
+        let n = p.clone().negated();
+        assert!(p.same_unsigned(&n));
+        assert_ne!(p, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let _ = PauliString::x_string(2, &[2]);
+    }
+
+    #[test]
+    fn identity_is_empty_of_support() {
+        let p = PauliString::identity(4);
+        assert_eq!(p.to_string(), "+IIII");
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert!(PauliString::identity(0).is_empty());
+    }
+}

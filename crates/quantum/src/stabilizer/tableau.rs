@@ -1,0 +1,425 @@
+use rand::Rng;
+
+use super::pauli::PauliString;
+
+/// One row of the tableau: a signed Pauli in symplectic form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    r: bool, // true = -1 phase
+}
+
+impl Row {
+    fn zero(n: usize) -> Self {
+        Row { x: vec![false; n], z: vec![false; n], r: false }
+    }
+}
+
+/// Aaronson-Gottesman stabilizer tableau over `n` qubits.
+///
+/// Rows `0..n` hold destabilizer generators, rows `n..2n` stabilizer
+/// generators; the state starts as `|0…0⟩`. Supports the Clifford gates and
+/// Z-basis measurements needed by GHZ fusion circuits.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_quantum::stabilizer::Tableau;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tab = Tableau::new(2);
+/// tab.h(0);
+/// tab.cnot(0, 1); // Bell pair
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let a = tab.measure_z(0, &mut rng);
+/// let b = tab.measure_z(1, &mut rng);
+/// assert_eq!(a, b, "Bell-pair Z outcomes are perfectly correlated");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    rows: Vec<Row>, // 2n generator rows + 1 scratch row
+}
+
+impl Tableau {
+    /// Creates the `|0…0⟩` state on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let mut rows = vec![Row::zero(n); 2 * n + 1];
+        for i in 0..n {
+            rows[i].x[i] = true; // destabilizer X_i
+            rows[n + i].z[i] = true; // stabilizer Z_i
+        }
+        Tableau { n, rows }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    fn check(&self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of bounds for {} qubits", self.n);
+    }
+
+    /// Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        self.check(q);
+        for row in &mut self.rows[..2 * self.n] {
+            row.r ^= row.x[q] & row.z[q];
+            std::mem::swap(&mut row.x[q], &mut row.z[q]);
+        }
+    }
+
+    /// Phase gate S on qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        self.check(q);
+        for row in &mut self.rows[..2 * self.n] {
+            row.r ^= row.x[q] & row.z[q];
+            row.z[q] ^= row.x[q];
+        }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either is out of bounds.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check(c);
+        self.check(t);
+        assert_ne!(c, t, "cnot control and target must differ");
+        for row in &mut self.rows[..2 * self.n] {
+            row.r ^= row.x[c] & row.z[t] & (row.x[t] ^ row.z[c] ^ true);
+            row.x[t] ^= row.x[c];
+            row.z[c] ^= row.z[t];
+        }
+    }
+
+    /// Pauli X on qubit `q`.
+    pub fn x(&mut self, q: usize) {
+        self.check(q);
+        for row in &mut self.rows[..2 * self.n] {
+            row.r ^= row.z[q];
+        }
+    }
+
+    /// Pauli Z on qubit `q`.
+    pub fn z(&mut self, q: usize) {
+        self.check(q);
+        for row in &mut self.rows[..2 * self.n] {
+            row.r ^= row.x[q];
+        }
+    }
+
+    /// The phase exponent contribution of multiplying single-qubit Paulis
+    /// `(x1,z1) · (x2,z2)`: returns the power of `i` in `{-1, 0, 1}`.
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// `rows[h] := rows[h] * rows[i]` with exact phase tracking.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * (self.rows[h].r as i32) + 2 * (self.rows[i].r as i32);
+        for j in 0..self.n {
+            phase += Self::g(
+                self.rows[i].x[j],
+                self.rows[i].z[j],
+                self.rows[h].x[j],
+                self.rows[h].z[j],
+            );
+        }
+        phase = phase.rem_euclid(4);
+        debug_assert!(phase == 0 || phase == 2, "hermitian products have real sign");
+        let (xi, zi): (Vec<bool>, Vec<bool>) =
+            (self.rows[i].x.clone(), self.rows[i].z.clone());
+        let row_h = &mut self.rows[h];
+        row_h.r = phase == 2;
+        for j in 0..self.n {
+            row_h.x[j] ^= xi[j];
+            row_h.z[j] ^= zi[j];
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis and returns the outcome bit.
+    ///
+    /// Deterministic outcomes are computed exactly; non-deterministic ones
+    /// are sampled uniformly from `rng` and the tableau collapses
+    /// accordingly.
+    pub fn measure_z(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        self.check(q);
+        let n = self.n;
+        // A stabilizer with X support on q makes the outcome random.
+        let random_row = (n..2 * n).find(|&i| self.rows[i].x[q]);
+        match random_row {
+            Some(p) => {
+                for i in 0..2 * n {
+                    if i != p && self.rows[i].x[q] {
+                        self.rowsum(i, p);
+                    }
+                }
+                self.rows[p - n] = self.rows[p].clone();
+                let outcome = rng.gen_bool(0.5);
+                let row = &mut self.rows[p];
+                for j in 0..n {
+                    row.x[j] = false;
+                    row.z[j] = false;
+                }
+                row.z[q] = true;
+                row.r = outcome;
+                outcome
+            }
+            None => {
+                // Deterministic: accumulate the relevant stabilizers into
+                // the scratch row (index 2n).
+                let scratch = 2 * n;
+                self.rows[scratch] = Row::zero(n);
+                for i in 0..n {
+                    if self.rows[i].x[q] {
+                        self.rowsum(scratch, i + n);
+                    }
+                }
+                self.rows[scratch].r
+            }
+        }
+    }
+
+    /// Entangles `qubits` (which must currently be in `|0⟩`) into the
+    /// canonical GHZ state via `H` plus a CNOT fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty or repeats an index.
+    pub fn prepare_ghz(&mut self, qubits: &[usize]) {
+        assert!(!qubits.is_empty(), "GHZ preparation needs at least one qubit");
+        let mut seen = std::collections::HashSet::new();
+        for &q in qubits {
+            assert!(seen.insert(q), "qubit {q} repeated");
+        }
+        self.h(qubits[0]);
+        for &q in &qubits[1..] {
+            self.cnot(qubits[0], q);
+        }
+    }
+
+    /// Tests whether `±P` is in the stabilizer group of the current state.
+    ///
+    /// Returns `Some(true)` if `+P` stabilizes the state, `Some(false)` if
+    /// `-P` does, and `None` if the unsigned operator is not in the group
+    /// at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has the wrong number of qubits.
+    #[must_use]
+    pub fn stabilizes(&mut self, p: &PauliString) -> Option<bool> {
+        assert_eq!(p.len(), self.n, "operator size mismatch");
+        let n = self.n;
+        // Membership test: P (unsigned) lies in <stabilizers> iff the
+        // product of the stabilizers indexed by the destabilizers that
+        // anticommute with P reproduces P's symplectic vector.
+        let scratch = 2 * n;
+        self.rows[scratch] = Row::zero(n);
+        for i in 0..n {
+            // Symplectic product of destabilizer row i with P.
+            let mut anti = false;
+            for j in 0..n {
+                anti ^= (self.rows[i].x[j] && p.z_bit(j)) ^ (self.rows[i].z[j] && p.x_bit(j));
+            }
+            if anti {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        let same = (0..n)
+            .all(|j| self.rows[scratch].x[j] == p.x_bit(j) && self.rows[scratch].z[j] == p.z_bit(j));
+        if !same {
+            return None;
+        }
+        Some(self.rows[scratch].r == p.is_negative())
+    }
+
+    /// `true` when the listed qubits are exactly in the canonical GHZ state
+    /// `(|0…0⟩ + |1…1⟩)/√2` (for one qubit, `|+⟩`), unentangled with the
+    /// rest of the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty or out of bounds.
+    #[must_use]
+    pub fn is_ghz(&mut self, qubits: &[usize]) -> bool {
+        assert!(!qubits.is_empty(), "GHZ check needs at least one qubit");
+        let xs = PauliString::x_string(self.n, qubits);
+        if self.stabilizes(&xs) != Some(true) {
+            return false;
+        }
+        for w in qubits.windows(2) {
+            let zz = PauliString::z_string(self.n, w);
+            if self.stabilizes(&zz) != Some(true) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn fresh_state_is_all_zero() {
+        let mut tab = Tableau::new(3);
+        let mut r = rng();
+        for q in 0..3 {
+            assert!(!tab.measure_z(q, &mut r), "|000> must measure 0 deterministically");
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut tab = Tableau::new(2);
+        tab.x(1);
+        let mut r = rng();
+        assert!(!tab.measure_z(0, &mut r));
+        assert!(tab.measure_z(1, &mut r));
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let mut tab = Tableau::new(1);
+        tab.h(0);
+        tab.h(0);
+        let mut r = rng();
+        assert!(!tab.measure_z(0, &mut r));
+    }
+
+    #[test]
+    fn plus_state_measures_randomly_but_consistently() {
+        // After measuring |+> once, re-measuring must repeat the outcome.
+        for seed in 0..20 {
+            let mut tab = Tableau::new(1);
+            tab.h(0);
+            let mut r = StdRng::seed_from_u64(seed);
+            let first = tab.measure_z(0, &mut r);
+            let second = tab.measure_z(0, &mut r);
+            assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn plus_state_outcomes_are_actually_random() {
+        let mut ones = 0;
+        for seed in 0..200 {
+            let mut tab = Tableau::new(1);
+            tab.h(0);
+            let mut r = StdRng::seed_from_u64(seed);
+            if tab.measure_z(0, &mut r) {
+                ones += 1;
+            }
+        }
+        assert!((50..150).contains(&ones), "observed {ones}/200 ones");
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        for seed in 0..20 {
+            let mut tab = Tableau::new(2);
+            tab.h(0);
+            tab.cnot(0, 1);
+            let mut r = StdRng::seed_from_u64(seed);
+            let a = tab.measure_z(0, &mut r);
+            let b = tab.measure_z(1, &mut r);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_stabilizers_verified() {
+        let mut tab = Tableau::new(4);
+        tab.prepare_ghz(&[0, 1, 2, 3]);
+        assert!(tab.is_ghz(&[0, 1, 2, 3]));
+        // Subsets of a GHZ state are not GHZ states.
+        assert!(!tab.is_ghz(&[0, 1, 2]));
+        assert!(!tab.is_ghz(&[0, 1]));
+        // The X-string with a minus sign is not a stabilizer.
+        let xs = PauliString::x_string(4, &[0, 1, 2, 3]).negated();
+        assert_eq!(tab.stabilizes(&xs), Some(false));
+        // An operator outside the group.
+        let x0 = PauliString::x_string(4, &[0]);
+        assert_eq!(tab.stabilizes(&x0), None);
+    }
+
+    #[test]
+    fn ghz_measurement_collapse() {
+        for seed in 0..10 {
+            let mut tab = Tableau::new(3);
+            tab.prepare_ghz(&[0, 1, 2]);
+            let mut r = StdRng::seed_from_u64(seed);
+            let a = tab.measure_z(0, &mut r);
+            // Z-measuring one GHZ qubit collapses all others to match.
+            assert_eq!(tab.measure_z(1, &mut r), a);
+            assert_eq!(tab.measure_z(2, &mut r), a);
+        }
+    }
+
+    #[test]
+    fn z_after_h_gives_minus() {
+        // Z|+> = |->, whose X stabilizer has a minus sign.
+        let mut tab = Tableau::new(1);
+        tab.h(0);
+        tab.z(0);
+        let x = PauliString::x_string(1, &[0]);
+        assert_eq!(tab.stabilizes(&x), Some(false));
+        assert!(!tab.is_ghz(&[0]));
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        // S|+> is stabilized by Y = iXZ; X alone no longer stabilizes.
+        let mut tab = Tableau::new(1);
+        tab.h(0);
+        tab.s(0);
+        let x = PauliString::x_string(1, &[0]);
+        assert_eq!(tab.stabilizes(&x), None);
+    }
+
+    #[test]
+    fn single_qubit_ghz_is_plus() {
+        let mut tab = Tableau::new(2);
+        tab.h(0);
+        assert!(tab.is_ghz(&[0]));
+        assert!(!tab.is_ghz(&[1]), "|0> is not |+>");
+    }
+
+    #[test]
+    #[should_panic(expected = "control and target must differ")]
+    fn cnot_rejects_same_qubit() {
+        let mut tab = Tableau::new(2);
+        tab.cnot(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gates_bounds_checked() {
+        let mut tab = Tableau::new(2);
+        tab.h(2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Fast per-round outcome sampling for routed demands.
+//!
+//! Under n-fusion a demanded state is established exactly when its source
+//! and destination users are connected in the random subgraph where each
+//! routed channel is up (`1-(1-p)^w`) and each participating switch's GHZ
+//! fusion succeeded (`q`) — a failed fusion loses every link the switch
+//! held for the state (§III-C). Under classic swapping each accepted path
+//! is a bundle of pre-committed lanes; the state is established when some
+//! lane survives every hop and every intermediate BSM.
+
+use std::collections::HashMap;
+
+use fusion_core::{DemandPlan, QuantumNetwork, SwapMode};
+use fusion_graph::{DisjointSets, NodeId};
+use rand::Rng;
+
+/// Samples one protocol round for a demand routed under `mode`.
+/// Returns `true` when the demanded state is established.
+pub fn sample_round(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    mode: SwapMode,
+    rng: &mut impl Rng,
+) -> bool {
+    match mode {
+        SwapMode::NFusion => sample_flow_round(net, plan, rng),
+        SwapMode::Classic => sample_classic_round(net, plan, rng),
+    }
+}
+
+/// One n-fusion round: percolation over the flow-like graph.
+pub fn sample_flow_round(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    rng: &mut impl Rng,
+) -> bool {
+    let flow = &plan.flow;
+    if flow.is_empty() {
+        return false;
+    }
+    let nodes = flow.nodes();
+    let index: HashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // Sample switch fusions once per state per switch.
+    let q = net.swap_success();
+    let switch_up: Vec<bool> = nodes
+        .iter()
+        .map(|&n| !net.is_switch(n) || rng.gen_bool(q))
+        .collect();
+
+    let mut sets = DisjointSets::new(nodes.len());
+    for (u, v, w) in flow.edges() {
+        let Some((edge, _)) = net.hop(u, v) else { continue };
+        let (ui, vi) = (index[&u], index[&v]);
+        if !switch_up[ui] || !switch_up[vi] {
+            continue;
+        }
+        if rng.gen_bool(net.channel_success(edge, w)) {
+            sets.union(ui, vi);
+        }
+    }
+    let (Some(&s), Some(&d)) = (index.get(&flow.source()), index.get(&flow.sink())) else {
+        return false;
+    };
+    sets.same_set(s, d)
+}
+
+/// One classic-swapping round: each accepted path carries the state on a
+/// single pre-committed lane — one link per hop, one BSM per intermediate
+/// switch (the paper's classic model, see
+/// `fusion_core::metrics::classic`).
+pub fn sample_classic_round(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    rng: &mut impl Rng,
+) -> bool {
+    let q = net.swap_success();
+    'path: for wp in &plan.paths {
+        let hops: Option<Vec<f64>> = wp
+            .hops()
+            .map(|(u, v, _)| net.hop(u, v).map(|(_, p)| p))
+            .collect();
+        let Some(hops) = hops else { continue };
+        // The lane's link on every hop must herald successfully.
+        for &p in &hops {
+            if !rng.gen_bool(p) {
+                continue 'path;
+            }
+        }
+        // Every intermediate BSM must succeed.
+        for _ in 0..hops.len().saturating_sub(1) {
+            if !rng.gen_bool(q) {
+                continue 'path;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::{metrics, Demand, DemandId, WidthedPath};
+    use fusion_graph::Path;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_plan(p: f64, q: f64, width: u32) -> (QuantumNetwork, DemandPlan) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v1 = b.switch(1.0, 0.0, 100);
+        let v2 = b.switch(2.0, 0.0, 100);
+        let d = b.user(3.0, 0.0);
+        b.link(s, v1).unwrap();
+        b.link(v1, v2).unwrap();
+        b.link(v2, d).unwrap();
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(p));
+        net.set_swap_success(q);
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        let path = Path::new(vec![s, v1, v2, d]);
+        plan.flow.add_path(&path, width);
+        plan.paths.push(WidthedPath::uniform(path, width));
+        (net, plan)
+    }
+
+    fn estimate(
+        net: &QuantumNetwork,
+        plan: &DemandPlan,
+        mode: SwapMode,
+        rounds: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0usize;
+        for _ in 0..rounds {
+            if sample_round(net, plan, mode, &mut rng) {
+                hits += 1;
+            }
+        }
+        hits as f64 / rounds as f64
+    }
+
+    #[test]
+    fn nfusion_sampling_matches_eq1_on_paths() {
+        let (net, plan) = chain_plan(0.5, 0.8, 2);
+        let analytic = metrics::flow_rate(&net, &plan.flow).value();
+        let measured = estimate(&net, &plan, SwapMode::NFusion, 40_000, 7);
+        assert!(
+            (measured - analytic).abs() < 0.01,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn nfusion_sampling_matches_eq1_on_branching_flow() {
+        // Two disjoint branches: series-parallel, Eq. 1 is exact.
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v1 = b.switch(1.0, 1.0, 100);
+        let v2 = b.switch(1.0, -1.0, 100);
+        let d = b.user(2.0, 0.0);
+        for (u, v) in [(s, v1), (v1, d), (s, v2), (v2, d)] {
+            b.link(u, v).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(0.4));
+        net.set_swap_success(0.7);
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        plan.flow.add_path(&Path::new(vec![s, v1, d]), 1);
+        plan.flow.add_path(&Path::new(vec![s, v2, d]), 2);
+        plan.paths.push(WidthedPath::uniform(Path::new(vec![s, v1, d]), 1));
+
+        let analytic = metrics::flow_rate(&net, &plan.flow).value();
+        let measured = estimate(&net, &plan, SwapMode::NFusion, 40_000, 11);
+        assert!(
+            (measured - analytic).abs() < 0.01,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn classic_sampling_matches_single_lane_formula() {
+        let (net, plan) = chain_plan(0.5, 0.8, 2);
+        let analytic = plan.rate(&net, SwapMode::Classic);
+        let measured = estimate(&net, &plan, SwapMode::Classic, 40_000, 13);
+        assert!(
+            (measured - analytic).abs() < 0.01,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn empty_plans_never_succeed() {
+        let (net, mut plan) = chain_plan(0.9, 0.9, 1);
+        plan.paths.clear();
+        plan.flow = fusion_core::FlowGraph::new(plan.demand.source, plan.demand.dest);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!sample_round(&net, &plan, SwapMode::NFusion, &mut rng));
+        assert!(!sample_round(&net, &plan, SwapMode::Classic, &mut rng));
+    }
+
+    #[test]
+    fn perfect_network_always_succeeds() {
+        let (net, plan) = {
+            let (mut net, plan) = chain_plan(1.0, 1.0, 1);
+            net.set_uniform_link_success(Some(1.0));
+            (net, plan)
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(sample_round(&net, &plan, SwapMode::NFusion, &mut rng));
+            assert!(sample_round(&net, &plan, SwapMode::Classic, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Plan-level Monte Carlo rate estimation.
+//!
+//! Demands own disjoint qubits once routed, so their round outcomes are
+//! independent: the network entanglement rate is estimated per demand and
+//! summed. The parallel variant shards rounds across threads with
+//! independent seeded RNGs, keeping results reproducible for a fixed
+//! `(seed, threads)` pair.
+
+use fusion_core::{NetworkPlan, QuantumNetwork};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::connectivity::sample_round;
+use crate::stats::RateEstimate;
+
+/// Monte Carlo estimate of a routed network's entanglement rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanEstimate {
+    /// Per-demand success-probability estimates, in demand order.
+    pub per_demand: Vec<RateEstimate>,
+    /// Number of rounds simulated.
+    pub rounds: usize,
+}
+
+impl PlanEstimate {
+    /// The estimated network entanglement rate (sum of demand means).
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.per_demand.iter().map(|e| e.mean).sum()
+    }
+
+    /// Standard error of the total rate (demands are independent).
+    #[must_use]
+    pub fn total_stderr(&self) -> f64 {
+        self.per_demand
+            .iter()
+            .map(|e| e.stderr * e.stderr)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Estimates the plan's entanglement rate over `rounds` Monte Carlo rounds.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn estimate_plan(
+    net: &QuantumNetwork,
+    plan: &NetworkPlan,
+    rounds: usize,
+    seed: u64,
+) -> PlanEstimate {
+    assert!(rounds > 0, "need at least one round");
+    let per_demand = plan
+        .plans
+        .iter()
+        .enumerate()
+        .map(|(i, dp)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let mut hits = 0usize;
+            for _ in 0..rounds {
+                if sample_round(net, dp, plan.mode, &mut rng) {
+                    hits += 1;
+                }
+            }
+            RateEstimate::from_successes(hits, rounds)
+        })
+        .collect();
+    PlanEstimate { per_demand, rounds }
+}
+
+/// Parallel variant of [`estimate_plan`]: rounds are split over `threads`
+/// workers with derived seeds.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0` or `threads == 0`.
+#[must_use]
+pub fn estimate_plan_parallel(
+    net: &QuantumNetwork,
+    plan: &NetworkPlan,
+    rounds: usize,
+    seed: u64,
+    threads: usize,
+) -> PlanEstimate {
+    assert!(rounds > 0, "need at least one round");
+    assert!(threads > 0, "need at least one thread");
+    let per_thread = rounds.div_ceil(threads);
+    let total_rounds = per_thread * threads;
+    let hits: Vec<Mutex<usize>> =
+        plan.plans.iter().map(|_| Mutex::new(0usize)).collect();
+
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let hits = &hits;
+            let plan = &plan;
+            let net = &net;
+            scope.spawn(move |_| {
+                for (i, dp) in plan.plans.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(
+                        seed.wrapping_add((t * plan.plans.len() + i) as u64 ^ 0x9e37_79b9),
+                    );
+                    let mut local = 0usize;
+                    for _ in 0..per_thread {
+                        if sample_round(net, dp, plan.mode, &mut rng) {
+                            local += 1;
+                        }
+                    }
+                    *hits[i].lock() += local;
+                }
+            });
+        }
+    })
+    .expect("simulation workers must not panic");
+
+    let per_demand = hits
+        .into_iter()
+        .map(|h| RateEstimate::from_successes(h.into_inner(), total_rounds))
+        .collect();
+    PlanEstimate { per_demand, rounds: total_rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::algorithms::alg_n_fusion;
+    use fusion_core::{Demand, NetworkParams};
+    use fusion_topology::TopologyConfig;
+
+    fn routed_world() -> (QuantumNetwork, NetworkPlan) {
+        let topo = TopologyConfig {
+            num_switches: 25,
+            num_user_pairs: 4,
+            avg_degree: 6.0,
+            ..TopologyConfig::default()
+        }
+        .generate(21);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        let plan = alg_n_fusion(&net, &demands);
+        (net, plan)
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let (net, plan) = routed_world();
+        let est = estimate_plan(&net, &plan, 8_000, 3);
+        let analytic = plan.total_rate(&net);
+        // Eq. 1 is exact on series-parallel flows and optimistic on
+        // reconvergent ones, so simulation may only undershoot — and by a
+        // bounded amount per demand.
+        assert!(
+            est.total_rate() <= analytic + 4.0 * est.total_stderr(),
+            "simulation exceeded the analytic bound: {} vs {analytic}",
+            est.total_rate()
+        );
+        let max_gap = 0.12 * plan.plans.len() as f64 + 4.0 * est.total_stderr();
+        assert!(
+            analytic - est.total_rate() < max_gap,
+            "Eq. 1 optimism too large: simulated {} vs analytic {analytic}",
+            est.total_rate()
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_statistics() {
+        let (net, plan) = routed_world();
+        let serial = estimate_plan(&net, &plan, 4_000, 9);
+        let parallel = estimate_plan_parallel(&net, &plan, 4_000, 9, 4);
+        assert!(
+            (serial.total_rate() - parallel.total_rate()).abs()
+                < 4.0 * (serial.total_stderr() + parallel.total_stderr()) + 0.05,
+            "serial {} vs parallel {}",
+            serial.total_rate(),
+            parallel.total_rate()
+        );
+        assert!(parallel.rounds >= 4_000);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_per_seed_and_threads() {
+        let (net, plan) = routed_world();
+        let a = estimate_plan_parallel(&net, &plan, 2_000, 5, 3);
+        let b = estimate_plan_parallel(&net, &plan, 2_000, 5, 3);
+        assert_eq!(a.total_rate(), b.total_rate());
+    }
+
+    #[test]
+    fn estimates_are_probabilities() {
+        let (net, plan) = routed_world();
+        let est = estimate_plan(&net, &plan, 500, 1);
+        for d in &est.per_demand {
+            assert!((0.0..=1.0).contains(&d.mean));
+        }
+        assert!(est.total_rate() <= plan.plans.len() as f64);
+    }
+}

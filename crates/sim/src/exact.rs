@@ -1,0 +1,189 @@
+//! Exact reliability of flow-like graphs by exhaustive enumeration.
+//!
+//! The connectivity reliability — the probability that source and sink are
+//! joined when every channel is up with `1-(1-p)^w` and every switch with
+//! `q` — is the ground truth that Equation 1 approximates (it is exact on
+//! branch-disjoint flow graphs and optimistic wherever branches reconverge
+//! before the sink). This
+//! module enumerates all `2^(channels + switches)` outcomes, so keep flows
+//! below ~22 elements; it exists to validate Eq. 1 and the Monte Carlo
+//! samplers, and to power the Eq.-1-accuracy ablation.
+
+use std::collections::HashMap;
+
+use fusion_core::{FlowGraph, QuantumNetwork};
+use fusion_graph::{DisjointSets, NodeId};
+
+/// Exact probability that the flow graph's source and sink end up
+/// connected.
+///
+/// # Panics
+///
+/// Panics if the flow graph has more than 22 random elements
+/// (channels + participating switches); enumeration would be intractable.
+#[must_use]
+pub fn flow_reliability(net: &QuantumNetwork, flow: &FlowGraph) -> f64 {
+    if flow.is_empty() {
+        return 0.0;
+    }
+    let nodes = flow.nodes();
+    let index: HashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // Random elements: channels (with their up-probabilities) and switches.
+    let channels: Vec<(usize, usize, f64)> = flow
+        .edges()
+        .filter_map(|(u, v, w)| {
+            let (edge, _) = net.hop(u, v)?;
+            Some((index[&u], index[&v], net.channel_success(edge, w)))
+        })
+        .collect();
+    let switches: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| net.is_switch(n))
+        .map(|(i, _)| i)
+        .collect();
+
+    let elements = channels.len() + switches.len();
+    assert!(
+        elements <= 22,
+        "exact enumeration over {elements} elements is intractable"
+    );
+
+    let q = net.swap_success();
+    let s = index[&flow.source()];
+    let d = index[&flow.sink()];
+    let mut total = 0.0;
+    for mask in 0u32..(1 << elements) {
+        let mut prob = 1.0;
+        let mut sets = DisjointSets::new(nodes.len());
+        // Switch states occupy the high bits.
+        let mut switch_up = vec![true; nodes.len()];
+        for (bit, &sw) in switches.iter().enumerate() {
+            let up = mask >> (channels.len() + bit) & 1 == 1;
+            prob *= if up { q } else { 1.0 - q };
+            switch_up[sw] = up;
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        for (bit, &(u, v, c)) in channels.iter().enumerate() {
+            let up = mask >> bit & 1 == 1;
+            prob *= if up { c } else { 1.0 - c };
+            if up && switch_up[u] && switch_up[v] {
+                sets.union(u, v);
+            }
+        }
+        if prob > 0.0 && sets.same_set(s, d) {
+            total += prob;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::metrics;
+    use fusion_graph::Path;
+
+    fn uniform_net(
+        links: &[(usize, usize)],
+        users: &[usize],
+        n: usize,
+        p: f64,
+        q: f64,
+    ) -> (QuantumNetwork, Vec<NodeId>) {
+        let mut b = QuantumNetwork::builder();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                if users.contains(&i) {
+                    b.user(i as f64, 0.0)
+                } else {
+                    b.switch(i as f64, 0.0, 100)
+                }
+            })
+            .collect();
+        for &(u, v) in links {
+            b.link(ids[u], ids[v]).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(p));
+        net.set_swap_success(q);
+        (net, ids)
+    }
+
+    #[test]
+    fn path_reliability_matches_eq1() {
+        let (net, ids) =
+            uniform_net(&[(0, 1), (1, 2), (2, 3)], &[0, 3], 4, 0.45, 0.85);
+        let mut flow = FlowGraph::new(ids[0], ids[3]);
+        flow.add_path(&Path::new(ids.clone()), 2);
+        let exact = flow_reliability(&net, &flow);
+        let eq1 = metrics::flow_rate(&net, &flow).value();
+        assert!((exact - eq1).abs() < 1e-9, "exact {exact} vs eq1 {eq1}");
+    }
+
+    #[test]
+    fn parallel_branches_match_eq1() {
+        // Branch-disjoint: S -> {v1, v2} -> D.
+        let (net, ids) =
+            uniform_net(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 3], 4, 0.5, 0.8);
+        let mut flow = FlowGraph::new(ids[0], ids[3]);
+        flow.add_path(&Path::new(vec![ids[0], ids[1], ids[3]]), 1);
+        flow.add_path(&Path::new(vec![ids[0], ids[2], ids[3]]), 1);
+        let exact = flow_reliability(&net, &flow);
+        let eq1 = metrics::flow_rate(&net, &flow).value();
+        assert!((exact - eq1).abs() < 1e-9, "exact {exact} vs eq1 {eq1}");
+    }
+
+    #[test]
+    fn diamond_reconvergence_eq1_is_optimistic() {
+        // S -> {x, y} -> m -> D: the shared suffix breaks branch
+        // independence; Eq. 1 double-counts the m->D segment.
+        let (net, ids) = uniform_net(
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+            &[0, 4],
+            5,
+            0.5,
+            0.8,
+        );
+        let mut flow = FlowGraph::new(ids[0], ids[4]);
+        flow.add_path(&Path::new(vec![ids[0], ids[1], ids[3], ids[4]]), 1);
+        flow.add_path(&Path::new(vec![ids[0], ids[2], ids[3], ids[4]]), 1);
+        let exact = flow_reliability(&net, &flow);
+        let eq1 = metrics::flow_rate(&net, &flow).value();
+        assert!(
+            eq1 >= exact - 1e-12,
+            "Eq. 1 must be optimistic on reconvergent flows: {eq1} vs {exact}"
+        );
+        assert!(eq1 - exact < 0.15, "gap should stay moderate: {eq1} vs {exact}");
+    }
+
+    #[test]
+    fn perfect_elements_connect_certainly() {
+        let (net, ids) = uniform_net(&[(0, 1), (1, 2)], &[0, 2], 3, 1.0, 1.0);
+        let mut flow = FlowGraph::new(ids[0], ids[2]);
+        flow.add_path(&Path::new(ids.clone()), 1);
+        assert!((flow_reliability(&net, &flow) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_flow_is_zero() {
+        let (net, ids) = uniform_net(&[(0, 1)], &[0], 2, 0.5, 0.9);
+        let flow = FlowGraph::new(ids[0], ids[1]);
+        assert_eq!(flow_reliability(&net, &flow), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn oversized_flow_rejected() {
+        // A 24-hop chain has 24 channels + 23 switches > 22 elements.
+        let links: Vec<(usize, usize)> = (0..24).map(|i| (i, i + 1)).collect();
+        let (net, ids) = uniform_net(&links, &[0, 24], 25, 0.5, 0.9);
+        let mut flow = FlowGraph::new(ids[0], ids[24]);
+        flow.add_path(&Path::new(ids.clone()), 1);
+        let _ = flow_reliability(&net, &flow);
+    }
+}

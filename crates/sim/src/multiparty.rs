@@ -1,0 +1,126 @@
+//! Monte Carlo sampling for the multiparty GHZ extension
+//! (`fusion_core::multiparty`).
+//!
+//! One round of a star plan: every branch must deliver its member's qubit
+//! to the hub (per-hop channel sampling, per-intermediate-switch fusion
+//! sampling), then the hub's single k-way GHZ fusion must succeed.
+
+use fusion_core::multiparty::StarPlan;
+use fusion_core::QuantumNetwork;
+use rand::Rng;
+
+use crate::stats::RateEstimate;
+
+/// Samples one protocol round for a star plan. Returns `true` when the
+/// k-party GHZ state is established.
+pub fn sample_star_round(
+    net: &QuantumNetwork,
+    star: &StarPlan,
+    rng: &mut impl Rng,
+) -> bool {
+    if !star.is_complete() {
+        return false;
+    }
+    let q = net.swap_success();
+    for wp in &star.branches {
+        // Every hop channel of the branch must come up...
+        for (u, v, w) in wp.hops() {
+            let Some((edge, _)) = net.hop(u, v) else { return false };
+            if !rng.gen_bool(net.channel_success(edge, w)) {
+                return false;
+            }
+        }
+        // ...and every intermediate switch must fuse its two sides.
+        for &mid in wp.path.intermediates() {
+            if net.is_switch(mid) && !rng.gen_bool(q) {
+                return false;
+            }
+        }
+    }
+    // The hub stitches all k branches with one GHZ measurement.
+    rng.gen_bool(q)
+}
+
+/// Estimates the establishment probability of a star over `rounds` rounds.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn estimate_star(
+    net: &QuantumNetwork,
+    star: &StarPlan,
+    rounds: usize,
+    rng: &mut impl Rng,
+) -> RateEstimate {
+    assert!(rounds > 0, "need at least one round");
+    let mut hits = 0;
+    for _ in 0..rounds {
+        if sample_star_round(net, star, rng) {
+            hits += 1;
+        }
+    }
+    RateEstimate::from_successes(hits, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::multiparty::{route_multiparty, MultipartyConfig, MultipartyDemand};
+    use fusion_core::{DemandId, NetworkParams};
+    use fusion_graph::NodeId;
+    use fusion_topology::TopologyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn routed_star() -> (fusion_core::QuantumNetwork, StarPlan) {
+        let topo = TopologyConfig {
+            num_switches: 30,
+            num_user_pairs: 3,
+            avg_degree: 6.0,
+            ..TopologyConfig::default()
+        }
+        .generate(9);
+        let net = fusion_core::QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let members: Vec<NodeId> =
+            net.graph().node_ids().filter(|&n| net.is_user(n)).take(3).collect();
+        let demand = MultipartyDemand::new(DemandId::new(0), members);
+        let out = route_multiparty(&net, &[demand], &MultipartyConfig::default());
+        let star = out.stars.into_iter().next().expect("one star");
+        assert!(star.is_complete());
+        (net, star)
+    }
+
+    #[test]
+    fn sampling_matches_analytic_star_rate() {
+        let (net, star) = routed_star();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = estimate_star(&net, &star, 30_000, &mut rng);
+        let analytic = star.rate(&net);
+        assert!(
+            est.is_consistent_with(analytic, 0.01),
+            "star: analytic {analytic} vs sampled {} ± {}",
+            est.mean,
+            est.stderr
+        );
+    }
+
+    #[test]
+    fn incomplete_star_never_establishes() {
+        let (net, mut star) = routed_star();
+        star.hub = None;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!sample_star_round(&net, &star, &mut rng));
+    }
+
+    #[test]
+    fn perfect_network_always_establishes() {
+        let (mut net, star) = routed_star();
+        net.set_uniform_link_success(Some(1.0));
+        net.set_swap_success(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(sample_star_round(&net, &star, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Protocol-level simulation of Phase III (paper §III-B) driving the
+//! quantum substrate.
+//!
+//! Where [`crate::connectivity`] samples outcomes abstractly, this module
+//! walks the actual entanglement machinery per round:
+//!
+//! 1. **Link generation** — every parallel link of every routed channel
+//!    attempts heralded entanglement; successes become Bell pairs in an
+//!    [`EntanglementRegistry`], one qubit pinned at each endpoint.
+//! 2. **Fusion** — every switch in the flow measures all its qubits for
+//!    the state in one GHZ-basis measurement. Fusions are simultaneous:
+//!    a failed fusion destroys the Bell pairs it touched (at measurement
+//!    time every involved qubit is still in its own pair), a successful
+//!    fusion merges its surviving pairs; a switch left with a single live
+//!    qubit measures it out (1-fusion).
+//! 3. **Verification** — the state is established when the source and
+//!    destination users hold qubits of one common GHZ group; the group is
+//!    then trimmed to a Bell pair by Pauli-measuring spectators, ready for
+//!    teleportation (§II-B).
+//!
+//! The simulator also recomputes each round's verdict with plain
+//! percolation connectivity and asserts the two agree — the registry and
+//! the paper's Eq.-1 world model are equivalent round by round.
+
+use std::collections::HashMap;
+
+use fusion_core::{DemandPlan, QuantumNetwork};
+use fusion_graph::{DisjointSets, NodeId};
+use fusion_quantum::{EntanglementRegistry, QubitId};
+use rand::Rng;
+
+/// Outcome of one protocol round for one demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Whether the demanded state was established.
+    pub established: bool,
+    /// Bell pairs generated across all channels this round.
+    pub links_generated: usize,
+    /// GHZ fusions attempted (arity >= 2).
+    pub fusions_attempted: usize,
+    /// GHZ fusions that succeeded.
+    pub fusions_succeeded: usize,
+}
+
+/// Simulates one full protocol round for a routed demand, returning the
+/// outcome. See the module docs for the phase structure.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the registry verdict ever disagrees with
+/// percolation connectivity — that would mean the quantum bookkeeping and
+/// the analytic model diverged.
+pub fn simulate_round(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    rng: &mut impl Rng,
+) -> RoundOutcome {
+    let flow = &plan.flow;
+    if flow.is_empty() {
+        return RoundOutcome {
+            established: false,
+            links_generated: 0,
+            fusions_attempted: 0,
+            fusions_succeeded: 0,
+        };
+    }
+
+    let mut registry = EntanglementRegistry::new();
+    // Per-node qubits pinned for this state, in flow-node order.
+    let mut held: HashMap<NodeId, Vec<QubitId>> = HashMap::new();
+    let mut links_generated = 0usize;
+
+    // Phase III.1: heralded link-level entanglement on every parallel link.
+    let mut live_links: Vec<(NodeId, NodeId)> = Vec::new();
+    for (u, v, width) in flow.edges() {
+        let Some((_, p)) = net.hop(u, v) else { continue };
+        for _ in 0..width {
+            if rng.gen_bool(p) {
+                let qu = registry.alloc();
+                let qv = registry.alloc();
+                registry.create_pair(qu, qv).expect("fresh qubits");
+                held.entry(u).or_default().push(qu);
+                held.entry(v).or_default().push(qv);
+                live_links.push((u, v));
+                links_generated += 1;
+            }
+        }
+    }
+
+    // Phase III.2: simultaneous fusions at every participating switch.
+    let nodes = flow.nodes();
+    let mut fusions_attempted = 0usize;
+    let mut fusions_succeeded = 0usize;
+    let mut switch_up: HashMap<NodeId, bool> = HashMap::new();
+    for &node in &nodes {
+        if !net.is_switch(node) {
+            continue;
+        }
+        let up = rng.gen_bool(net.swap_success());
+        switch_up.insert(node, up);
+    }
+    // Failed fusions resolve first: at measurement time every qubit is
+    // still in its own Bell pair, so the damage is local to those pairs.
+    // A pair between two failed switches dies at whichever fusion is
+    // processed first; the second switch then simply holds dead qubits.
+    for (&node, &up) in &switch_up {
+        if up {
+            continue;
+        }
+        let qubits: Vec<QubitId> = held
+            .get(&node)
+            .map(|qs| {
+                qs.iter()
+                    .copied()
+                    .filter(|&q| registry.group_of(q).is_some())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if qubits.is_empty() {
+            continue;
+        }
+        fusions_attempted += usize::from(qubits.len() >= 2);
+        registry.fail_fuse(&qubits).expect("filtered to entangled qubits");
+    }
+    // Successful fusions merge whatever survived.
+    for (&node, &up) in &switch_up {
+        if !up {
+            continue;
+        }
+        let qubits: Vec<QubitId> = held
+            .get(&node)
+            .map(|qs| {
+                qs.iter()
+                    .copied()
+                    .filter(|&q| registry.group_of(q).is_some())
+                    .collect()
+            })
+            .unwrap_or_default();
+        match qubits.len() {
+            0 => {}
+            1 => {
+                // Dangling link end: Pauli-measure it out (1-fusion).
+                registry.measure_out(qubits[0]).expect("entangled");
+            }
+            _ => {
+                fusions_attempted += 1;
+                registry.fuse(&qubits).expect("entangled");
+                fusions_succeeded += 1;
+            }
+        }
+    }
+
+    // Phase III.3: do the users share a group?
+    let empty = Vec::new();
+    let s_qubits = held.get(&flow.source()).unwrap_or(&empty);
+    let d_qubits = held.get(&flow.sink()).unwrap_or(&empty);
+    let mut witness: Option<(QubitId, QubitId)> = None;
+    'outer: for &sq in s_qubits {
+        for &dq in d_qubits {
+            if registry.are_entangled(sq, dq) {
+                witness = Some((sq, dq));
+                break 'outer;
+            }
+        }
+    }
+    let established = witness.is_some();
+
+    // Cross-check against percolation connectivity on the same outcomes.
+    debug_assert_eq!(
+        established,
+        connectivity_verdict(net, plan, &live_links, &switch_up),
+        "registry and percolation semantics diverged"
+    );
+
+    // Trim the shared group down to a Bell pair for teleportation.
+    if let Some((sq, dq)) = witness {
+        let group = registry.group_of(sq).expect("witnessed group");
+        let members = registry.group_members(group).expect("live group");
+        for member in members {
+            if member != sq && member != dq {
+                registry.measure_out(member).expect("member of live group");
+            }
+        }
+        debug_assert!(registry.are_entangled(sq, dq));
+        debug_assert_eq!(
+            registry.group_of(sq).and_then(|g| registry.group_size(g)),
+            Some(2),
+            "trimming must leave exactly a Bell pair"
+        );
+    }
+
+    RoundOutcome { established, links_generated, fusions_attempted, fusions_succeeded }
+}
+
+/// Recomputes the round verdict by percolation over the sampled outcomes.
+fn connectivity_verdict(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    live_links: &[(NodeId, NodeId)],
+    switch_up: &HashMap<NodeId, bool>,
+) -> bool {
+    let nodes = plan.flow.nodes();
+    let index: HashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut sets = DisjointSets::new(nodes.len());
+    let up = |n: NodeId| !net.is_switch(n) || *switch_up.get(&n).unwrap_or(&false);
+    for &(u, v) in live_links {
+        if up(u) && up(v) {
+            sets.union(index[&u], index[&v]);
+        }
+    }
+    match (index.get(&plan.flow.source()), index.get(&plan.flow.sink())) {
+        (Some(&s), Some(&d)) => sets.same_set(s, d),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::{metrics, Demand, DemandId, WidthedPath};
+    use fusion_graph::Path;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn branching_plan(p: f64, q: f64) -> (QuantumNetwork, DemandPlan) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v1 = b.switch(1.0, 1.0, 100);
+        let v2 = b.switch(1.0, -1.0, 100);
+        let d = b.user(2.0, 0.0);
+        for (u, v) in [(s, v1), (v1, d), (s, v2), (v2, d)] {
+            b.link(u, v).unwrap();
+        }
+        let mut net = b.build();
+        net.set_uniform_link_success(Some(p));
+        net.set_swap_success(q);
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        for (path, w) in [
+            (Path::new(vec![s, v1, d]), 2),
+            (Path::new(vec![s, v2, d]), 1),
+        ] {
+            plan.flow.add_path(&path, w);
+            plan.paths.push(WidthedPath::uniform(path, w));
+        }
+        (net, plan)
+    }
+
+    #[test]
+    fn registry_rate_matches_eq1() {
+        let (net, plan) = branching_plan(0.5, 0.8);
+        let mut rng = StdRng::seed_from_u64(99);
+        let rounds = 20_000;
+        let mut hits = 0;
+        for _ in 0..rounds {
+            if simulate_round(&net, &plan, &mut rng).established {
+                hits += 1;
+            }
+        }
+        let measured = hits as f64 / rounds as f64;
+        let analytic = metrics::flow_rate(&net, &plan.flow).value();
+        assert!(
+            (measured - analytic).abs() < 0.015,
+            "protocol {measured} vs Eq.1 {analytic}"
+        );
+    }
+
+    #[test]
+    fn outcome_counters_are_consistent() {
+        let (net, plan) = branching_plan(0.9, 0.9);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let out = simulate_round(&net, &plan, &mut rng);
+            assert!(out.fusions_succeeded <= out.fusions_attempted);
+            // 3 channel-links exist in total (width 2 + width 1) per side.
+            assert!(out.links_generated <= 6);
+            if out.established {
+                assert!(out.links_generated >= 2, "a route needs both hops");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_round_always_establishes() {
+        let (net, plan) = branching_plan(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let out = simulate_round(&net, &plan, &mut rng);
+            assert!(out.established);
+            assert_eq!(out.fusions_attempted, out.fusions_succeeded);
+        }
+    }
+
+    #[test]
+    fn dead_network_never_establishes() {
+        let (mut net, plan) = branching_plan(0.5, 0.5);
+        net.set_uniform_link_success(Some(1e-9));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(!simulate_round(&net, &plan, &mut rng).established);
+        }
+    }
+
+    #[test]
+    fn empty_plan_short_circuits() {
+        let (net, plan) = branching_plan(0.5, 0.5);
+        let empty = DemandPlan::empty(plan.demand);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = simulate_round(&net, &empty, &mut rng);
+        assert!(!out.established);
+        assert_eq!(out.links_generated, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Statistics for Monte Carlo rate estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// A Monte Carlo estimate of a success probability or rate.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sim::RateEstimate;
+///
+/// let est = RateEstimate::from_successes(250, 1000);
+/// assert_eq!(est.mean, 0.25);
+/// assert!(est.stderr > 0.0);
+/// let (lo, hi) = est.confidence_interval();
+/// assert!(lo < 0.25 && 0.25 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Number of Monte Carlo rounds.
+    pub rounds: usize,
+}
+
+impl RateEstimate {
+    /// Estimate of a Bernoulli probability from a success count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or `successes > rounds`.
+    #[must_use]
+    pub fn from_successes(successes: usize, rounds: usize) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        assert!(successes <= rounds, "more successes than rounds");
+        let mean = successes as f64 / rounds as f64;
+        let var = mean * (1.0 - mean) / rounds as f64;
+        RateEstimate { mean, stderr: var.sqrt(), rounds }
+    }
+
+    /// Estimate from a sequence of real-valued samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        RateEstimate { mean, stderr: (var / n).sqrt(), rounds: samples.len() }
+    }
+
+    /// Two-sided ~95% normal-approximation confidence interval, clamped to
+    /// `[0, ∞)` on the lower side.
+    #[must_use]
+    pub fn confidence_interval(&self) -> (f64, f64) {
+        let half = 1.96 * self.stderr;
+        ((self.mean - half).max(0.0), self.mean + half)
+    }
+
+    /// `true` when `value` lies inside the 95% confidence interval widened
+    /// by `slack` (an absolute tolerance for model mismatch).
+    #[must_use]
+    pub fn is_consistent_with(&self, value: f64, slack: f64) -> bool {
+        let (lo, hi) = self.confidence_interval();
+        value >= lo - slack && value <= hi + slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_estimate() {
+        let est = RateEstimate::from_successes(500, 1000);
+        assert_eq!(est.mean, 0.5);
+        assert!((est.stderr - (0.25_f64 / 1000.0).sqrt()).abs() < 1e-12);
+        assert_eq!(est.rounds, 1000);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let zero = RateEstimate::from_successes(0, 100);
+        assert_eq!(zero.mean, 0.0);
+        assert_eq!(zero.stderr, 0.0);
+        let all = RateEstimate::from_successes(100, 100);
+        assert_eq!(all.mean, 1.0);
+        assert_eq!(all.stderr, 0.0);
+    }
+
+    #[test]
+    fn sample_estimate() {
+        let est = RateEstimate::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((est.mean - 2.5).abs() < 1e-12);
+        // Sample variance = 5/3; stderr = sqrt(5/3/4).
+        assert!((est.stderr - (5.0 / 3.0 / 4.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_interval_contains_mean() {
+        let est = RateEstimate::from_successes(300, 1000);
+        let (lo, hi) = est.confidence_interval();
+        assert!(lo < est.mean && est.mean < hi);
+        assert!(est.is_consistent_with(0.3, 0.0));
+        assert!(!est.is_consistent_with(0.9, 0.0));
+        assert!(est.is_consistent_with(0.9, 1.0), "slack widens the band");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let _ = RateEstimate::from_successes(0, 0);
+    }
+}

@@ -1,0 +1,126 @@
+use fusion_graph::{NodeId, UnGraph};
+use rand::Rng;
+
+use crate::config::TopologyConfig;
+use crate::geometry::Position;
+use crate::model::{Link, Role, Site};
+
+/// Places `2 · num_user_pairs` quantum-users uniformly in the area, connects
+/// each to its `user_attach` nearest switches, and returns the demand list
+/// (consecutive users form a pair; one demanded quantum state per pair).
+///
+/// Users never connect to other users (§V-A), and user-switch links get
+/// their Euclidean length so they participate in the `exp(-α·L)` success
+/// model like any other fiber.
+pub(crate) fn attach_users(
+    graph: &mut UnGraph<Site, Link>,
+    cfg: &TopologyConfig,
+    rng: &mut impl Rng,
+) -> Vec<(NodeId, NodeId)> {
+    let switches: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|&n| graph.node(n).role == Role::Switch)
+        .collect();
+    assert!(
+        cfg.num_user_pairs == 0 || !switches.is_empty(),
+        "cannot attach users without switches"
+    );
+
+    let mut demands = Vec::with_capacity(cfg.num_user_pairs);
+    for _ in 0..cfg.num_user_pairs {
+        let a = add_user(graph, &switches, cfg, rng);
+        let b = add_user(graph, &switches, cfg, rng);
+        demands.push((a, b));
+    }
+    demands
+}
+
+fn add_user(
+    graph: &mut UnGraph<Site, Link>,
+    switches: &[NodeId],
+    cfg: &TopologyConfig,
+    rng: &mut impl Rng,
+) -> NodeId {
+    let pos = Position::sample(rng, cfg.side);
+    let user = graph.add_node(Site::user(pos));
+    let mut by_distance: Vec<(f64, NodeId)> = switches
+        .iter()
+        .map(|&s| (pos.distance(graph.node(s).position), s))
+        .collect();
+    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+    for &(d, s) in by_distance.iter().take(cfg.user_attach) {
+        graph.add_edge(user, s, Link::new(d));
+    }
+    user
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::deterministic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_cfg(pairs: usize, attach: usize) -> TopologyConfig {
+        TopologyConfig {
+            num_user_pairs: pairs,
+            user_attach: attach,
+            side: 100.0,
+            ..TopologyConfig::default()
+        }
+    }
+
+    #[test]
+    fn attaches_expected_counts() {
+        let mut g = deterministic::grid(3, 3, 10.0);
+        let cfg = base_cfg(3, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let demands = attach_users(&mut g, &cfg, &mut rng);
+        assert_eq!(demands.len(), 3);
+        let users: Vec<_> = g.node_ids().filter(|&n| g.node(n).is_user()).collect();
+        assert_eq!(users.len(), 6);
+        for u in users {
+            assert_eq!(g.degree(u), 2, "user must attach to exactly user_attach switches");
+            for v in g.neighbors(u) {
+                assert_eq!(g.node(v).role, Role::Switch, "users only connect to switches");
+            }
+        }
+    }
+
+    #[test]
+    fn links_carry_true_distance() {
+        let mut g = deterministic::grid(2, 2, 10.0);
+        let cfg = base_cfg(1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        attach_users(&mut g, &cfg, &mut rng);
+        for e in g.edges() {
+            let d = g.node(e.source).position.distance(g.node(e.target).position);
+            assert!((d - e.weight.length).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nearest_switch_is_chosen() {
+        let mut g = deterministic::line(5, 10.0); // switches at x = 0,10,20,30,40
+        let cfg = base_cfg(1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let demands = attach_users(&mut g, &cfg, &mut rng);
+        let (a, _) = demands[0];
+        let a_pos = g.node(a).position;
+        let attached = g.neighbors(a).next().unwrap();
+        let d_attached = a_pos.distance(g.node(attached).position);
+        for s in g.node_ids().filter(|&n| !g.node(n).is_user()) {
+            assert!(d_attached <= a_pos.distance(g.node(s).position) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_pairs_is_noop() {
+        let mut g = deterministic::grid(2, 2, 1.0);
+        let cfg = base_cfg(0, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let demands = attach_users(&mut g, &cfg, &mut rng);
+        assert!(demands.is_empty());
+        assert_eq!(g.node_count(), 4);
+    }
+}

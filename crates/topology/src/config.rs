@@ -1,0 +1,187 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::attach;
+use crate::connect;
+use crate::generators;
+use crate::model::Topology;
+
+/// Which random-graph family to generate the switch layer with (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// Waxman geometric random graph [31] (the paper's default).
+    Waxman {
+        /// Locality exponent: larger values favour short edges. The
+        /// connection probability is `β·exp(-d / (alpha·L_max))` with `β`
+        /// calibrated to hit the target average degree.
+        alpha: f64,
+    },
+    /// Watts-Strogatz small-world graph [32].
+    WattsStrogatz {
+        /// Probability of rewiring each lattice edge to a random node.
+        rewire: f64,
+    },
+    /// Aiello-style power-law random graph [33] via Chung-Lu sampling.
+    Aiello {
+        /// Degree-distribution exponent (`P(k) ∝ k^-gamma`).
+        gamma: f64,
+    },
+}
+
+impl Default for GeneratorKind {
+    fn default() -> Self {
+        // alpha = 1.0 keeps the length bias weak: edges span the area
+        // (mean ≈ 4500-5000 units, single-link success ≈ 0.6), so routes
+        // are short (3-4 hops) but individually lossy — the regime in
+        // which channel width matters and which the paper's baseline
+        // anchor numbers imply (EXPERIMENTS.md, calibration).
+        GeneratorKind::Waxman { alpha: 1.0 }
+    }
+}
+
+/// Parameters controlling topology generation (paper §V-A).
+///
+/// The defaults reproduce the paper's base configuration: 100 switches with
+/// average degree 10 in a 10 000 × 10 000 unit area and 20 demanded states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of quantum switches.
+    pub num_switches: usize,
+    /// Number of quantum-user pairs; one demanded state per pair, two fresh
+    /// users per pair.
+    pub num_user_pairs: usize,
+    /// Side length of the square deployment area, in network units.
+    pub side: f64,
+    /// Target average switch degree.
+    pub avg_degree: f64,
+    /// Each user connects to this many nearest switches.
+    pub user_attach: usize,
+    /// Maximum switch-to-switch edge length, expressed as
+    /// `side · max_edge_factor / sqrt(num_switches)`. The default (15)
+    /// exceeds the area diagonal at the paper's 100-switch setting, so
+    /// Waxman's exponential locality alone shapes lengths: mean edge
+    /// ≈ 3500 units (per-link success ≈ 0.7) and 3-5 hop routes — the
+    /// regime the paper's Q-CAST anchor numbers imply (see DESIGN.md §4
+    /// and EXPERIMENTS.md on calibration).
+    pub max_edge_factor: f64,
+    /// Random-graph family for the switch layer.
+    pub kind: GeneratorKind,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            num_switches: 100,
+            num_user_pairs: 20,
+            side: 10_000.0,
+            avg_degree: 10.0,
+            user_attach: 2,
+            max_edge_factor: 15.0,
+            kind: GeneratorKind::default(),
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// The maximum allowed switch-to-switch edge length.
+    #[must_use]
+    pub fn max_edge_length(&self) -> f64 {
+        self.side * self.max_edge_factor / (self.num_switches.max(1) as f64).sqrt()
+    }
+
+    /// Generates a topology deterministically from `seed`.
+    ///
+    /// The switch layer is produced by the configured [`GeneratorKind`],
+    /// patched to be connected (disconnected components are bridged by their
+    /// geometrically closest switch pair), and then users are attached and
+    /// demands emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_switches == 0`, `user_attach == 0`, or
+    /// `num_user_pairs > 0` while the configuration leaves users nothing to
+    /// attach to.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Topology {
+        assert!(self.num_switches > 0, "need at least one switch");
+        assert!(self.user_attach > 0, "users must attach to at least one switch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut graph = match self.kind {
+            GeneratorKind::Waxman { alpha } => generators::waxman(self, alpha, &mut rng),
+            GeneratorKind::WattsStrogatz { rewire } => {
+                generators::watts_strogatz(self, rewire, &mut rng)
+            }
+            GeneratorKind::Aiello { gamma } => generators::aiello(self, gamma, &mut rng),
+        };
+        connect::ensure_connected(&mut graph);
+        let demands = attach::attach_users(&mut graph, self, &mut rng);
+        Topology { graph, demands }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_graph::search;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TopologyConfig::default();
+        assert_eq!(c.num_switches, 100);
+        assert_eq!(c.num_user_pairs, 20);
+        assert_eq!(c.avg_degree, 10.0);
+        assert_eq!(c.side, 10_000.0);
+    }
+
+    #[test]
+    fn max_edge_length_scales_inverse_sqrt() {
+        let c = TopologyConfig { num_switches: 100, ..TopologyConfig::default() };
+        assert!((c.max_edge_length() - 10_000.0 * 15.0 / 10.0).abs() < 1e-9);
+        let c4 = TopologyConfig { num_switches: 400, ..c };
+        assert!(c4.max_edge_length() < c.max_edge_length());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = TopologyConfig { num_switches: 40, num_user_pairs: 5, ..Default::default() };
+        let a = c.generate(3);
+        let b = c.generate(3);
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.demands, b.demands);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = TopologyConfig { num_switches: 40, num_user_pairs: 5, ..Default::default() };
+        let a = c.generate(1);
+        let b = c.generate(2);
+        // Positions are continuous, so equality across seeds is a bug.
+        assert_ne!(
+            a.graph.node(a.demands[0].0).position,
+            b.graph.node(b.demands[0].0).position
+        );
+    }
+
+    #[test]
+    fn every_kind_generates_connected_topology() {
+        for kind in [
+            GeneratorKind::Waxman { alpha: 0.4 },
+            GeneratorKind::WattsStrogatz { rewire: 0.1 },
+            GeneratorKind::Aiello { gamma: 2.5 },
+        ] {
+            let c = TopologyConfig {
+                num_switches: 50,
+                num_user_pairs: 5,
+                kind,
+                ..Default::default()
+            };
+            let t = c.generate(11);
+            assert!(search::is_connected(&t.graph), "{kind:?} produced disconnected graph");
+            assert_eq!(t.switch_count(), 50);
+            assert_eq!(t.user_ids().count(), 10);
+            assert_eq!(t.demands.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+use fusion_graph::{search, NodeId, UnGraph};
+
+use crate::model::{Link, Site};
+
+/// Patches a possibly disconnected switch graph into a connected one by
+/// repeatedly adding the geometrically shortest edge between two different
+/// components.
+///
+/// Random generators occasionally strand a handful of switches; the paper's
+/// evaluation implicitly assumes a connected substrate (unreachable demands
+/// would just deflate every algorithm equally), so we bridge with the
+/// cheapest physical fiber, mirroring how an operator would fix dead spots.
+pub(crate) fn ensure_connected(graph: &mut UnGraph<Site, Link>) {
+    if graph.node_count() < 2 {
+        return;
+    }
+    loop {
+        let (labels, k) = search::connected_components(graph);
+        if k <= 1 {
+            return;
+        }
+        // Closest pair of nodes across distinct components.
+        let mut best: Option<(NodeId, NodeId, f64)> = None;
+        for u in graph.node_ids() {
+            for v in graph.node_ids() {
+                if v <= u || labels[u.index()] == labels[v.index()] {
+                    continue;
+                }
+                let d = graph.node(u).position.distance(graph.node(v).position);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((u, v, d));
+                }
+            }
+        }
+        let (u, v, d) = best.expect("k > 1 implies a cross-component pair exists");
+        graph.add_edge(u, v, Link::new(d));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Position;
+
+    #[test]
+    fn connects_two_islands_with_shortest_bridge() {
+        let mut g: UnGraph<Site, Link> = UnGraph::new();
+        // Island 1: nodes at x = 0, 1; island 2: nodes at x = 5, 6.
+        let a = g.add_node(Site::switch(Position::new(0.0, 0.0)));
+        let b = g.add_node(Site::switch(Position::new(1.0, 0.0)));
+        let c = g.add_node(Site::switch(Position::new(5.0, 0.0)));
+        let d = g.add_node(Site::switch(Position::new(6.0, 0.0)));
+        g.add_edge(a, b, Link::new(1.0));
+        g.add_edge(c, d, Link::new(1.0));
+        ensure_connected(&mut g);
+        assert!(search::is_connected(&g));
+        // The bridge must be b—c (distance 4), the closest cross pair.
+        assert!(g.contains_edge(b, c));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn already_connected_is_untouched() {
+        let mut g: UnGraph<Site, Link> = UnGraph::new();
+        let a = g.add_node(Site::switch(Position::new(0.0, 0.0)));
+        let b = g.add_node(Site::switch(Position::new(1.0, 0.0)));
+        g.add_edge(a, b, Link::new(1.0));
+        ensure_connected(&mut g);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn connects_many_singletons() {
+        let mut g: UnGraph<Site, Link> = UnGraph::new();
+        for i in 0..5 {
+            g.add_node(Site::switch(Position::new(i as f64, 0.0)));
+        }
+        ensure_connected(&mut g);
+        assert!(search::is_connected(&g));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        let mut empty: UnGraph<Site, Link> = UnGraph::new();
+        ensure_connected(&mut empty);
+        let mut single: UnGraph<Site, Link> = UnGraph::new();
+        single.add_node(Site::switch(Position::new(0.0, 0.0)));
+        ensure_connected(&mut single);
+        assert_eq!(single.edge_count(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+use fusion_graph::{NodeId, UnGraph};
+use rand::Rng;
+
+use super::{place_switches, span};
+use crate::config::TopologyConfig;
+use crate::model::{Link, Site};
+
+/// Generates the switch layer with an Aiello-style power-law random graph
+/// [33], realized through Chung-Lu weighted sampling.
+///
+/// Expected node degrees follow a Pareto distribution with exponent `gamma`
+/// whose mean equals the configured average degree; pairs `(u, v)` connect
+/// with probability `min(1, w_u·w_v / Σw)`, which preserves the expected
+/// degree sequence. The result resembles scale-free Internet-like
+/// topologies: a few high-degree hubs and many low-degree leaves.
+pub(crate) fn aiello(
+    cfg: &TopologyConfig,
+    gamma: f64,
+    rng: &mut impl Rng,
+) -> UnGraph<Site, Link> {
+    assert!(gamma > 2.0, "aiello gamma must exceed 2 for a finite mean degree");
+    let n = cfg.num_switches;
+    let mut graph = place_switches(n, cfg.side, rng);
+    if n < 2 {
+        return graph;
+    }
+
+    // Pareto(x_min, gamma-1) has mean x_min·(gamma-1)/(gamma-2); choose
+    // x_min so the mean expected degree equals the target.
+    let x_min = cfg.avg_degree * (gamma - 2.0) / (gamma - 1.0);
+    let max_w = (n - 1) as f64;
+    let weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0_f64..1.0).max(1e-12);
+            (x_min * u.powf(-1.0 / (gamma - 1.0))).min(max_w)
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if rng.gen_bool(p) {
+                let d = span(&graph, u, v);
+                graph.add_edge(NodeId::new(u), NodeId::new(v), Link::new(d));
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, degree: f64) -> TopologyConfig {
+        TopologyConfig { num_switches: n, avg_degree: degree, ..TopologyConfig::default() }
+    }
+
+    #[test]
+    fn mean_degree_near_target() {
+        let c = cfg(150, 10.0);
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let g = aiello(&c, 2.5, &mut StdRng::seed_from_u64(seed));
+            total += g.average_degree();
+        }
+        let avg = total / 5.0;
+        assert!((avg - 10.0).abs() < 2.5, "average degree {avg}");
+    }
+
+    #[test]
+    fn produces_degree_skew() {
+        // Power-law graphs should have a heavier degree spread than the
+        // Poisson-like Waxman graph: max degree well above the mean.
+        let c = cfg(150, 8.0);
+        let g = aiello(&c, 2.2, &mut StdRng::seed_from_u64(7));
+        let mean = g.average_degree();
+        let max = g.node_ids().map(|v| g.degree(v)).max().unwrap() as f64;
+        assert!(max > 2.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must exceed 2")]
+    fn rejects_heavy_tail_without_mean() {
+        let c = cfg(10, 4.0);
+        let _ = aiello(&c, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn lengths_are_euclidean() {
+        let c = cfg(60, 6.0);
+        let g = aiello(&c, 2.5, &mut StdRng::seed_from_u64(3));
+        for e in g.edges() {
+            let d = g.node(e.source).position.distance(g.node(e.target).position);
+            assert!((d - e.weight.length).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_node_is_safe() {
+        let c = cfg(1, 4.0);
+        let g = aiello(&c, 2.5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic topologies for tests, examples, and the B1 baseline's
+//! grid-world heritage (Patil et al. evaluate on lattices).
+
+use fusion_graph::{NodeId, UnGraph};
+
+use crate::geometry::Position;
+use crate::model::{Link, Role, Site, Topology};
+
+/// Builds a `rows × cols` grid of switches with the given edge `spacing`.
+///
+/// Nodes are laid out row-major; horizontal and vertical neighbours are
+/// connected.
+///
+/// # Panics
+///
+/// Panics if `rows`, `cols`, or `spacing` is zero/non-positive.
+#[must_use]
+pub fn grid(rows: usize, cols: usize, spacing: f64) -> UnGraph<Site, Link> {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    assert!(spacing > 0.0, "spacing must be positive");
+    let mut g = UnGraph::with_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_node(Site::switch(Position::new(c as f64 * spacing, r as f64 * spacing)));
+        }
+    }
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), Link::new(spacing));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), Link::new(spacing));
+            }
+        }
+    }
+    g
+}
+
+/// Builds a line of `n` switches with the given `spacing` — the canonical
+/// repeater-chain topology.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `spacing <= 0`.
+#[must_use]
+pub fn line(n: usize, spacing: f64) -> UnGraph<Site, Link> {
+    assert!(n > 0, "line must be non-empty");
+    assert!(spacing > 0.0, "spacing must be positive");
+    let mut g = UnGraph::with_capacity(n, n.saturating_sub(1));
+    for i in 0..n {
+        g.add_node(Site::switch(Position::new(i as f64 * spacing, 0.0)));
+    }
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(NodeId::new(i), NodeId::new(i + 1), Link::new(spacing));
+    }
+    g
+}
+
+/// Builds a ring of `n` switches on a circle of the given `radius`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `radius <= 0`.
+#[must_use]
+pub fn ring(n: usize, radius: f64) -> UnGraph<Site, Link> {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    assert!(radius > 0.0, "radius must be positive");
+    let mut g = UnGraph::with_capacity(n, n);
+    for i in 0..n {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        g.add_node(Site::switch(Position::new(radius * theta.cos(), radius * theta.sin())));
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let d = g
+            .node(NodeId::new(i))
+            .position
+            .distance(g.node(NodeId::new(j)).position);
+        g.add_edge(NodeId::new(i), NodeId::new(j), Link::new(d));
+    }
+    g
+}
+
+/// Builds a star: one central switch surrounded by `leaves` switches at
+/// the given `radius` — the single-switch fan-in setting of the paper's
+/// Fig. 2, useful for studying pure fusion arity effects.
+///
+/// The hub is node 0; leaves follow in angular order.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0` or `radius <= 0`.
+#[must_use]
+pub fn star(leaves: usize, radius: f64) -> UnGraph<Site, Link> {
+    assert!(leaves > 0, "star needs at least one leaf");
+    assert!(radius > 0.0, "radius must be positive");
+    let mut g = UnGraph::with_capacity(leaves + 1, leaves);
+    let hub = g.add_node(Site::switch(Position::new(0.0, 0.0)));
+    for i in 0..leaves {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / leaves as f64;
+        let leaf =
+            g.add_node(Site::switch(Position::new(radius * theta.cos(), radius * theta.sin())));
+        g.add_edge(hub, leaf, Link::new(radius));
+    }
+    g
+}
+
+/// Attaches a user pair to two switches and returns `(source, destination)`.
+///
+/// Each user sits `lead` units from its switch and connects to it with a
+/// single link. This is the standard way to build demand endpoints on the
+/// deterministic topologies.
+///
+/// # Panics
+///
+/// Panics if either switch id is out of bounds or not a switch.
+pub fn attach_user_pair(
+    graph: &mut UnGraph<Site, Link>,
+    source_switch: NodeId,
+    dest_switch: NodeId,
+    lead: f64,
+) -> (NodeId, NodeId) {
+    for s in [source_switch, dest_switch] {
+        assert_eq!(graph.node(s).role, Role::Switch, "{s} is not a switch");
+    }
+    let sp = graph.node(source_switch).position;
+    let dp = graph.node(dest_switch).position;
+    let su = graph.add_node(Site::user(Position::new(sp.x, sp.y - lead)));
+    let du = graph.add_node(Site::user(Position::new(dp.x, dp.y + lead)));
+    graph.add_edge(su, source_switch, Link::new(lead));
+    graph.add_edge(du, dest_switch, Link::new(lead));
+    (su, du)
+}
+
+/// Convenience: a repeater chain of `n` switches with one user pair at the
+/// two ends, as in the paper's Fig. 4 path example.
+#[must_use]
+pub fn chain_with_users(n: usize, spacing: f64, lead: f64) -> Topology {
+    let mut graph = line(n, spacing);
+    let (s, d) = attach_user_pair(&mut graph, NodeId::new(0), NodeId::new(n - 1), lead);
+    Topology { graph, demands: vec![(s, d)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_graph::search;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, 10.0);
+        assert_eq!(g.node_count(), 12);
+        // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+        assert_eq!(g.edge_count(), 17);
+        assert!(search::is_connected(&g));
+        // Corner degree 2, interior degree 4.
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(5)), 4);
+    }
+
+    #[test]
+    fn line_shape() {
+        let g = line(5, 2.0);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+        for e in g.edges() {
+            assert_eq!(e.weight.length, 2.0);
+        }
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6, 5.0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.node_ids().all(|v| g.degree(v) == 2));
+        // All chord lengths equal by symmetry.
+        let lens: Vec<f64> = g.edges().map(|e| e.weight.length).collect();
+        for l in &lens {
+            assert!((l - lens[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5, 3.0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(NodeId::new(0)), 5, "hub touches every leaf");
+        for leaf in 1..6 {
+            assert_eq!(g.degree(NodeId::new(leaf)), 1);
+        }
+        for e in g.edges() {
+            assert!((e.weight.length - 3.0).abs() < 1e-9);
+        }
+        assert!(search::is_connected(&g));
+    }
+
+    #[test]
+    fn user_pair_attachment() {
+        let mut g = line(3, 4.0);
+        let (s, d) = attach_user_pair(&mut g, NodeId::new(0), NodeId::new(2), 1.0);
+        assert!(g.node(s).is_user());
+        assert!(g.node(d).is_user());
+        assert_eq!(g.degree(s), 1);
+        assert!(g.contains_edge(s, NodeId::new(0)));
+        assert!(g.contains_edge(d, NodeId::new(2)));
+    }
+
+    #[test]
+    fn chain_with_users_demands() {
+        let t = chain_with_users(4, 3.0, 1.0);
+        assert_eq!(t.demands.len(), 1);
+        assert_eq!(t.switch_count(), 4);
+        let (s, d) = t.demands[0];
+        assert!(t.graph.node(s).is_user());
+        assert!(t.graph.node(d).is_user());
+        assert!(search::is_connected(&t.graph));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a switch")]
+    fn attach_rejects_user_switch() {
+        let mut g = line(2, 1.0);
+        let (s, _) = attach_user_pair(&mut g, NodeId::new(0), NodeId::new(1), 1.0);
+        let _ = attach_user_pair(&mut g, s, NodeId::new(1), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Switch-layer random-graph generators.
+//!
+//! Each generator returns a switch-only graph; users are attached in a later
+//! stage. Positions always live in the configured square area so that edge
+//! lengths (and therefore link success probabilities) are well-defined for
+//! every family, including the non-geometric ones.
+
+mod aiello;
+mod waxman;
+mod watts;
+
+pub mod deterministic;
+
+pub(crate) use aiello::aiello;
+pub(crate) use waxman::waxman;
+pub(crate) use watts::watts_strogatz;
+
+use fusion_graph::UnGraph;
+use rand::Rng;
+
+use crate::geometry::Position;
+use crate::model::{Link, Site};
+
+/// Samples `n` switch positions and inserts them as nodes.
+pub(crate) fn place_switches(
+    n: usize,
+    side: f64,
+    rng: &mut impl Rng,
+) -> UnGraph<Site, Link> {
+    let mut graph = UnGraph::with_capacity(n, n * 4);
+    for _ in 0..n {
+        graph.add_node(Site::switch(Position::sample(rng, side)));
+    }
+    graph
+}
+
+/// Euclidean length between two already-inserted sites.
+pub(crate) fn span(graph: &UnGraph<Site, Link>, u: usize, v: usize) -> f64 {
+    graph
+        .node(fusion_graph::NodeId::new(u))
+        .position
+        .distance(graph.node(fusion_graph::NodeId::new(v)).position)
+}

@@ -1,0 +1,143 @@
+use fusion_graph::{NodeId, UnGraph};
+use rand::Rng;
+
+use super::{place_switches, span};
+use crate::config::TopologyConfig;
+use crate::model::{Link, Site};
+
+/// Generates the switch layer with the Watts-Strogatz small-world model [32].
+///
+/// Switches are placed uniformly in the area and ordered by angle around the
+/// centroid so the initial ring lattice connects geometric neighbours; each
+/// lattice edge is then rewired to a uniformly random endpoint with
+/// probability `rewire`, producing the characteristic short-diameter,
+/// high-clustering graphs of real communication networks.
+pub(crate) fn watts_strogatz(
+    cfg: &TopologyConfig,
+    rewire: f64,
+    rng: &mut impl Rng,
+) -> UnGraph<Site, Link> {
+    assert!((0.0..=1.0).contains(&rewire), "rewire probability must be in [0,1]");
+    let n = cfg.num_switches;
+    let mut graph = place_switches(n, cfg.side, rng);
+    if n < 2 {
+        return graph;
+    }
+
+    // Ring order: sort by angle around the centroid so lattice neighbours
+    // are geometric neighbours and edge lengths stay meaningful.
+    let cx = graph.node_weights().map(|s| s.position.x).sum::<f64>() / n as f64;
+    let cy = graph.node_weights().map(|s| s.position.y).sum::<f64>() / n as f64;
+    let mut ring: Vec<usize> = (0..n).collect();
+    ring.sort_by(|&a, &b| {
+        let pa = graph.node(NodeId::new(a)).position;
+        let pb = graph.node(NodeId::new(b)).position;
+        let ta = (pa.y - cy).atan2(pa.x - cx);
+        let tb = (pb.y - cy).atan2(pb.x - cx);
+        ta.partial_cmp(&tb).expect("angles are finite").then(a.cmp(&b))
+    });
+
+    // Each node connects to k/2 successors on the ring.
+    let half_k = ((cfg.avg_degree / 2.0).round() as usize).max(1).min(n / 2);
+    let mut planned: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in 1..=half_k {
+            let u = ring[i];
+            let v = ring[(i + j) % n];
+            if u != v {
+                planned.push((u, v));
+            }
+        }
+    }
+
+    for (u, v) in planned {
+        let target = if rng.gen_bool(rewire) {
+            // Rewire the far endpoint to a uniform random node, avoiding
+            // self-loops and duplicate edges; keep the original if no valid
+            // target exists after a few attempts.
+            let mut choice = v;
+            for _ in 0..16 {
+                let cand = rng.gen_range(0..n);
+                if cand != u && !graph.contains_edge(NodeId::new(u), NodeId::new(cand)) {
+                    choice = cand;
+                    break;
+                }
+            }
+            choice
+        } else {
+            v
+        };
+        if target != u && !graph.contains_edge(NodeId::new(u), NodeId::new(target)) {
+            let d = span(&graph, u, target);
+            graph.add_edge(NodeId::new(u), NodeId::new(target), Link::new(d));
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_graph::search;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, degree: f64) -> TopologyConfig {
+        TopologyConfig { num_switches: n, avg_degree: degree, ..TopologyConfig::default() }
+    }
+
+    #[test]
+    fn zero_rewire_gives_ring_lattice() {
+        let c = cfg(20, 4.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(&c, 0.0, &mut rng);
+        // k = 4 ring lattice: every node has degree 4, graph connected.
+        assert!(g.node_ids().all(|v| g.degree(v) == 4));
+        assert!(search::is_connected(&g));
+    }
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let c = cfg(60, 10.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = watts_strogatz(&c, 0.1, &mut rng);
+        let avg = g.average_degree();
+        assert!((avg - 10.0).abs() < 1.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let c = cfg(40, 6.0);
+        let lattice = watts_strogatz(&c, 0.0, &mut StdRng::seed_from_u64(3));
+        let rewired = watts_strogatz(&c, 0.5, &mut StdRng::seed_from_u64(3));
+        let lattice_edges: std::collections::HashSet<_> = lattice
+            .edges()
+            .map(|e| (e.source.index().min(e.target.index()), e.source.index().max(e.target.index())))
+            .collect();
+        let rewired_edges: std::collections::HashSet<_> = rewired
+            .edges()
+            .map(|e| (e.source.index().min(e.target.index()), e.source.index().max(e.target.index())))
+            .collect();
+        assert_ne!(lattice_edges, rewired_edges);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let c = cfg(50, 8.0);
+        let g = watts_strogatz(&c, 0.3, &mut StdRng::seed_from_u64(4));
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            assert_ne!(e.source, e.target, "self-loop generated");
+            let key = (e.source.index().min(e.target.index()), e.source.index().max(e.target.index()));
+            assert!(seen.insert(key), "duplicate edge {key:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_networks_are_safe() {
+        let c = cfg(1, 4.0);
+        let g = watts_strogatz(&c, 0.1, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+use fusion_graph::{NodeId, UnGraph};
+use rand::Rng;
+
+use super::{place_switches, span};
+use crate::config::TopologyConfig;
+use crate::model::{Link, Site};
+
+/// Generates the switch layer with the Waxman model [31].
+///
+/// Pairs closer than the configured maximum edge length are connected with
+/// probability `β·exp(-d / (alpha·L_max))`. The scale `β` is calibrated
+/// analytically so the expected number of edges matches the target average
+/// degree, which is how the paper controls degree while keeping Waxman's
+/// distance bias.
+pub(crate) fn waxman(
+    cfg: &TopologyConfig,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> UnGraph<Site, Link> {
+    assert!(alpha > 0.0, "waxman alpha must be positive");
+    let n = cfg.num_switches;
+    let mut graph = place_switches(n, cfg.side, rng);
+    let d_cap = cfg.max_edge_length();
+
+    // Collect candidate pairs and their locality weights.
+    let mut candidates: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut weight_sum = 0.0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = span(&graph, u, v);
+            if d <= d_cap {
+                let w = (-d / (alpha * d_cap)).exp();
+                candidates.push((u, v, d, w));
+                weight_sum += w;
+            }
+        }
+    }
+
+    let target_edges = cfg.avg_degree * n as f64 / 2.0;
+    let beta = if weight_sum > 0.0 { target_edges / weight_sum } else { 0.0 };
+    for (u, v, d, w) in candidates {
+        let p = (beta * w).min(1.0);
+        if rng.gen_bool(p) {
+            graph.add_edge(NodeId::new(u), NodeId::new(v), Link::new(d));
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, degree: f64) -> TopologyConfig {
+        TopologyConfig { num_switches: n, avg_degree: degree, ..TopologyConfig::default() }
+    }
+
+    #[test]
+    fn hits_target_degree_approximately() {
+        let c = cfg(100, 10.0);
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = waxman(&c, 0.4, &mut rng);
+            total += g.average_degree();
+        }
+        let avg = total / 5.0;
+        assert!(
+            (avg - 10.0).abs() < 2.0,
+            "average degree {avg} too far from target 10"
+        );
+    }
+
+    #[test]
+    fn respects_edge_length_cap() {
+        let c = cfg(80, 8.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = waxman(&c, 0.4, &mut rng);
+        let cap = c.max_edge_length();
+        for e in g.edges() {
+            assert!(e.weight.length <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_lengths_match_positions() {
+        let c = cfg(40, 6.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = waxman(&c, 0.4, &mut rng);
+        for e in g.edges() {
+            let d = g.node(e.source).position.distance(g.node(e.target).position);
+            assert!((d - e.weight.length).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_nodes_are_switches() {
+        let c = cfg(30, 6.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = waxman(&c, 0.4, &mut rng);
+        assert_eq!(g.node_count(), 30);
+        assert!(g.node_weights().all(|s| !s.is_user()));
+    }
+
+    #[test]
+    fn higher_alpha_means_longer_edges() {
+        // Larger alpha weakens the distance penalty, so mean edge length
+        // should grow (averaged over seeds).
+        let c = cfg(80, 8.0);
+        let mean_len = |alpha: f64| {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for seed in 0..5 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = waxman(&c, alpha, &mut rng);
+                total += g.edges().map(|e| e.weight.length).sum::<f64>();
+                count += g.edge_count();
+            }
+            total / count as f64
+        };
+        assert!(mean_len(2.0) > mean_len(0.1));
+    }
+}

@@ -1,0 +1,82 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point in the network's Euclidean deployment area.
+///
+/// The paper deploys nodes in a 10 000 × 10 000 unit square; distances feed
+/// the per-link entanglement success probability `p = exp(-α·L)`.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_topology::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// Horizontal coordinate in network units.
+    pub x: f64,
+    /// Vertical coordinate in network units.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Samples a uniform position inside `[0, side] × [0, side]`.
+    pub fn sample(rng: &mut impl Rng, side: f64) -> Self {
+        Position { x: rng.gen_range(0.0..side), y: rng.gen_range(0.0..side) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(1.0, 1.0);
+        let b = Position::new(4.0, 5.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(2.0, 7.0);
+        let b = Position::new(-3.0, 0.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn sample_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = Position::sample(&mut rng, 100.0);
+            assert!((0.0..100.0).contains(&p.x));
+            assert!((0.0..100.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(Position::sample(&mut a, 10.0), Position::sample(&mut b, 10.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! Random quantum-network topology generation.
+//!
+//! Implements the three network-generation methods evaluated by the paper
+//! (§V-A / Fig. 7) plus deterministic topologies for tests and examples:
+//!
+//! * [`generators::waxman`] — the Waxman geometric random graph (default).
+//! * [`generators::watts_strogatz`] — small-world rewiring.
+//! * [`generators::aiello`] — power-law (Chung-Lu style) degree-driven graph.
+//! * [`generators::deterministic`] — grids, lines, rings, stars.
+//!
+//! Generators produce a switch-only graph; the user-attachment stage then
+//! places quantum-users, wires each to its nearest switches, and emits the
+//! demand list (one quantum state per user pair). Everything is
+//! deterministic for a fixed seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use fusion_topology::TopologyConfig;
+//!
+//! let config = TopologyConfig {
+//!     num_switches: 30,
+//!     num_user_pairs: 4,
+//!     ..TopologyConfig::default()
+//! };
+//! let topo = config.generate(7);
+//! assert_eq!(topo.demands.len(), 4);
+//! assert_eq!(topo.user_ids().count(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attach;
+mod config;
+mod connect;
+mod geometry;
+mod model;
+
+pub mod generators;
+
+pub use config::{GeneratorKind, TopologyConfig};
+pub use geometry::Position;
+pub use model::{Link, Role, Site, Topology};

@@ -1,0 +1,146 @@
+use fusion_graph::{NodeId, UnGraph};
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Position;
+
+/// Whether a node is a quantum switch or a quantum-user (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Relay processor with communication qubits only.
+    Switch,
+    /// End processor that demands shared quantum states.
+    User,
+}
+
+/// Node payload: deployment position plus role.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Where the processor sits in the deployment area.
+    pub position: Position,
+    /// Switch or user.
+    pub role: Role,
+}
+
+impl Site {
+    /// Creates a switch site.
+    #[must_use]
+    pub fn switch(position: Position) -> Self {
+        Site { position, role: Role::Switch }
+    }
+
+    /// Creates a user site.
+    #[must_use]
+    pub fn user(position: Position) -> Self {
+        Site { position, role: Role::User }
+    }
+
+    /// `true` when this is a user site.
+    #[must_use]
+    pub fn is_user(&self) -> bool {
+        self.role == Role::User
+    }
+}
+
+/// Edge payload: the optical-fiber span between two sites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Euclidean length of the fiber in network units.
+    pub length: f64,
+}
+
+impl Link {
+    /// Creates a link of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is negative or not finite.
+    #[must_use]
+    pub fn new(length: f64) -> Self {
+        assert!(length.is_finite() && length >= 0.0, "invalid link length {length}");
+        Link { length }
+    }
+}
+
+/// A generated quantum-network topology: the site graph plus the demand
+/// list (one quantum state per user pair).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// Sites (switches first, then users) connected by fiber links.
+    pub graph: UnGraph<Site, Link>,
+    /// Source/destination user pairs, one per demanded quantum state.
+    pub demands: Vec<(NodeId, NodeId)>,
+}
+
+impl Topology {
+    /// Iterates over switch node ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.node_ids().filter(|&n| self.graph.node(n).role == Role::Switch)
+    }
+
+    /// Iterates over user node ids.
+    pub fn user_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.node_ids().filter(|&n| self.graph.node(n).role == Role::User)
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switch_ids().count()
+    }
+
+    /// Average degree over switch nodes only.
+    #[must_use]
+    pub fn average_switch_degree(&self) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for s in self.switch_ids() {
+            total += self.graph.degree(s);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_constructors() {
+        let p = Position::new(1.0, 2.0);
+        assert_eq!(Site::switch(p).role, Role::Switch);
+        assert!(Site::user(p).is_user());
+        assert!(!Site::switch(p).is_user());
+    }
+
+    #[test]
+    fn link_validates_length() {
+        assert_eq!(Link::new(3.5).length, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid link length")]
+    fn link_rejects_negative() {
+        let _ = Link::new(-1.0);
+    }
+
+    #[test]
+    fn topology_queries() {
+        let mut graph = UnGraph::new();
+        let s0 = graph.add_node(Site::switch(Position::new(0.0, 0.0)));
+        let s1 = graph.add_node(Site::switch(Position::new(1.0, 0.0)));
+        let u0 = graph.add_node(Site::user(Position::new(0.0, 1.0)));
+        let u1 = graph.add_node(Site::user(Position::new(1.0, 1.0)));
+        graph.add_edge(s0, s1, Link::new(1.0));
+        graph.add_edge(u0, s0, Link::new(1.0));
+        graph.add_edge(u1, s1, Link::new(1.0));
+        let topo = Topology { graph, demands: vec![(u0, u1)] };
+        assert_eq!(topo.switch_count(), 2);
+        assert_eq!(topo.user_ids().collect::<Vec<_>>(), vec![u0, u1]);
+        assert!((topo.average_switch_degree() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Extension demo: distributing a k-party GHZ state among quantum-users
+//! via hub fusion — the natural next step the paper motivates with its
+//! k-GHZ teleportation application (§II-B, [25]).
+//!
+//! Routes 3-, 4-, and 5-party GHZ demands on one network, validates the
+//! analytic star rate by Monte Carlo, and replays a 3-party distribution
+//! at circuit level on the stabilizer simulator.
+//!
+//! ```text
+//! cargo run --release --example multiparty_ghz
+//! ```
+
+use ghz_entanglement_routing::core::multiparty::{
+    route_multiparty, MultipartyConfig, MultipartyDemand,
+};
+use ghz_entanglement_routing::core::{DemandId, NetworkParams, QuantumNetwork};
+use ghz_entanglement_routing::quantum::stabilizer::{fuse_groups, Tableau};
+use ghz_entanglement_routing::sim::multiparty::estimate_star;
+use ghz_entanglement_routing::topology::TopologyConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let topo = TopologyConfig {
+        num_switches: 40,
+        num_user_pairs: 5, // 10 users to draw members from
+        avg_degree: 8.0,
+        ..TopologyConfig::default()
+    }
+    .generate(17);
+    let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+    let users: Vec<_> = net.graph().node_ids().filter(|&n| net.is_user(n)).collect();
+
+    println!("k-party GHZ distribution on a 40-switch network\n");
+    let mut rng = StdRng::seed_from_u64(3);
+    for k in [3usize, 4, 5] {
+        let demand = MultipartyDemand::new(DemandId::new(0), users[..k].to_vec());
+        let out = route_multiparty(&net, &[demand], &MultipartyConfig::default());
+        let star = &out.stars[0];
+        if !star.is_complete() {
+            println!("k = {k}: no feasible star");
+            continue;
+        }
+        let analytic = star.rate(&net);
+        let measured = estimate_star(&net, star, 5_000, &mut rng);
+        println!(
+            "k = {k}: hub {}, branch hops {:?}, rate analytic {:.4} / simulated {:.4} ± {:.4}",
+            star.hub.expect("complete"),
+            star.branches.iter().map(|b| b.path.hops()).collect::<Vec<_>>(),
+            analytic,
+            measured.mean,
+            measured.stderr
+        );
+    }
+
+    // Circuit-level ground truth: three users deliver one Bell-pair qubit
+    // each to the hub; the hub's single 3-GHZ measurement leaves the users
+    // in a canonical GHZ state.
+    println!("\nStabilizer replay of a 3-party hub fusion:");
+    let mut tab = Tableau::new(6);
+    let groups = vec![vec![0usize, 1], vec![2, 3], vec![4, 5]]; // (user, hub qubit) x3
+    for g in &groups {
+        tab.prepare_ghz(g);
+    }
+    let outcomes = fuse_groups(&mut tab, &groups, &[1, 3, 5], &mut rng);
+    println!("  hub measurement outcomes: {outcomes:?}");
+    println!("  users {{0, 2, 4}} share canonical GHZ: {}", tab.is_ghz(&[0, 2, 4]));
+}

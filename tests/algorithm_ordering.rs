@@ -1,0 +1,144 @@
+//! The paper's comparative claims (§V-C), checked across seeds in the
+//! realistic small-p regime: ALG-N-FUSION dominates Q-CAST, Q-CAST-N, and
+//! B1; all n-fusion algorithms beat classic swapping; the gaps widen as p
+//! and q shrink.
+
+use ghz_entanglement_routing::core::algorithms::alg_n_fusion;
+use ghz_entanglement_routing::core::baselines::{
+    route_b1, route_qcast, route_qcast_n, DEFAULT_REGION_PATHS,
+};
+use ghz_entanglement_routing::core::{Demand, NetworkParams, QuantumNetwork};
+use ghz_entanglement_routing::topology::TopologyConfig;
+
+fn world(seed: u64, p: Option<f64>) -> (QuantumNetwork, Vec<Demand>) {
+    let topo = TopologyConfig {
+        num_switches: 40,
+        num_user_pairs: 8,
+        avg_degree: 8.0,
+        ..TopologyConfig::default()
+    }
+    .generate(seed);
+    let mut net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+    if let Some(p) = p {
+        net.set_uniform_link_success(Some(p));
+    }
+    let demands = Demand::from_topology(&topo);
+    (net, demands)
+}
+
+#[test]
+fn alg_n_fusion_dominates_all_baselines_at_small_p() {
+    for seed in [1, 2, 3, 4] {
+        let (net, demands) = world(seed, Some(0.25));
+        let ours = alg_n_fusion(&net, &demands).total_rate(&net);
+        let qcast = route_qcast(&net, &demands, 5).total_rate(&net);
+        let qcast_n = route_qcast_n(&net, &demands, 5).total_rate(&net);
+        let b1 = route_b1(&net, &demands, DEFAULT_REGION_PATHS).total_rate(&net);
+        assert!(ours >= qcast - 1e-9, "seed {seed}: ALG-N {ours} < Q-CAST {qcast}");
+        assert!(ours >= qcast_n - 1e-9, "seed {seed}: ALG-N {ours} < Q-CAST-N {qcast_n}");
+        assert!(ours >= b1 - 1e-9, "seed {seed}: ALG-N {ours} < B1 {b1}");
+    }
+}
+
+#[test]
+fn every_n_fusion_algorithm_beats_classic_at_small_p() {
+    // §V-C1: "the performance under n-fusion significantly outperforms the
+    // classic swapping method".
+    for seed in [5, 6] {
+        let (net, demands) = world(seed, Some(0.2));
+        let qcast = route_qcast(&net, &demands, 5).total_rate(&net);
+        for (name, rate) in [
+            ("ALG-N-FUSION", alg_n_fusion(&net, &demands).total_rate(&net)),
+            ("Q-CAST-N", route_qcast_n(&net, &demands, 5).total_rate(&net)),
+        ] {
+            assert!(
+                rate >= qcast - 1e-9,
+                "seed {seed}: {name} {rate} below Q-CAST {qcast}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_advantage_grows_as_p_shrinks() {
+    // Fig. 8a: the ALG-N-FUSION / Q-CAST ratio increases as links get
+    // lossier.
+    let (net_hi, demands) = world(9, Some(0.4));
+    let (net_lo, _) = world(9, Some(0.15));
+    let ratio = |net: &QuantumNetwork| {
+        let ours = alg_n_fusion(net, &demands).total_rate(net);
+        let qcast = route_qcast(net, &demands, 5).total_rate(net).max(1e-6);
+        ours / qcast
+    };
+    let hi = ratio(&net_hi);
+    let lo = ratio(&net_lo);
+    assert!(
+        lo > hi,
+        "advantage must grow as p shrinks: ratio(p=0.15) = {lo} vs ratio(p=0.4) = {hi}"
+    );
+}
+
+#[test]
+fn rates_rise_with_q() {
+    // Fig. 8b trend for every algorithm.
+    let (mut net, demands) = world(10, Some(0.3));
+    let mut last = [0.0f64; 3];
+    for q in [0.3, 0.6, 0.9] {
+        net.set_swap_success(q);
+        let now = [
+            alg_n_fusion(&net, &demands).total_rate(&net),
+            route_qcast(&net, &demands, 5).total_rate(&net),
+            route_b1(&net, &demands, DEFAULT_REGION_PATHS).total_rate(&net),
+        ];
+        for (i, (prev, cur)) in last.iter().zip(&now).enumerate() {
+            assert!(*cur >= *prev - 1e-9, "algorithm {i} regressed as q rose: {prev} -> {cur}");
+        }
+        last = now;
+    }
+}
+
+#[test]
+fn rates_rise_with_demand_count() {
+    // Fig. 9c trend: more demanded states, more expected states served.
+    let mut last = 0.0;
+    for pairs in [4usize, 8, 12] {
+        let topo = TopologyConfig {
+            num_switches: 40,
+            num_user_pairs: pairs,
+            avg_degree: 8.0,
+            ..TopologyConfig::default()
+        }
+        .generate(77);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        let rate = alg_n_fusion(&net, &demands).total_rate(&net);
+        assert!(rate >= last - 0.3, "rate fell with more demands: {last} -> {rate}");
+        last = rate;
+    }
+}
+
+#[test]
+fn b1_is_distance_insensitive_inside_its_region() {
+    // The Patil et al. heritage: once a region is allocated, B1's success
+    // degrades slowly with distance compared to a single classic lane.
+    let (net, demands) = world(21, Some(0.6));
+    let b1 = route_b1(&net, &demands, DEFAULT_REGION_PATHS);
+    let qcast = route_qcast(&net, &demands, 5);
+    let mut b1_better = 0;
+    let mut compared = 0;
+    for i in 0..demands.len() {
+        let (rb, rq) = (b1.demand_rate(&net, i), qcast.demand_rate(&net, i));
+        if rq > 0.0 {
+            compared += 1;
+            if rb >= rq - 1e-9 {
+                b1_better += 1;
+            }
+        }
+    }
+    assert!(compared > 0);
+    assert!(
+        b1_better * 2 >= compared,
+        "B1 should match or beat a single classic lane on most demands \
+         ({b1_better}/{compared})"
+    );
+}

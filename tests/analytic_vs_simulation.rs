@@ -1,0 +1,123 @@
+//! Validates the analytic rate formulas against simulation at every level:
+//! Equation 1 vs exact enumeration on small flow graphs, Equation 1 vs
+//! Monte Carlo on full routed plans, and the classic single-lane formula
+//! vs lane sampling.
+
+use ghz_entanglement_routing::core::algorithms::alg_n_fusion;
+use ghz_entanglement_routing::core::baselines::route_qcast;
+use ghz_entanglement_routing::core::{metrics, Demand, NetworkParams, QuantumNetwork};
+use ghz_entanglement_routing::sim::evaluate::{estimate_plan, estimate_plan_parallel};
+use ghz_entanglement_routing::sim::exact;
+use ghz_entanglement_routing::topology::TopologyConfig;
+
+fn world(seed: u64) -> (QuantumNetwork, Vec<Demand>) {
+    let topo = TopologyConfig {
+        num_switches: 30,
+        num_user_pairs: 6,
+        avg_degree: 6.0,
+        ..TopologyConfig::default()
+    }
+    .generate(seed);
+    let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+    let demands = Demand::from_topology(&topo);
+    (net, demands)
+}
+
+#[test]
+fn eq1_matches_exact_on_routed_flows() {
+    // For every routed (small) flow graph, Eq. 1 must match exact
+    // enumeration within the series-parallel regime and never be
+    // pessimistic beyond tolerance otherwise.
+    let mut gaps: Vec<f64> = Vec::new();
+    for seed in [2, 5, 9] {
+        let (net, demands) = world(seed);
+        let plan = alg_n_fusion(&net, &demands);
+        for dp in plan.plans.iter().filter(|p| !p.is_unserved()) {
+            let elements = dp.flow.edge_count()
+                + dp.flow.nodes().iter().filter(|&&n| net.is_switch(n)).count();
+            if elements > 20 {
+                continue;
+            }
+            let eq1 = metrics::flow_rate(&net, &dp.flow).value();
+            let truth = exact::flow_reliability(&net, &dp.flow);
+            assert!(
+                eq1 >= truth - 1e-9,
+                "Eq. 1 must not be pessimistic: {eq1} vs {truth}"
+            );
+            gaps.push(eq1 - truth);
+        }
+    }
+    assert!(gaps.len() >= 5, "too few enumerable flows checked ({})", gaps.len());
+    // Eq. 1 is exact on series-parallel flows; on reconvergent merges it
+    // overestimates. Bound the damage: small on average, bounded at worst.
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let max_gap = gaps.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(mean_gap < 0.08, "mean Eq.1 optimism too large: {mean_gap}");
+    assert!(max_gap < 0.30, "worst-case Eq.1 optimism too large: {max_gap}");
+}
+
+#[test]
+fn eq1_matches_monte_carlo_per_demand() {
+    let (net, demands) = world(3);
+    let plan = alg_n_fusion(&net, &demands);
+    let est = estimate_plan(&net, &plan, 20_000, 17);
+    for (i, dp) in plan.plans.iter().enumerate() {
+        let analytic = metrics::flow_rate(&net, &dp.flow).value();
+        let simulated = est.per_demand[i];
+        // Eq. 1 may be optimistic on reconvergent flows; the simulated
+        // value must sit at or below it, within a bounded gap.
+        assert!(
+            simulated.is_consistent_with(analytic, 0.15),
+            "demand {i}: analytic {analytic} vs simulated {} ± {}",
+            simulated.mean,
+            simulated.stderr
+        );
+        assert!(analytic >= simulated.mean - 4.0 * simulated.stderr - 1e-9);
+    }
+}
+
+#[test]
+fn classic_formula_matches_lane_sampling() {
+    let (net, demands) = world(4);
+    let plan = route_qcast(&net, &demands, 5);
+    let est = estimate_plan(&net, &plan, 20_000, 23);
+    for (i, dp) in plan.plans.iter().enumerate() {
+        let analytic = dp.rate(&net, plan.mode);
+        assert!(
+            est.per_demand[i].is_consistent_with(analytic, 0.01),
+            "demand {i}: classic analytic {analytic} vs sampled {}",
+            est.per_demand[i].mean
+        );
+    }
+}
+
+#[test]
+fn parallel_estimation_is_consistent() {
+    let (net, demands) = world(6);
+    let plan = alg_n_fusion(&net, &demands);
+    let serial = estimate_plan(&net, &plan, 6_000, 31);
+    let parallel = estimate_plan_parallel(&net, &plan, 6_000, 31, 4);
+    assert!(
+        (serial.total_rate() - parallel.total_rate()).abs()
+            < 4.0 * (serial.total_stderr() + parallel.total_stderr()) + 0.05,
+        "serial {} vs parallel {}",
+        serial.total_rate(),
+        parallel.total_rate()
+    );
+}
+
+#[test]
+fn uniform_p_sweep_shifts_measured_rates() {
+    // The simulated rate must track the analytic one across the Fig. 8a
+    // sweep (monotone in p).
+    let (mut net, demands) = world(8);
+    let mut last = -1.0;
+    for p in [0.1, 0.2, 0.3, 0.4] {
+        net.set_uniform_link_success(Some(p));
+        let plan = alg_n_fusion(&net, &demands);
+        let est = estimate_plan(&net, &plan, 3_000, 2);
+        let rate = est.total_rate();
+        assert!(rate >= last - 0.15, "rate dropped along p sweep: {last} -> {rate}");
+        last = rate;
+    }
+}
