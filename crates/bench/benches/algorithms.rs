@@ -24,7 +24,9 @@ fn bench_alg1(c: &mut Criterion) {
     for width in [1u32, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
             b.iter(|| {
-                black_box(alg1::largest_rate_path(&net, d.source, d.dest, w, &caps, &cons))
+                black_box(alg1::largest_rate_path(
+                    &net, d.source, d.dest, w, &caps, &cons,
+                ))
             });
         });
     }
@@ -154,7 +156,9 @@ fn bench_monte_carlo_round(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     c.bench_function("mc_flow_round", |b| {
         b.iter(|| {
-            black_box(fusion_sim::connectivity::sample_flow_round(&net, &dp, &mut rng))
+            black_box(fusion_sim::connectivity::sample_flow_round(
+                &net, &dp, &mut rng,
+            ))
         });
     });
     let mut rng2 = StdRng::seed_from_u64(4);

@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench_generation_methods(c: &mut Criterion) {
     let kinds = [
         ("waxman", GeneratorKind::Waxman { alpha: 1.0 }),
-        ("watts-strogatz", GeneratorKind::WattsStrogatz { rewire: 0.1 }),
+        (
+            "watts-strogatz",
+            GeneratorKind::WattsStrogatz { rewire: 0.1 },
+        ),
         ("aiello", GeneratorKind::Aiello { gamma: 2.5 }),
     ];
     let mut group = c.benchmark_group("fig7_route");
@@ -37,7 +40,10 @@ fn bench_generation_methods(c: &mut Criterion) {
 fn bench_topology_generation(c: &mut Criterion) {
     let kinds = [
         ("waxman", GeneratorKind::Waxman { alpha: 1.0 }),
-        ("watts-strogatz", GeneratorKind::WattsStrogatz { rewire: 0.1 }),
+        (
+            "watts-strogatz",
+            GeneratorKind::WattsStrogatz { rewire: 0.1 },
+        ),
         ("aiello", GeneratorKind::Aiello { gamma: 2.5 }),
     ];
     let mut group = c.benchmark_group("fig7_generate");

@@ -63,5 +63,10 @@ fn bench_monte_carlo_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_p_sweep, bench_q_sweep, bench_monte_carlo_evaluation);
+criterion_group!(
+    benches,
+    bench_p_sweep,
+    bench_q_sweep,
+    bench_monte_carlo_evaluation
+);
 criterion_main!(benches);

@@ -22,33 +22,33 @@ use fusion_bench::workloads::{instance_stats, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut config = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut calibrate = false;
+    let mut quick = false;
+    let mut analytic = false;
+    let mut seeds: Option<usize> = None;
+    let mut rounds: Option<usize> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => {
-                let keep_rounds = config.mc_rounds;
-                config = ExperimentConfig::quick();
-                if keep_rounds != ExperimentConfig::default().mc_rounds {
-                    config.mc_rounds = keep_rounds;
-                }
-            }
-            "--analytic" => config.mc_rounds = 0,
+            "--quick" => quick = true,
+            "--analytic" => analytic = true,
             "--seeds" => {
-                config.networks = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--seeds needs a positive integer"));
+                seeds = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--seeds needs a positive integer")),
+                );
             }
             "--rounds" => {
-                config.mc_rounds = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--rounds needs an integer"));
+                rounds = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--rounds needs an integer")),
+                );
             }
             "--out" => {
                 out_dir = it
@@ -65,6 +65,26 @@ fn main() {
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
             other => ids.push(other.to_string()),
         }
+    }
+
+    // Resolve the base config first, then apply explicit overrides, so
+    // flag order never matters (`--seeds 10 --quick` == `--quick --seeds 10`).
+    if analytic && rounds.is_some_and(|n| n > 0) {
+        die("--analytic conflicts with --rounds: analytic mode runs no Monte Carlo rounds");
+    }
+    let mut config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    if let Some(n) = seeds {
+        config.networks = n;
+    }
+    if let Some(n) = rounds {
+        config.mc_rounds = n;
+    }
+    if analytic {
+        config.mc_rounds = 0;
     }
 
     if calibrate {
@@ -90,7 +110,10 @@ fn main() {
     let _ = std::fs::create_dir_all(&out_dir);
     for id in &ids {
         let Some(table) = run(id, &config) else {
-            die(&format!("unknown figure id {id}; known: {}", ALL_FIGURES.join(" ")));
+            die(&format!(
+                "unknown figure id {id}; known: {}",
+                ALL_FIGURES.join(" ")
+            ));
         };
         println!("{}", table.render());
         let csv_path = out_dir.join(format!("{id}.csv"));

@@ -79,7 +79,11 @@ impl FigureTable {
 
 /// One sweep point: tick label, configuration, and a network mutation
 /// applied after generation (e.g. the uniform-p override).
-type SweepPoint = (String, ExperimentConfig, Box<dyn Fn(&mut fusion_core::QuantumNetwork)>);
+type SweepPoint = (
+    String,
+    ExperimentConfig,
+    Box<dyn Fn(&mut fusion_core::QuantumNetwork)>,
+);
 
 fn sweep(
     id: &'static str,
@@ -90,16 +94,27 @@ fn sweep(
 ) -> FigureTable {
     let mut series: Vec<Series> = algorithms
         .iter()
-        .map(|a| Series { label: a.name().to_string(), values: Vec::new() })
+        .map(|a| Series {
+            label: a.name().to_string(),
+            values: Vec::new(),
+        })
         .collect();
     let mut ticks = Vec::new();
     for (tick, config, mutate) in &points {
         ticks.push(tick.clone());
         for (si, algo) in algorithms.iter().enumerate() {
-            series[si].values.push(mean_rate(config, *algo, mutate.as_ref()));
+            series[si]
+                .values
+                .push(mean_rate(config, *algo, mutate.as_ref()));
         }
     }
-    FigureTable { id, title: title.to_string(), x_label, ticks, series }
+    FigureTable {
+        id,
+        title: title.to_string(),
+        x_label,
+        ticks,
+        series,
+    }
 }
 
 fn no_mutation() -> Box<dyn Fn(&mut fusion_core::QuantumNetwork)> {
@@ -270,8 +285,7 @@ pub fn ablation_eq1(config: &ExperimentConfig) -> FigureTable {
         for (di, dp) in plan.plans.iter().enumerate() {
             total += 1;
             let elements = dp.flow.edge_count()
-                + dp
-                    .flow
+                + dp.flow
                     .nodes()
                     .iter()
                     .filter(|&&n| net.is_switch(n))
@@ -303,7 +317,12 @@ pub fn ablation_eq1(config: &ExperimentConfig) -> FigureTable {
             "Eq. 1 vs exact reliability vs Monte Carlo ({covered}/{total} flows enumerable)"
         ),
         x_label: "evaluator",
-        ticks: vec!["eq1".into(), "exact".into(), "monte-carlo".into(), "max|eq1-exact|".into()],
+        ticks: vec![
+            "eq1".into(),
+            "exact".into(),
+            "monte-carlo".into(),
+            "max|eq1-exact|".into(),
+        ],
         series: vec![Series {
             label: "mean demand rate".into(),
             values: vec![mean(&eq1_vals), mean(&exact_vals), mean(&mc_vals), max_gap],
@@ -338,11 +357,15 @@ pub fn ablation_merge(config: &ExperimentConfig) -> FigureTable {
     let mut without_merge = Vec::new();
     for i in 0..config.networks {
         let (net, demands) = config.instance(i);
-        let base = RoutingConfig { h: config.h, ..RoutingConfig::n_fusion() };
-        let no_merge = RoutingConfig { merge_paths: false, ..base };
-        for (cfg, out) in
-            [(base, &mut with_merge), (no_merge, &mut without_merge)]
-        {
+        let base = RoutingConfig {
+            h: config.h,
+            ..RoutingConfig::n_fusion()
+        };
+        let no_merge = RoutingConfig {
+            merge_paths: false,
+            ..base
+        };
+        for (cfg, out) in [(base, &mut with_merge), (no_merge, &mut without_merge)] {
             let plan = route(&net, &demands, &cfg);
             let rate = if config.mc_rounds == 0 {
                 plan.total_rate(&net)
@@ -414,7 +437,10 @@ pub fn ablation_classic(config: &ExperimentConfig) -> FigureTable {
     type Evaluator = fn(&fusion_core::QuantumNetwork, &fusion_core::WidthedPath) -> f64;
     let evaluators: [(&str, Evaluator); 3] = [
         ("single-lane", metrics::classic::success_probability),
-        ("multi-lane", metrics::classic::success_probability_multilane),
+        (
+            "multi-lane",
+            metrics::classic::success_probability_multilane,
+        ),
         ("adaptive", metrics::classic::success_probability_adaptive),
     ];
     let mut totals = vec![Vec::new(); evaluators.len()];
@@ -452,14 +478,16 @@ pub fn extension_multiparty(config: &ExperimentConfig) -> FigureTable {
     use fusion_core::DemandId;
 
     let arities = [2usize, 3, 4, 5];
-    let mut series = Series { label: "hub fusion".into(), values: Vec::new() };
+    let mut series = Series {
+        label: "hub fusion".into(),
+        values: Vec::new(),
+    };
     for &k in &arities {
         let mut total = 0.0;
         let mut counted = 0usize;
         for i in 0..config.networks {
             let (net, _) = config.instance(i);
-            let users: Vec<_> =
-                net.graph().node_ids().filter(|&n| net.is_user(n)).collect();
+            let users: Vec<_> = net.graph().node_ids().filter(|&n| net.is_user(n)).collect();
             if users.len() < k {
                 continue;
             }
@@ -468,9 +496,11 @@ pub fn extension_multiparty(config: &ExperimentConfig) -> FigureTable {
             total += out.total_rate(&net);
             counted += 1;
         }
-        series
-            .values
-            .push(if counted == 0 { 0.0 } else { total / counted as f64 });
+        series.values.push(if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        });
     }
     FigureTable {
         id: "extension-multiparty",
@@ -487,11 +517,32 @@ pub fn ablation_failures(config: &ExperimentConfig) -> FigureTable {
     use fusion_sim::failure::FailureModel;
     let models = [
         ("healthy", FailureModel::none()),
-        ("outage-10%", FailureModel { switch_outage: 0.1, link_decay: 0.0 }),
-        ("decay-10%", FailureModel { switch_outage: 0.0, link_decay: 0.1 }),
-        ("both-10%", FailureModel { switch_outage: 0.1, link_decay: 0.1 }),
+        (
+            "outage-10%",
+            FailureModel {
+                switch_outage: 0.1,
+                link_decay: 0.0,
+            },
+        ),
+        (
+            "decay-10%",
+            FailureModel {
+                switch_outage: 0.0,
+                link_decay: 0.1,
+            },
+        ),
+        (
+            "both-10%",
+            FailureModel {
+                switch_outage: 0.1,
+                link_decay: 0.1,
+            },
+        ),
     ];
-    let mut series = Series { label: "ALG-N-FUSION".into(), values: Vec::new() };
+    let mut series = Series {
+        label: "ALG-N-FUSION".into(),
+        values: Vec::new(),
+    };
     let mut ticks = Vec::new();
     for (name, model) in models {
         ticks.push(name.to_string());

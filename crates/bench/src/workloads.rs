@@ -84,8 +84,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// The four algorithms compared in every figure.
-    pub const MAIN: [Algorithm; 4] =
-        [Algorithm::AlgNFusion, Algorithm::QCast, Algorithm::QCastN, Algorithm::B1];
+    pub const MAIN: [Algorithm; 4] = [
+        Algorithm::AlgNFusion,
+        Algorithm::QCast,
+        Algorithm::QCastN,
+        Algorithm::B1,
+    ];
 
     /// All five variants (Fig. 7 adds the Alg-3 ablation).
     pub const ALL: [Algorithm; 5] = [
@@ -112,16 +116,24 @@ impl Algorithm {
     #[must_use]
     pub fn route(self, net: &QuantumNetwork, demands: &[Demand], h: usize) -> NetworkPlan {
         match self {
-            Algorithm::AlgNFusion => {
-                route(net, demands, &RoutingConfig { h, ..RoutingConfig::n_fusion() })
-            }
+            Algorithm::AlgNFusion => route(
+                net,
+                demands,
+                &RoutingConfig {
+                    h,
+                    ..RoutingConfig::n_fusion()
+                },
+            ),
             Algorithm::QCast => route_qcast(net, demands, h),
             Algorithm::QCastN => route_qcast_n(net, demands, h),
             Algorithm::B1 => route_b1(net, demands, DEFAULT_REGION_PATHS),
             Algorithm::Alg3Only => route(
                 net,
                 demands,
-                &RoutingConfig { h, ..RoutingConfig::n_fusion_without_alg4() },
+                &RoutingConfig {
+                    h,
+                    ..RoutingConfig::n_fusion_without_alg4()
+                },
             ),
         }
     }
@@ -236,8 +248,10 @@ mod tests {
             "sanity: instance generation ran"
         );
         // Different index, different seed: almost surely different edges.
-        assert!(a.graph().edge_count() != other.graph().edge_count()
-            || a.node_count() == other.node_count());
+        assert!(
+            a.graph().edge_count() != other.graph().edge_count()
+                || a.node_count() == other.node_count()
+        );
     }
 
     #[test]

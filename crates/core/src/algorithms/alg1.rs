@@ -74,7 +74,10 @@ pub fn largest_rate_path(
     constraints: &PathConstraints,
 ) -> Option<(Path, Metric)> {
     assert!(width > 0, "width must be positive");
-    assert!(capacity.len() >= net.node_count(), "capacity vector too short");
+    assert!(
+        capacity.len() >= net.node_count(),
+        "capacity vector too short"
+    );
     if source == dest {
         return None;
     }
@@ -201,8 +204,9 @@ mod tests {
         let (net, n) = two_route_net(10);
         let mut caps = net.capacities();
         caps[n[0].index()] = 1; // throttle the source
-        assert!(largest_rate_path(&net, n[0], n[5], 2, &caps, &PathConstraints::default())
-            .is_none());
+        assert!(
+            largest_rate_path(&net, n[0], n[5], 2, &caps, &PathConstraints::default()).is_none()
+        );
     }
 
     #[test]
@@ -241,8 +245,9 @@ mod tests {
     fn disconnected_or_same_returns_none() {
         let (net, n) = two_route_net(10);
         let caps = net.capacities();
-        assert!(largest_rate_path(&net, n[0], n[0], 1, &caps, &PathConstraints::default())
-            .is_none());
+        assert!(
+            largest_rate_path(&net, n[0], n[0], 1, &caps, &PathConstraints::default()).is_none()
+        );
         let mut cons = PathConstraints::default();
         cons.ban_node(n[1]);
         cons.ban_node(n[3]);

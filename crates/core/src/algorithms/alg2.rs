@@ -60,7 +60,12 @@ pub fn paths_selection(
                 let wp = WidthedPath::uniform(path.clone(), width);
                 let metric = mode.score(net, &wp);
                 if metric > Metric::ZERO {
-                    out.push(CandidatePath { demand: demand.id, path, width, metric });
+                    out.push(CandidatePath {
+                        demand: demand.id,
+                        path,
+                        width,
+                        metric,
+                    });
                 }
             }
         }
@@ -119,10 +124,15 @@ fn k_best_paths(
             // edge e; the accepted-path bans below are recomputed per
             // deviation (classic Yen) and not inherited.
             let mut inherited = banned.clone();
-            inherited.insert(PathConstraints::hop_key(path.nodes()[i], path.nodes()[i + 1]));
+            inherited.insert(PathConstraints::hop_key(
+                path.nodes()[i],
+                path.nodes()[i + 1],
+            ));
 
-            let mut cons =
-                PathConstraints { banned_hops: inherited.clone(), ..Default::default() };
+            let mut cons = PathConstraints {
+                banned_hops: inherited.clone(),
+                ..Default::default()
+            };
             // Classic Yen: also ban the next hop of every accepted path
             // sharing this root, so deviations cannot regenerate them.
             for (acc, _) in &accepted {
@@ -218,8 +228,10 @@ mod tests {
         assert_eq!(paths[1].hops(), 3);
         assert_eq!(paths[2].hops(), 4);
         // Rates must be non-increasing.
-        let rates: Vec<f64> =
-            paths.iter().map(|p| path_rate(&net, p, 1).value()).collect();
+        let rates: Vec<f64> = paths
+            .iter()
+            .map(|p| path_rate(&net, p, 1).value())
+            .collect();
         assert!(rates.windows(2).all(|w| w[0] >= w[1] - 1e-12));
     }
 
@@ -248,8 +260,7 @@ mod tests {
     fn selection_covers_all_widths_and_demands() {
         let (net, demand, _) = triple_route();
         let caps = net.capacities();
-        let candidates =
-            paths_selection(&net, &[demand], &caps, 2, 3, SwapMode::NFusion);
+        let candidates = paths_selection(&net, &[demand], &caps, 2, 3, SwapMode::NFusion);
         // Every returned width is in 1..=3 and has at most h = 2 entries.
         for w in 1..=3u32 {
             let count = candidates.iter().filter(|c| c.width == w).count();
@@ -257,8 +268,7 @@ mod tests {
             assert!(count >= 1, "width {w} missing");
         }
         // Widths above capacity/2 yield nothing.
-        let too_wide =
-            paths_selection(&net, &[demand], &caps, 2, 10, SwapMode::NFusion);
+        let too_wide = paths_selection(&net, &[demand], &caps, 2, 10, SwapMode::NFusion);
         assert!(too_wide.iter().all(|c| c.width <= 5));
     }
 

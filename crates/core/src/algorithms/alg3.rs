@@ -82,8 +82,7 @@ pub fn paths_merge_bounded(
 ) -> MergeOutcome {
     let share_edges = share_edges && mode == SwapMode::NFusion;
     let mut remaining = net.capacities();
-    let mut plans: Vec<DemandPlan> =
-        demands.iter().map(|&d| DemandPlan::empty(d)).collect();
+    let mut plans: Vec<DemandPlan> = demands.iter().map(|&d| DemandPlan::empty(d)).collect();
     let index_of: HashMap<DemandId, usize> =
         demands.iter().enumerate().map(|(i, d)| (d.id, i)).collect();
 
@@ -161,7 +160,8 @@ pub fn paths_merge_bounded(
                 }
                 let plan = &mut plans[plan_idx];
                 record_route(&mut plan.flow, &cand.path, width, share_edges);
-                plan.paths.push(WidthedPath::uniform(cand.path.clone(), width));
+                plan.paths
+                    .push(WidthedPath::uniform(cand.path.clone(), width));
                 taken[ci] = true;
                 accepted_this_pass.insert(cand.demand);
                 progress = true;
@@ -217,16 +217,11 @@ mod tests {
             Demand::new(DemandId::new(1), n[2], n[3]),
         ];
         let caps = net.capacities();
-        let candidates =
-            paths_selection(&net, &demands, &caps, 3, 2, SwapMode::NFusion);
+        let candidates = paths_selection(&net, &demands, &caps, 3, 2, SwapMode::NFusion);
         let outcome = paths_merge(&net, &demands, &candidates, SwapMode::NFusion, true);
         // Every switch's spend must equal capacity - remaining.
         for node in net.graph().node_ids().filter(|&v| net.is_switch(v)) {
-            let spent: u32 = outcome
-                .plans
-                .iter()
-                .map(|p| p.flow.qubits_at(node))
-                .sum();
+            let spent: u32 = outcome.plans.iter().map(|p| p.flow.qubits_at(node)).sum();
             assert_eq!(
                 spent + outcome.remaining[node.index()],
                 net.capacity(node),

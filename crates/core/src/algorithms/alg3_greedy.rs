@@ -141,7 +141,8 @@ pub fn paths_merge_greedy(
         }
         let plan = &mut plans[plan_idx];
         crate::algorithms::alg3::record_route(&mut plan.flow, &cand.path, cand.width, share_edges);
-        plan.paths.push(WidthedPath::uniform(cand.path.clone(), cand.width));
+        plan.paths
+            .push(WidthedPath::uniform(cand.path.clone(), cand.width));
         alive[ci] = false;
     }
     MergeOutcome { plans, remaining }
@@ -190,8 +191,7 @@ mod tests {
             cand(0, route.clone(), 2, 0.78),
             cand(0, route, 1, 0.52),
         ];
-        let out =
-            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        let out = paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
         // The first accepted path must be a narrow one (gain per qubit),
         // leaving capacity for Algorithm 4 / other demands.
         let first_width = out.plans[0].paths[0].widths[0];
@@ -206,12 +206,8 @@ mod tests {
         let route = vec![n[0], n[1], n[2], n[3]];
         // Width-1: (0.1)^3 q^2 ~ 8e-4; width-5: (0.41)^3 q^2 ~ 0.056.
         // Gain per qubit: wide wins by ~14x even at 5x the cost.
-        let candidates = vec![
-            cand(0, route.clone(), 5, 0.056),
-            cand(0, route, 1, 8.1e-4),
-        ];
-        let out =
-            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        let candidates = vec![cand(0, route.clone(), 5, 0.056), cand(0, route, 1, 8.1e-4)];
+        let out = paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
         assert_eq!(out.plans[0].paths[0].widths[0], 5);
     }
 
@@ -224,8 +220,7 @@ mod tests {
         ];
         let caps = net.capacities();
         let candidates = paths_selection(&net, &demands, &caps, 3, 5, SwapMode::NFusion);
-        let out =
-            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        let out = paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
         for node in [n[1], n[2]] {
             let spent: u32 = out.plans.iter().map(|p| p.flow.qubits_at(node)).sum();
             assert!(spent <= net.capacity(node));
@@ -238,10 +233,7 @@ mod tests {
         let (net, n) = high_p_net();
         let demands = [Demand::new(DemandId::new(0), n[0], n[3])];
         let route = vec![n[0], n[1], n[2], n[3]];
-        let candidates = vec![
-            cand(0, route.clone(), 1, 0.5),
-            cand(0, route, 2, 0.7),
-        ];
+        let candidates = vec![cand(0, route.clone(), 1, 0.5), cand(0, route, 2, 0.7)];
         let out = paths_merge_greedy(
             &net,
             &demands,
@@ -265,8 +257,7 @@ mod tests {
             cand(0, route.clone(), 2, 1.0),
             cand(0, route, 5, 1.0),
         ];
-        let out =
-            paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
+        let out = paths_merge_greedy(&net, &demands, &candidates, SwapMode::NFusion, true, None);
         // Rate 1.0 after the first width-1 path; everything else is
         // saturation and must be declined.
         assert_eq!(out.plans[0].paths.len(), 1);

@@ -71,11 +71,14 @@ impl RoutingConfig {
     /// n-fusion without Algorithm 4 (the `Alg-3` series in Fig. 7).
     #[must_use]
     pub fn n_fusion_without_alg4() -> Self {
-        RoutingConfig { use_alg4: false, ..Self::default() }
+        RoutingConfig {
+            use_alg4: false,
+            ..Self::default()
+        }
     }
 
     /// Classic-swapping restriction of the pipeline (the Q-CAST baseline):
-    /// one major path per request, as in Q-CAST [17].
+    /// one major path per request, as in Q-CAST \[17\].
     #[must_use]
     pub fn classic() -> Self {
         RoutingConfig {
@@ -94,7 +97,9 @@ impl RoutingConfig {
 /// whose switches have no qubits cannot route anything).
 #[must_use]
 pub fn route(net: &QuantumNetwork, demands: &[Demand], config: &RoutingConfig) -> NetworkPlan {
-    let max_width = config.max_width.unwrap_or_else(|| net.max_switch_capacity());
+    let max_width = config
+        .max_width
+        .unwrap_or_else(|| net.max_switch_capacity());
     assert!(max_width > 0, "network has no switch qubits to route with");
 
     // Step I: candidate construction against the full capacity.
@@ -103,7 +108,10 @@ pub fn route(net: &QuantumNetwork, demands: &[Demand], config: &RoutingConfig) -
         alg2::paths_selection(net, demands, &capacity, config.h, max_width, config.mode);
 
     // Step II: capacity-aware merge.
-    let alg3::MergeOutcome { mut plans, mut remaining } = match config.merge_order {
+    let alg3::MergeOutcome {
+        mut plans,
+        mut remaining,
+    } = match config.merge_order {
         MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy(
             net,
             demands,
@@ -129,7 +137,12 @@ pub fn route(net: &QuantumNetwork, demands: &[Demand], config: &RoutingConfig) -
         0
     };
 
-    NetworkPlan { mode: config.mode, plans, leftover: remaining, alg4_links }
+    NetworkPlan {
+        mode: config.mode,
+        plans,
+        leftover: remaining,
+        alg4_links,
+    }
 }
 
 /// Convenience wrapper: the paper's `ALG-N-FUSION` with default knobs.
@@ -163,7 +176,10 @@ mod tests {
         let (net, demands) = small_world();
         let plan = alg_n_fusion(&net, &demands);
         assert_eq!(plan.plans.len(), demands.len());
-        assert!(plan.total_rate(&net) > 0.0, "default network must route something");
+        assert!(
+            plan.total_rate(&net) > 0.0,
+            "default network must route something"
+        );
         assert!(plan.served_demands() > 0);
     }
 

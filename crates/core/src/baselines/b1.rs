@@ -1,4 +1,4 @@
-//! B1 baseline (§V-B): Patil et al.'s percolation-style GHZ protocol [21]
+//! B1 baseline (§V-B): Patil et al.'s percolation-style GHZ protocol \[21\]
 //! extended from a single pair to multiple pairs.
 //!
 //! For each pair in demand order, B1 carves out a multi-path region (the
@@ -49,7 +49,12 @@ pub fn route_b1(net: &QuantumNetwork, demands: &[Demand], region_paths: usize) -
         remaining = outcome.1;
         plans.push(outcome.0);
     }
-    NetworkPlan { mode: SwapMode::NFusion, plans, leftover: remaining, alg4_links: 0 }
+    NetworkPlan {
+        mode: SwapMode::NFusion,
+        plans,
+        leftover: remaining,
+        alg4_links: 0,
+    }
 }
 
 /// Runs the shared merge logic against an explicit budget instead of the

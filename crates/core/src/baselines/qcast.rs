@@ -3,7 +3,7 @@
 //! Switches perform classic BSM swapping: one shared state rides one
 //! pre-committed lane (one link per hop, one BSM per switch), so routes
 //! are single width-1 paths — extra width only serves other states and
-//! Q-CAST routes one major path per request [17]. Path quality is the
+//! Q-CAST routes one major path per request \[17\]. Path quality is the
 //! paper's classic rate `p^z · q^(z-1)` (see
 //! `fusion_core::metrics::classic`).
 
@@ -16,7 +16,11 @@ use crate::plan::NetworkPlan;
 /// (demand, width).
 #[must_use]
 pub fn route_qcast(net: &QuantumNetwork, demands: &[Demand], h: usize) -> NetworkPlan {
-    let config = RoutingConfig { h, max_width: Some(1), ..RoutingConfig::classic() };
+    let config = RoutingConfig {
+        h,
+        max_width: Some(1),
+        ..RoutingConfig::classic()
+    };
     route(net, demands, &config)
 }
 
@@ -52,9 +56,15 @@ mod tests {
         let (net, demands) = setup();
         let plan = route_qcast(&net, &demands, 5);
         for dp in &plan.plans {
-            assert!(dp.paths.len() <= 1, "Q-CAST routes one major path per request");
+            assert!(
+                dp.paths.len() <= 1,
+                "Q-CAST routes one major path per request"
+            );
             for wp in &dp.paths {
-                assert!(wp.widths.iter().all(|&w| w == 1), "classic states ride one lane");
+                assert!(
+                    wp.widths.iter().all(|&w| w == 1),
+                    "classic states ride one lane"
+                );
             }
         }
     }

@@ -94,7 +94,11 @@ impl FlowGraph {
     #[must_use]
     pub fn new(source: NodeId, sink: NodeId) -> Self {
         assert_ne!(source, sink, "flow graph needs two distinct endpoints");
-        FlowGraph { source, sink, edges: BTreeMap::new() }
+        FlowGraph {
+            source,
+            sink,
+            edges: BTreeMap::new(),
+        }
     }
 
     /// The source user.
@@ -130,8 +134,16 @@ impl FlowGraph {
     /// Panics if the path does not run from source to sink or `width == 0`.
     pub fn add_path(&mut self, path: &Path, width: u32) {
         assert!(width > 0, "width must be positive");
-        assert_eq!(path.source(), self.source, "path must start at the flow source");
-        assert_eq!(path.destination(), self.sink, "path must end at the flow sink");
+        assert_eq!(
+            path.source(),
+            self.source,
+            "path must start at the flow source"
+        );
+        assert_eq!(
+            path.destination(),
+            self.sink,
+            "path must end at the flow sink"
+        );
         for (u, v) in path.hops_iter() {
             if self.edges.contains_key(&(u, v)) || self.edges.contains_key(&(v, u)) {
                 continue;
@@ -214,7 +226,11 @@ impl FlowGraph {
         for &(u, _) in self.edges.keys() {
             *out_degree.entry(u).or_insert(0) += 1;
         }
-        out_degree.into_iter().filter(|&(_, d)| d > 1).map(|(n, _)| n).collect()
+        out_degree
+            .into_iter()
+            .filter(|&(_, d)| d > 1)
+            .map(|(n, _)| n)
+            .collect()
     }
 
     /// Total qubits this flow graph consumes at `node`: the sum of widths of

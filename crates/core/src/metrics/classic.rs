@@ -1,4 +1,4 @@
-//! Classic-swapping (BSM) metrics used by the Q-CAST baseline [17].
+//! Classic-swapping (BSM) metrics used by the Q-CAST baseline \[17\].
 //!
 //! Under 2-fusion one shared state occupies exactly one *lane*: a
 //! pre-committed chain of one link per hop, swapped by one BSM per
@@ -311,9 +311,7 @@ mod tests {
     #[test]
     fn model_hierarchy_single_multilane_adaptive() {
         // Each relaxation of pre-commitment can only help.
-        for (p, q, w, hops) in
-            [(0.5, 0.9, 3, 3), (0.2, 0.7, 2, 4), (0.8, 0.5, 4, 2)]
-        {
+        for (p, q, w, hops) in [(0.5, 0.9, 3, 3), (0.2, 0.7, 2, 4), (0.8, 0.5, 4, 2)] {
             let (net, path) = chain(hops, p, q);
             let wp = crate::flow::WidthedPath::uniform(path, w);
             let single = success_probability(&net, &wp);

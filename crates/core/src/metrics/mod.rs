@@ -19,7 +19,10 @@ use crate::network::QuantumNetwork;
 /// Panics if `p` is outside `[0, 1]` or `w == 0`.
 #[must_use]
 pub fn channel_success(p: f64, width: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "link probability out of range: {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "link probability out of range: {p}"
+    );
     assert!(width > 0, "width must be positive");
     1.0 - (1.0 - p).powi(width as i32)
 }
@@ -158,8 +161,7 @@ mod tests {
     fn fig4_path_rate() {
         // Paper: rate = (1 - (1-p)^2) · p · q with width 2 on Alice-Carol.
         let (net, alice, carol, bob) = fig4(0.4, 0.9);
-        let mut wp =
-            WidthedPath::uniform(Path::new(vec![alice, carol, bob]), 1);
+        let mut wp = WidthedPath::uniform(Path::new(vec![alice, carol, bob]), 1);
         wp.widths[0] = 2;
         let expect = (1.0 - 0.6_f64 * 0.6) * 0.4 * 0.9;
         assert!((widthed_path_rate(&net, &wp).value() - expect).abs() < 1e-12);
@@ -249,14 +251,11 @@ mod tests {
         let mut flow = FlowGraph::new(s, d);
         flow.add_path(&Path::new(vec![s, x, m, d]), 1);
         flow.add_path(&Path::new(vec![s, y, m, d]), 1);
-        let single = flow_rate(
-            &net,
-            &{
-                let mut f = FlowGraph::new(s, d);
-                f.add_path(&Path::new(vec![s, x, m, d]), 1);
-                f
-            },
-        );
+        let single = flow_rate(&net, &{
+            let mut f = FlowGraph::new(s, d);
+            f.add_path(&Path::new(vec![s, x, m, d]), 1);
+            f
+        });
         let both = flow_rate(&net, &flow);
         assert!(both > single);
         assert!(both.value() <= 1.0);

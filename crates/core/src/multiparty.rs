@@ -3,7 +3,7 @@
 //! The paper scopes demands to *pairs* of users ("a quantum state can only
 //! be shared between two quantum-users", §III-A) but motivates n-fusion
 //! with k-party GHZ states throughout §II — Fig. 2 shows three processor
-//! sets fused into one 6-GHZ state, and GHZ-channel teleportation [25] is
+//! sets fused into one 6-GHZ state, and GHZ-channel teleportation \[25\] is
 //! the target application. This module implements that natural extension:
 //! distributing one GHZ state among `k ≥ 2` users.
 //!
@@ -137,7 +137,11 @@ pub struct MultipartyConfig {
 
 impl Default for MultipartyConfig {
     fn default() -> Self {
-        MultipartyConfig { hub_candidates: 8, branch_width: 1, use_alg4: true }
+        MultipartyConfig {
+            hub_candidates: 8,
+            branch_width: 1,
+            use_alg4: true,
+        }
     }
 }
 
@@ -187,9 +191,17 @@ pub fn route_multiparty(
         let star = best_star(net, demand, config, &remaining);
         if let Some((hub, branches)) = star {
             commit(&mut remaining, &branches);
-            stars.push(StarPlan { demand: demand.clone(), hub: Some(hub), branches });
+            stars.push(StarPlan {
+                demand: demand.clone(),
+                hub: Some(hub),
+                branches,
+            });
         } else {
-            stars.push(StarPlan { demand: demand.clone(), hub: None, branches: Vec::new() });
+            stars.push(StarPlan {
+                demand: demand.clone(),
+                hub: None,
+                branches: Vec::new(),
+            });
         }
     }
 
@@ -230,8 +242,7 @@ fn best_star(
     }
 
     // Candidate hubs: reachable by every member, ranked by metric product.
-    let mut hub_scores: std::collections::BTreeMap<NodeId, f64> =
-        std::collections::BTreeMap::new();
+    let mut hub_scores: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
     for reach in &per_member {
         for &(hub, m) in reach {
             *hub_scores.entry(hub).or_insert(1.0) *= m.value();
@@ -240,10 +251,16 @@ fn best_star(
     let mut hubs: Vec<(NodeId, f64)> = hub_scores
         .into_iter()
         .filter(|&(hub, _)| {
-            per_member.iter().all(|reach| reach.iter().any(|&(h, _)| h == hub))
+            per_member
+                .iter()
+                .all(|reach| reach.iter().any(|&(h, _)| h == hub))
         })
         .collect();
-    hubs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+    hubs.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then(a.0.cmp(&b.0))
+    });
 
     for (hub, _) in hubs.into_iter().take(config.hub_candidates) {
         if let Some(branches) = build_star(net, demand, config, remaining, hub) {
@@ -381,7 +398,11 @@ mod tests {
     }
 
     fn users(net: &QuantumNetwork, k: usize) -> Vec<NodeId> {
-        net.graph().node_ids().filter(|&n| net.is_user(n)).take(k).collect()
+        net.graph()
+            .node_ids()
+            .filter(|&n| net.is_user(n))
+            .take(k)
+            .collect()
     }
 
     #[test]
@@ -390,7 +411,10 @@ mod tests {
         let demand = MultipartyDemand::new(DemandId::new(0), users(&net, 3));
         let out = route_multiparty(&net, &[demand], &MultipartyConfig::default());
         let star = &out.stars[0];
-        assert!(star.is_complete(), "3-party demand should route in a 30-switch net");
+        assert!(
+            star.is_complete(),
+            "3-party demand should route in a 30-switch net"
+        );
         assert_eq!(star.branches.len(), 3);
         let rate = star.rate(&net);
         assert!(rate > 0.0 && rate <= 1.0);
@@ -426,10 +450,7 @@ mod tests {
         let net = world(3);
         let demands: Vec<_> = (0..2)
             .map(|i| {
-                MultipartyDemand::new(
-                    DemandId::new(i),
-                    users(&net, 6)[i * 3..i * 3 + 3].to_vec(),
-                )
+                MultipartyDemand::new(DemandId::new(i), users(&net, 6)[i * 3..i * 3 + 3].to_vec())
             })
             .collect();
         let out = route_multiparty(&net, &demands, &MultipartyConfig::default());
@@ -484,7 +505,10 @@ mod tests {
         let base = route_multiparty(
             &net,
             std::slice::from_ref(&demand),
-            &MultipartyConfig { use_alg4: false, ..MultipartyConfig::default() },
+            &MultipartyConfig {
+                use_alg4: false,
+                ..MultipartyConfig::default()
+            },
         );
         let widened = route_multiparty(&net, &[demand], &MultipartyConfig::default());
         assert!(widened.total_rate(&net) >= base.total_rate(&net) - 1e-9);
@@ -526,7 +550,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be distinct")]
     fn rejects_duplicate_members() {
-        let _ =
-            MultipartyDemand::new(DemandId::new(0), vec![NodeId::new(0), NodeId::new(0)]);
+        let _ = MultipartyDemand::new(DemandId::new(0), vec![NodeId::new(0), NodeId::new(0)]);
     }
 }

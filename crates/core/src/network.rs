@@ -19,7 +19,11 @@ pub struct PhysicsParams {
 
 impl Default for PhysicsParams {
     fn default() -> Self {
-        PhysicsParams { alpha: 1e-4, swap_success: 0.9, uniform_link_success: None }
+        PhysicsParams {
+            alpha: 1e-4,
+            swap_success: 0.9,
+            uniform_link_success: None,
+        }
     }
 }
 
@@ -35,7 +39,10 @@ pub struct NetworkParams {
 
 impl Default for NetworkParams {
     fn default() -> Self {
-        NetworkParams { switch_capacity: 10, physics: PhysicsParams::default() }
+        NetworkParams {
+            switch_capacity: 10,
+            physics: PhysicsParams::default(),
+        }
     }
 }
 
@@ -131,21 +138,32 @@ impl QuantumNetwork {
     /// keep their fiber lengths.
     #[must_use]
     pub fn from_topology(topology: &Topology, params: &NetworkParams) -> Self {
-        let mut graph = UnGraph::with_capacity(
-            topology.graph.node_count(),
-            topology.graph.edge_count(),
-        );
+        let mut graph =
+            UnGraph::with_capacity(topology.graph.node_count(), topology.graph.edge_count());
         for site in topology.graph.node_weights() {
             let capacity = match site.role {
                 Role::Switch => params.switch_capacity,
                 Role::User => USER_CAPACITY,
             };
-            graph.add_node(NodeProps { role: site.role, position: site.position, capacity });
+            graph.add_node(NodeProps {
+                role: site.role,
+                position: site.position,
+                capacity,
+            });
         }
         for e in topology.graph.edges() {
-            graph.add_edge(e.source, e.target, EdgeProps { length: e.weight.length });
+            graph.add_edge(
+                e.source,
+                e.target,
+                EdgeProps {
+                    length: e.weight.length,
+                },
+            );
         }
-        QuantumNetwork { graph, physics: params.physics }
+        QuantumNetwork {
+            graph,
+            physics: params.physics,
+        }
     }
 
     /// The underlying site graph.
@@ -225,7 +243,10 @@ impl QuantumNetwork {
     ///
     /// Panics if `q` is outside `(0, 1]`.
     pub fn set_swap_success(&mut self, q: f64) {
-        assert!(q > 0.0 && q <= 1.0, "swap success must be in (0,1], got {q}");
+        assert!(
+            q > 0.0 && q <= 1.0,
+            "swap success must be in (0,1], got {q}"
+        );
         self.physics.swap_success = q;
     }
 
@@ -237,7 +258,10 @@ impl QuantumNetwork {
     /// Panics if `p` is outside `(0, 1]`.
     pub fn set_uniform_link_success(&mut self, p: Option<f64>) {
         if let Some(p) = p {
-            assert!(p > 0.0 && p <= 1.0, "link success must be in (0,1], got {p}");
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "link success must be in (0,1], got {p}"
+            );
         }
         self.physics.uniform_link_success = p;
     }
@@ -361,7 +385,10 @@ impl NetworkBuilder {
     /// Finishes construction.
     #[must_use]
     pub fn build(self) -> QuantumNetwork {
-        QuantumNetwork { graph: self.graph, physics: self.physics }
+        QuantumNetwork {
+            graph: self.graph,
+            physics: self.physics,
+        }
     }
 }
 
@@ -448,7 +475,10 @@ mod tests {
             ..TopologyConfig::default()
         };
         let topo = config.generate(5);
-        let params = NetworkParams { switch_capacity: 12, ..NetworkParams::default() };
+        let params = NetworkParams {
+            switch_capacity: 12,
+            ..NetworkParams::default()
+        };
         let net = QuantumNetwork::from_topology(&topo, &params);
         assert_eq!(net.node_count(), topo.graph.node_count());
         for s in topo.switch_ids() {

@@ -48,7 +48,11 @@ impl DemandPlan {
     /// A plan with no routes (rate zero).
     #[must_use]
     pub fn empty(demand: Demand) -> Self {
-        DemandPlan { demand, paths: Vec::new(), flow: FlowGraph::new(demand.source, demand.dest) }
+        DemandPlan {
+            demand,
+            paths: Vec::new(),
+            flow: FlowGraph::new(demand.source, demand.dest),
+        }
     }
 
     /// `true` when no route was allocated.

@@ -143,7 +143,11 @@ impl<N, E> UnGraph<N, E> {
     /// Creates an empty graph.
     #[must_use]
     pub fn new() -> Self {
-        UnGraph { nodes: Vec::new(), edges: Vec::new(), adjacency: Vec::new() }
+        UnGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with reserved capacity.
@@ -191,7 +195,11 @@ impl<N, E> UnGraph<N, E> {
         assert!(u.index() < self.nodes.len(), "node {u} out of bounds");
         assert!(v.index() < self.nodes.len(), "node {v} out of bounds");
         let id = EdgeId(self.edges.len());
-        self.edges.push(EdgeEntry { source: u, target: v, weight });
+        self.edges.push(EdgeEntry {
+            source: u,
+            target: v,
+            weight,
+        });
         self.adjacency[u.index()].push(id);
         if u != v {
             self.adjacency[v.index()].push(id);
@@ -227,7 +235,12 @@ impl<N, E> UnGraph<N, E> {
     #[must_use]
     pub fn edge(&self, edge: EdgeId) -> EdgeRef<'_, E> {
         let entry = &self.edges[edge.index()];
-        EdgeRef { id: edge, source: entry.source, target: entry.target, weight: &entry.weight }
+        EdgeRef {
+            id: edge,
+            source: entry.source,
+            target: entry.target,
+            weight: &entry.weight,
+        }
     }
 
     /// Returns a mutable reference to the payload of `edge`.
@@ -277,7 +290,9 @@ impl<N, E> UnGraph<N, E> {
     ///
     /// Panics if `node` is out of bounds.
     pub fn incident_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
-        self.adjacency[node.index()].iter().map(move |&id| self.edge(id))
+        self.adjacency[node.index()]
+            .iter()
+            .map(move |&id| self.edge(id))
     }
 
     /// Iterates over the neighbors of `node` in insertion order.

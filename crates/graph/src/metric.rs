@@ -141,7 +141,10 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![Metric::new(0.5), Metric::new(0.1), Metric::new(0.9)];
         v.sort();
-        assert_eq!(v, vec![Metric::new(0.1), Metric::new(0.5), Metric::new(0.9)]);
+        assert_eq!(
+            v,
+            vec![Metric::new(0.1), Metric::new(0.5), Metric::new(0.9)]
+        );
     }
 
     #[test]

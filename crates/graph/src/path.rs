@@ -157,7 +157,8 @@ impl Path {
     /// `true` if the path traverses the undirected hop `{u, v}`.
     #[must_use]
     pub fn contains_hop(&self, u: NodeId, v: NodeId) -> bool {
-        self.hops_iter().any(|(a, b)| (a == u && b == v) || (a == v && b == u))
+        self.hops_iter()
+            .any(|(a, b)| (a == u && b == v) || (a == v && b == u))
     }
 
     /// `true` if the path visits `node`.
@@ -192,7 +193,9 @@ impl Path {
     /// Panics if `i` is out of bounds.
     #[must_use]
     pub fn prefix(&self, i: usize) -> Path {
-        Path { nodes: self.nodes[..=i].to_vec() }
+        Path {
+            nodes: self.nodes[..=i].to_vec(),
+        }
     }
 }
 
@@ -244,14 +247,20 @@ mod tests {
     fn validated_rejects_repeat() {
         let (g, ids) = line();
         let seq = vec![ids[0], ids[1], ids[0]];
-        assert_eq!(Path::validated(seq, &g), Err(PathError::RepeatedNode(ids[0])));
+        assert_eq!(
+            Path::validated(seq, &g),
+            Err(PathError::RepeatedNode(ids[0]))
+        );
     }
 
     #[test]
     fn validated_rejects_missing_edge() {
         let (g, ids) = line();
         let seq = vec![ids[0], ids[2]];
-        assert_eq!(Path::validated(seq, &g), Err(PathError::MissingEdge(ids[0], ids[2])));
+        assert_eq!(
+            Path::validated(seq, &g),
+            Err(PathError::MissingEdge(ids[0], ids[2]))
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ pub fn max_product_dijkstra<N, E>(
         } else {
             match transit_factor(u) {
                 Some(t) => {
-                    assert!(t > 0.0 && t <= 1.0, "transit factor must be in (0,1], got {t}");
+                    assert!(
+                        t > 0.0 && t <= 1.0,
+                        "transit factor must be in (0,1], got {t}"
+                    );
                     t
                 }
                 None => continue,
@@ -183,7 +186,11 @@ pub fn max_product_dijkstra<N, E>(
             }
         }
     }
-    BestRates { source, metric, prev }
+    BestRates {
+        source,
+        metric,
+        prev,
+    }
 }
 
 /// Hop distances from `source` by breadth-first search; `None` = unreachable.

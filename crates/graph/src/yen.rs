@@ -97,7 +97,10 @@ pub fn yen_k_shortest<N, E>(
         return accepted;
     };
     let best_cost = path_cost(graph, &best, &mut cost);
-    accepted.push(CostedPath { path: best, cost: best_cost });
+    accepted.push(CostedPath {
+        path: best,
+        cost: best_cost,
+    });
 
     // Min-heap of candidate deviations keyed by cost; the node list is a
     // tiebreaker so ordering is deterministic.
@@ -106,7 +109,11 @@ pub fn yen_k_shortest<N, E>(
     seen.insert(accepted[0].path.nodes().to_vec());
 
     while accepted.len() < k {
-        let prev = accepted.last().expect("at least one accepted path").path.clone();
+        let prev = accepted
+            .last()
+            .expect("at least one accepted path")
+            .path
+            .clone();
         for i in 0..prev.hops() {
             let spur_node = prev.nodes()[i];
             let root = prev.prefix(i);
@@ -120,12 +127,13 @@ pub fn yen_k_shortest<N, E>(
                 }
             }
             // Root nodes other than the spur node must not reappear.
-            let banned_nodes: HashSet<NodeId> =
-                root.nodes()[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root.nodes()[..i].iter().copied().collect();
 
             let spur_tree =
                 dijkstra_with_bans(graph, spur_node, &banned_nodes, &banned_hops, &mut cost);
-            let Some(spur) = spur_tree.path_to(target) else { continue };
+            let Some(spur) = spur_tree.path_to(target) else {
+                continue;
+            };
             let total = root.join(&spur);
             let nodes = total.nodes().to_vec();
             if seen.insert(nodes.clone()) {
@@ -133,8 +141,13 @@ pub fn yen_k_shortest<N, E>(
                 candidates.push(Reverse((Metric::new(c), nodes)));
             }
         }
-        let Some(Reverse((c, nodes))) = candidates.pop() else { break };
-        accepted.push(CostedPath { path: Path::new(nodes), cost: c.value() });
+        let Some(Reverse((c, nodes))) = candidates.pop() else {
+            break;
+        };
+        accepted.push(CostedPath {
+            path: Path::new(nodes),
+            cost: c.value(),
+        });
     }
     accepted
 }
@@ -176,8 +189,7 @@ mod tests {
         // c-e-g-h and c-d-e-f-h. Both ranks 2 and 3 must come from that tie.
         assert_eq!(paths[1].cost, 7.0);
         assert_eq!(paths[2].cost, 7.0);
-        let tie: Vec<Vec<NodeId>> =
-            vec![vec![c, e, gg, h], vec![c, _d, e, f, h]];
+        let tie: Vec<Vec<NodeId>> = vec![vec![c, e, gg, h], vec![c, _d, e, f, h]];
         assert!(tie.contains(&paths[1].path.nodes().to_vec()));
         assert!(tie.contains(&paths[2].path.nodes().to_vec()));
         assert_ne!(paths[1].path, paths[2].path);
@@ -209,11 +221,7 @@ mod tests {
     }
 
     /// Enumerates every simple path between two nodes with DFS.
-    fn all_simple_paths(
-        g: &UnGraph<(), f64>,
-        s: NodeId,
-        t: NodeId,
-    ) -> Vec<(Vec<NodeId>, f64)> {
+    fn all_simple_paths(g: &UnGraph<(), f64>, s: NodeId, t: NodeId) -> Vec<(Vec<NodeId>, f64)> {
         fn dfs(
             g: &UnGraph<(), f64>,
             cur: NodeId,

@@ -184,7 +184,10 @@ impl EntanglementRegistry {
     /// The GHZ arity (member count) of a live group.
     #[must_use]
     pub fn group_size(&self, g: GroupId) -> Option<usize> {
-        self.groups.get(g.index()).and_then(|slot| slot.as_ref()).map(BTreeSet::len)
+        self.groups
+            .get(g.index())
+            .and_then(|slot| slot.as_ref())
+            .map(BTreeSet::len)
     }
 
     /// `true` if `a` and `b` currently share a GHZ state.
@@ -272,7 +275,11 @@ impl EntanglementRegistry {
             for &q in &merged {
                 self.states[q.index()] = QubitState::Free;
             }
-            return Ok(FusionOutcome { group: None, arity, survivors: 0 });
+            return Ok(FusionOutcome {
+                group: None,
+                arity,
+                survivors: 0,
+            });
         }
         let gid = GroupId(self.groups.len());
         for &q in &merged {
@@ -280,7 +287,11 @@ impl EntanglementRegistry {
         }
         let survivors = merged.len();
         self.groups.push(Some(merged));
-        Ok(FusionOutcome { group: Some(gid), arity, survivors })
+        Ok(FusionOutcome {
+            group: Some(gid),
+            arity,
+            survivors,
+        })
     }
 
     /// Records a *failed* probabilistic fusion: the measured qubits are
@@ -462,7 +473,10 @@ mod tests {
         assert!(!reg.are_entangled(alice, bob));
         assert!(reg.is_free(alice));
         assert!(reg.is_free(bob));
-        assert!(!reg.is_free(sw1), "measured qubits are consumed even on failure");
+        assert!(
+            !reg.is_free(sw1),
+            "measured qubits are consumed even on failure"
+        );
         assert_eq!(reg.group_count(), 0);
     }
 
@@ -476,7 +490,9 @@ mod tests {
         assert!(out.is_some());
 
         let (mut reg2, pairs2) = reg_with_pairs(2);
-        let out2 = reg2.try_fuse(&mut rng, 0.0, &[pairs2[0].1, pairs2[1].0]).unwrap();
+        let out2 = reg2
+            .try_fuse(&mut rng, 0.0, &[pairs2[0].1, pairs2[1].0])
+            .unwrap();
         assert!(out2.is_none());
     }
 
@@ -496,8 +512,14 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert_eq!(RegistryError::EmptyFusion.to_string(), "fusion requires at least one qubit");
-        assert_eq!(RegistryError::NotFree(QubitId(3)).to_string(), "qubit q3 is not free");
+        assert_eq!(
+            RegistryError::EmptyFusion.to_string(),
+            "fusion requires at least one qubit"
+        );
+        assert_eq!(
+            RegistryError::NotFree(QubitId(3)).to_string(),
+            "qubit q3 is not free"
+        );
     }
 
     proptest! {

@@ -75,12 +75,7 @@ pub fn fuse_groups(
 /// # Panics
 ///
 /// Panics if `q` is not in `group` or the group has fewer than 2 members.
-pub fn measure_out_x(
-    tab: &mut Tableau,
-    group: &[usize],
-    q: usize,
-    rng: &mut impl Rng,
-) -> bool {
+pub fn measure_out_x(tab: &mut Tableau, group: &[usize], q: usize, rng: &mut impl Rng) -> bool {
     assert!(group.contains(&q), "qubit {q} not in group");
     assert!(group.len() >= 2, "group must hold at least a Bell pair");
     tab.h(q);

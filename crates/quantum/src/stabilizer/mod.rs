@@ -2,7 +2,7 @@
 //!
 //! The routing layers treat an n-fusion as an abstract "merge these GHZ
 //! groups" step; this module grounds that abstraction. [`Tableau`] is an
-//! Aaronson-Gottesman stabilizer simulator (CHP-style) and [`fusion`]
+//! Aaronson-Gottesman stabilizer simulator (CHP-style) and [`fuse_groups`]
 //! executes the actual GHZ-basis measurement circuits — CNOT fan-in,
 //! Hadamard, Z measurements, conditional Pauli corrections — proving that a
 //! successful n-fusion over n groups leaves the survivors in exactly the

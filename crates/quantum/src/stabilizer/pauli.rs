@@ -25,7 +25,11 @@ impl PauliString {
     /// The identity on `n` qubits.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        PauliString { x: vec![false; n], z: vec![false; n], negative: false }
+        PauliString {
+            x: vec![false; n],
+            z: vec![false; n],
+            negative: false,
+        }
     }
 
     /// An operator with `X` on each listed qubit and identity elsewhere.
@@ -156,7 +160,10 @@ mod tests {
         let z1 = PauliString::z_string(2, &[1]);
         let xx = PauliString::x_string(2, &[0, 1]);
         let zz = PauliString::z_string(2, &[0, 1]);
-        assert!(!x0.commutes_with(&z0), "X and Z on the same qubit anticommute");
+        assert!(
+            !x0.commutes_with(&z0),
+            "X and Z on the same qubit anticommute"
+        );
         assert!(x0.commutes_with(&z1), "disjoint supports commute");
         assert!(xx.commutes_with(&zz), "two anticommuting sites cancel");
         assert!(xx.commutes_with(&xx));

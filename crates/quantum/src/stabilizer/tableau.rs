@@ -12,7 +12,11 @@ struct Row {
 
 impl Row {
     fn zero(n: usize) -> Self {
-        Row { x: vec![false; n], z: vec![false; n], r: false }
+        Row {
+            x: vec![false; n],
+            z: vec![false; n],
+            r: false,
+        }
     }
 }
 
@@ -142,9 +146,11 @@ impl Tableau {
             );
         }
         phase = phase.rem_euclid(4);
-        debug_assert!(phase == 0 || phase == 2, "hermitian products have real sign");
-        let (xi, zi): (Vec<bool>, Vec<bool>) =
-            (self.rows[i].x.clone(), self.rows[i].z.clone());
+        debug_assert!(
+            phase == 0 || phase == 2,
+            "hermitian products have real sign"
+        );
+        let (xi, zi): (Vec<bool>, Vec<bool>) = (self.rows[i].x.clone(), self.rows[i].z.clone());
         let row_h = &mut self.rows[h];
         row_h.r = phase == 2;
         for j in 0..self.n {
@@ -203,7 +209,10 @@ impl Tableau {
     ///
     /// Panics if `qubits` is empty or repeats an index.
     pub fn prepare_ghz(&mut self, qubits: &[usize]) {
-        assert!(!qubits.is_empty(), "GHZ preparation needs at least one qubit");
+        assert!(
+            !qubits.is_empty(),
+            "GHZ preparation needs at least one qubit"
+        );
         let mut seen = std::collections::HashSet::new();
         for &q in qubits {
             assert!(seen.insert(q), "qubit {q} repeated");
@@ -242,8 +251,9 @@ impl Tableau {
                 self.rowsum(scratch, i + n);
             }
         }
-        let same = (0..n)
-            .all(|j| self.rows[scratch].x[j] == p.x_bit(j) && self.rows[scratch].z[j] == p.z_bit(j));
+        let same = (0..n).all(|j| {
+            self.rows[scratch].x[j] == p.x_bit(j) && self.rows[scratch].z[j] == p.z_bit(j)
+        });
         if !same {
             return None;
         }
@@ -289,7 +299,10 @@ mod tests {
         let mut tab = Tableau::new(3);
         let mut r = rng();
         for q in 0..3 {
-            assert!(!tab.measure_z(q, &mut r), "|000> must measure 0 deterministically");
+            assert!(
+                !tab.measure_z(q, &mut r),
+                "|000> must measure 0 deterministically"
+            );
         }
     }
 

@@ -29,18 +29,13 @@ pub fn sample_round(
 }
 
 /// One n-fusion round: percolation over the flow-like graph.
-pub fn sample_flow_round(
-    net: &QuantumNetwork,
-    plan: &DemandPlan,
-    rng: &mut impl Rng,
-) -> bool {
+pub fn sample_flow_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl Rng) -> bool {
     let flow = &plan.flow;
     if flow.is_empty() {
         return false;
     }
     let nodes = flow.nodes();
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     // Sample switch fusions once per state per switch.
     let q = net.swap_success();
@@ -51,7 +46,9 @@ pub fn sample_flow_round(
 
     let mut sets = DisjointSets::new(nodes.len());
     for (u, v, w) in flow.edges() {
-        let Some((edge, _)) = net.hop(u, v) else { continue };
+        let Some((edge, _)) = net.hop(u, v) else {
+            continue;
+        };
         let (ui, vi) = (index[&u], index[&v]);
         if !switch_up[ui] || !switch_up[vi] {
             continue;
@@ -70,11 +67,7 @@ pub fn sample_flow_round(
 /// single pre-committed lane — one link per hop, one BSM per intermediate
 /// switch (the paper's classic model, see
 /// `fusion_core::metrics::classic`).
-pub fn sample_classic_round(
-    net: &QuantumNetwork,
-    plan: &DemandPlan,
-    rng: &mut impl Rng,
-) -> bool {
+pub fn sample_classic_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl Rng) -> bool {
     let q = net.swap_success();
     'path: for wp in &plan.paths {
         let hops: Option<Vec<f64>> = wp
@@ -173,7 +166,8 @@ mod tests {
         let mut plan = DemandPlan::empty(demand);
         plan.flow.add_path(&Path::new(vec![s, v1, d]), 1);
         plan.flow.add_path(&Path::new(vec![s, v2, d]), 2);
-        plan.paths.push(WidthedPath::uniform(Path::new(vec![s, v1, d]), 1));
+        plan.paths
+            .push(WidthedPath::uniform(Path::new(vec![s, v1, d]), 1));
 
         let analytic = metrics::flow_rate(&net, &plan.flow).value();
         let measured = estimate(&net, &plan, SwapMode::NFusion, 40_000, 11);

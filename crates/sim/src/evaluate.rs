@@ -91,8 +91,7 @@ pub fn estimate_plan_parallel(
     assert!(threads > 0, "need at least one thread");
     let per_thread = rounds.div_ceil(threads);
     let total_rounds = per_thread * threads;
-    let hits: Vec<Mutex<usize>> =
-        plan.plans.iter().map(|_| Mutex::new(0usize)).collect();
+    let hits: Vec<Mutex<usize>> = plan.plans.iter().map(|_| Mutex::new(0usize)).collect();
 
     crossbeam::scope(|scope| {
         for t in 0..threads {
@@ -121,7 +120,10 @@ pub fn estimate_plan_parallel(
         .into_iter()
         .map(|h| RateEstimate::from_successes(h.into_inner(), total_rounds))
         .collect();
-    PlanEstimate { per_demand, rounds: total_rounds }
+    PlanEstimate {
+        per_demand,
+        rounds: total_rounds,
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,7 @@ pub fn flow_reliability(net: &QuantumNetwork, flow: &FlowGraph) -> f64 {
         return 0.0;
     }
     let nodes = flow.nodes();
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     // Random elements: channels (with their up-probabilities) and switches.
     let channels: Vec<(usize, usize, f64)> = flow
@@ -116,8 +115,7 @@ mod tests {
 
     #[test]
     fn path_reliability_matches_eq1() {
-        let (net, ids) =
-            uniform_net(&[(0, 1), (1, 2), (2, 3)], &[0, 3], 4, 0.45, 0.85);
+        let (net, ids) = uniform_net(&[(0, 1), (1, 2), (2, 3)], &[0, 3], 4, 0.45, 0.85);
         let mut flow = FlowGraph::new(ids[0], ids[3]);
         flow.add_path(&Path::new(ids.clone()), 2);
         let exact = flow_reliability(&net, &flow);
@@ -128,8 +126,7 @@ mod tests {
     #[test]
     fn parallel_branches_match_eq1() {
         // Branch-disjoint: S -> {v1, v2} -> D.
-        let (net, ids) =
-            uniform_net(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 3], 4, 0.5, 0.8);
+        let (net, ids) = uniform_net(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 3], 4, 0.5, 0.8);
         let mut flow = FlowGraph::new(ids[0], ids[3]);
         flow.add_path(&Path::new(vec![ids[0], ids[1], ids[3]]), 1);
         flow.add_path(&Path::new(vec![ids[0], ids[2], ids[3]]), 1);
@@ -158,7 +155,10 @@ mod tests {
             eq1 >= exact - 1e-12,
             "Eq. 1 must be optimistic on reconvergent flows: {eq1} vs {exact}"
         );
-        assert!(eq1 - exact < 0.15, "gap should stay moderate: {eq1} vs {exact}");
+        assert!(
+            eq1 - exact < 0.15,
+            "gap should stay moderate: {eq1} vs {exact}"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct FailureModel {
 
 impl Default for FailureModel {
     fn default() -> Self {
-        FailureModel { switch_outage: 0.0, link_decay: 0.0 }
+        FailureModel {
+            switch_outage: 0.0,
+            link_decay: 0.0,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ impl FailureModel {
             (0.0..1.0).contains(&self.switch_outage),
             "switch outage must be in [0,1)"
         );
-        assert!((0.0..1.0).contains(&self.link_decay), "link decay must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.link_decay),
+            "link decay must be in [0,1)"
+        );
         let mut out = net.clone();
         let q = net.swap_success() * (1.0 - self.switch_outage);
         out.set_swap_success(q.max(1e-9));
@@ -53,16 +59,14 @@ impl FailureModel {
             // emulate by scaling alpha-equivalent success per link via the
             // uniform override on the mean link success.
             match net.physics().uniform_link_success {
-                Some(p) => out.set_uniform_link_success(Some(
-                    (p * (1.0 - self.link_decay)).max(1e-9),
-                )),
+                Some(p) => {
+                    out.set_uniform_link_success(Some((p * (1.0 - self.link_decay)).max(1e-9)))
+                }
                 None => {
                     // Without a uniform override, scale every link through
                     // the mean: sample-free, conservative approximation.
                     let mean = mean_link_success(net);
-                    out.set_uniform_link_success(Some(
-                        (mean * (1.0 - self.link_decay)).max(1e-9),
-                    ));
+                    out.set_uniform_link_success(Some((mean * (1.0 - self.link_decay)).max(1e-9)));
                 }
             }
         }
@@ -77,11 +81,7 @@ pub fn mean_link_success(net: &QuantumNetwork) -> f64 {
     if graph.edge_count() == 0 {
         return 0.0;
     }
-    graph
-        .edge_ids()
-        .map(|e| net.link_success(e))
-        .sum::<f64>()
-        / graph.edge_count() as f64
+    graph.edge_ids().map(|e| net.link_success(e)).sum::<f64>() / graph.edge_count() as f64
 }
 
 #[cfg(test)]
@@ -116,8 +116,11 @@ mod tests {
     fn switch_outage_reduces_rate() {
         let (net, demands) = world();
         let plan = alg_n_fusion(&net, &demands);
-        let degraded =
-            FailureModel { switch_outage: 0.3, link_decay: 0.0 }.degrade(&net);
+        let degraded = FailureModel {
+            switch_outage: 0.3,
+            link_decay: 0.0,
+        }
+        .degrade(&net);
         assert!(plan.total_rate(&degraded) < plan.total_rate(&net));
         assert!((degraded.swap_success() - net.swap_success() * 0.7).abs() < 1e-12);
     }
@@ -127,7 +130,11 @@ mod tests {
         let (mut net, demands) = world();
         net.set_uniform_link_success(Some(0.5));
         let plan = alg_n_fusion(&net, &demands);
-        let degraded = FailureModel { switch_outage: 0.0, link_decay: 0.4 }.degrade(&net);
+        let degraded = FailureModel {
+            switch_outage: 0.0,
+            link_decay: 0.4,
+        }
+        .degrade(&net);
         assert!((degraded.link_success(fusion_graph::EdgeId::new(0)) - 0.3).abs() < 1e-12);
         assert!(plan.total_rate(&degraded) < plan.total_rate(&net));
     }
@@ -149,6 +156,10 @@ mod tests {
     #[should_panic(expected = "switch outage")]
     fn invalid_outage_rejected() {
         let (net, _) = world();
-        let _ = FailureModel { switch_outage: 1.5, link_decay: 0.0 }.degrade(&net);
+        let _ = FailureModel {
+            switch_outage: 1.5,
+            link_decay: 0.0,
+        }
+        .degrade(&net);
     }
 }

@@ -13,11 +13,7 @@ use crate::stats::RateEstimate;
 
 /// Samples one protocol round for a star plan. Returns `true` when the
 /// k-party GHZ state is established.
-pub fn sample_star_round(
-    net: &QuantumNetwork,
-    star: &StarPlan,
-    rng: &mut impl Rng,
-) -> bool {
+pub fn sample_star_round(net: &QuantumNetwork, star: &StarPlan, rng: &mut impl Rng) -> bool {
     if !star.is_complete() {
         return false;
     }
@@ -25,7 +21,9 @@ pub fn sample_star_round(
     for wp in &star.branches {
         // Every hop channel of the branch must come up...
         for (u, v, w) in wp.hops() {
-            let Some((edge, _)) = net.hop(u, v) else { return false };
+            let Some((edge, _)) = net.hop(u, v) else {
+                return false;
+            };
             if !rng.gen_bool(net.channel_success(edge, w)) {
                 return false;
             }
@@ -82,8 +80,12 @@ mod tests {
         }
         .generate(9);
         let net = fusion_core::QuantumNetwork::from_topology(&topo, &NetworkParams::default());
-        let members: Vec<NodeId> =
-            net.graph().node_ids().filter(|&n| net.is_user(n)).take(3).collect();
+        let members: Vec<NodeId> = net
+            .graph()
+            .node_ids()
+            .filter(|&n| net.is_user(n))
+            .take(3)
+            .collect();
         let demand = MultipartyDemand::new(DemandId::new(0), members);
         let out = route_multiparty(&net, &[demand], &MultipartyConfig::default());
         let star = out.stars.into_iter().next().expect("one star");

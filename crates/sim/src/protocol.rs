@@ -50,11 +50,7 @@ pub struct RoundOutcome {
 /// Panics (debug assertions) if the registry verdict ever disagrees with
 /// percolation connectivity — that would mean the quantum bookkeeping and
 /// the analytic model diverged.
-pub fn simulate_round(
-    net: &QuantumNetwork,
-    plan: &DemandPlan,
-    rng: &mut impl Rng,
-) -> RoundOutcome {
+pub fn simulate_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl Rng) -> RoundOutcome {
     let flow = &plan.flow;
     if flow.is_empty() {
         return RoundOutcome {
@@ -73,7 +69,9 @@ pub fn simulate_round(
     // Phase III.1: heralded link-level entanglement on every parallel link.
     let mut live_links: Vec<(NodeId, NodeId)> = Vec::new();
     for (u, v, width) in flow.edges() {
-        let Some((_, p)) = net.hop(u, v) else { continue };
+        let Some((_, p)) = net.hop(u, v) else {
+            continue;
+        };
         for _ in 0..width {
             if rng.gen_bool(p) {
                 let qu = registry.alloc();
@@ -120,7 +118,9 @@ pub fn simulate_round(
             continue;
         }
         fusions_attempted += usize::from(qubits.len() >= 2);
-        registry.fail_fuse(&qubits).expect("filtered to entangled qubits");
+        registry
+            .fail_fuse(&qubits)
+            .expect("filtered to entangled qubits");
     }
     // Successful fusions merge whatever survived.
     for (&node, &up) in &switch_up {
@@ -189,7 +189,12 @@ pub fn simulate_round(
         );
     }
 
-    RoundOutcome { established, links_generated, fusions_attempted, fusions_succeeded }
+    RoundOutcome {
+        established,
+        links_generated,
+        fusions_attempted,
+        fusions_succeeded,
+    }
 }
 
 /// Recomputes the round verdict by percolation over the sampled outcomes.
@@ -200,8 +205,7 @@ fn connectivity_verdict(
     switch_up: &HashMap<NodeId, bool>,
 ) -> bool {
     let nodes = plan.flow.nodes();
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut sets = DisjointSets::new(nodes.len());
     let up = |n: NodeId| !net.is_switch(n) || *switch_up.get(&n).unwrap_or(&false);
     for &(u, v) in live_links {

@@ -37,7 +37,11 @@ impl RateEstimate {
         assert!(successes <= rounds, "more successes than rounds");
         let mean = successes as f64 / rounds as f64;
         let var = mean * (1.0 - mean) / rounds as f64;
-        RateEstimate { mean, stderr: var.sqrt(), rounds }
+        RateEstimate {
+            mean,
+            stderr: var.sqrt(),
+            rounds,
+        }
     }
 
     /// Estimate from a sequence of real-valued samples.
@@ -55,7 +59,11 @@ impl RateEstimate {
         } else {
             0.0
         };
-        RateEstimate { mean, stderr: (var / n).sqrt(), rounds: samples.len() }
+        RateEstimate {
+            mean,
+            stderr: (var / n).sqrt(),
+            rounds: samples.len(),
+        }
     }
 
     /// Two-sided ~95% normal-approximation confidence interval, clamped to

@@ -7,7 +7,7 @@
 //! (Phase I), every round executes one synchronized attempt per active
 //! demand (Phases II-III), and established demands depart. The output is
 //! the latency distribution — the quantity studied by the waiting-time
-//! line of work the paper cites (Shchukin et al. [14]) — plus backlog and
+//! line of work the paper cites (Shchukin et al. \[14\]) — plus backlog and
 //! throughput traces.
 
 use fusion_core::algorithms::{route, RoutingConfig};
@@ -43,7 +43,11 @@ pub struct TimelineConfig {
 
 impl Default for TimelineConfig {
     fn default() -> Self {
-        TimelineConfig { rounds: 100, routing: RoutingConfig::n_fusion(), max_attempts: None }
+        TimelineConfig {
+            rounds: 100,
+            routing: RoutingConfig::n_fusion(),
+            max_attempts: None,
+        }
     }
 }
 
@@ -88,8 +92,11 @@ impl TimelineReport {
     /// Mean latency over served demands; `None` if nothing was served.
     #[must_use]
     pub fn mean_latency(&self) -> Option<f64> {
-        let latencies: Vec<usize> =
-            self.outcomes.iter().filter_map(DemandOutcome::latency).collect();
+        let latencies: Vec<usize> = self
+            .outcomes
+            .iter()
+            .filter_map(DemandOutcome::latency)
+            .collect();
         if latencies.is_empty() {
             return None;
         }
@@ -120,7 +127,11 @@ pub fn run_timeline(
     assert!(config.rounds > 0, "timeline needs at least one round");
     let mut outcomes: Vec<DemandOutcome> = arrivals
         .iter()
-        .map(|a| DemandOutcome { arrived: a.round, served: None, attempts: 0 })
+        .map(|a| DemandOutcome {
+            arrived: a.round,
+            served: None,
+            attempts: 0,
+        })
         .collect();
     let mut active: Vec<usize> = Vec::new(); // indices into arrivals
     let mut backlog = Vec::with_capacity(config.rounds);
@@ -177,7 +188,11 @@ pub fn run_timeline(
             plan = None; // capacity freed: re-plan next round
         }
     }
-    TimelineReport { outcomes, backlog, replans }
+    TimelineReport {
+        outcomes,
+        backlog,
+        replans,
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +218,11 @@ mod tests {
     fn batch_arrivals(pairs: &[(NodeId, NodeId)], round: usize) -> Vec<Arrival> {
         pairs
             .iter()
-            .map(|&(source, dest)| Arrival { round, source, dest })
+            .map(|&(source, dest)| Arrival {
+                round,
+                source,
+                dest,
+            })
             .collect()
     }
 
@@ -212,8 +231,7 @@ mod tests {
         let (net, pairs) = world(1);
         let arrivals = batch_arrivals(&pairs, 0);
         let mut rng = StdRng::seed_from_u64(7);
-        let report =
-            run_timeline(&net, &arrivals, &TimelineConfig::default(), &mut rng);
+        let report = run_timeline(&net, &arrivals, &TimelineConfig::default(), &mut rng);
         // With 100 rounds and per-round success well above 0.1, all five
         // demands are served with overwhelming probability.
         assert_eq!(report.served(), 5, "outcomes: {:?}", report.outcomes);
@@ -227,7 +245,11 @@ mod tests {
     #[test]
     fn latency_counts_from_arrival() {
         let (net, pairs) = world(2);
-        let arrivals = vec![Arrival { round: 10, source: pairs[0].0, dest: pairs[0].1 }];
+        let arrivals = vec![Arrival {
+            round: 10,
+            source: pairs[0].0,
+            dest: pairs[0].1,
+        }];
         let mut rng = StdRng::seed_from_u64(3);
         let report = run_timeline(&net, &arrivals, &TimelineConfig::default(), &mut rng);
         let outcome = report.outcomes[0];
@@ -244,7 +266,10 @@ mod tests {
         net.set_uniform_link_success(Some(0.01)); // nearly hopeless
         let arrivals = batch_arrivals(&pairs[..2], 0);
         let mut rng = StdRng::seed_from_u64(5);
-        let config = TimelineConfig { max_attempts: Some(3), ..TimelineConfig::default() };
+        let config = TimelineConfig {
+            max_attempts: Some(3),
+            ..TimelineConfig::default()
+        };
         let report = run_timeline(&net, &arrivals, &config, &mut rng);
         for o in &report.outcomes {
             assert!(o.attempts <= 3);
@@ -277,6 +302,9 @@ mod tests {
         let fast: f64 = (0..5).map(|s| latency_at(&net, s)).sum::<f64>() / 5.0;
         net.set_uniform_link_success(Some(0.25));
         let slow: f64 = (0..5).map(|s| latency_at(&net, s)).sum::<f64>() / 5.0;
-        assert!(fast < slow, "latency must fall with link quality: {fast} vs {slow}");
+        assert!(
+            fast < slow,
+            "latency must fall with link quality: {fast} vs {slow}"
+        );
     }
 }

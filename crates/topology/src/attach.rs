@@ -47,7 +47,11 @@ fn add_user(
         .iter()
         .map(|&s| (pos.distance(graph.node(s).position), s))
         .collect();
-    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+    by_distance.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite distances")
+            .then(a.1.cmp(&b.1))
+    });
     for &(d, s) in by_distance.iter().take(cfg.user_attach) {
         graph.add_edge(user, s, Link::new(d));
     }
@@ -80,9 +84,17 @@ mod tests {
         let users: Vec<_> = g.node_ids().filter(|&n| g.node(n).is_user()).collect();
         assert_eq!(users.len(), 6);
         for u in users {
-            assert_eq!(g.degree(u), 2, "user must attach to exactly user_attach switches");
+            assert_eq!(
+                g.degree(u),
+                2,
+                "user must attach to exactly user_attach switches"
+            );
             for v in g.neighbors(u) {
-                assert_eq!(g.node(v).role, Role::Switch, "users only connect to switches");
+                assert_eq!(
+                    g.node(v).role,
+                    Role::Switch,
+                    "users only connect to switches"
+                );
             }
         }
     }
@@ -94,7 +106,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         attach_users(&mut g, &cfg, &mut rng);
         for e in g.edges() {
-            let d = g.node(e.source).position.distance(g.node(e.target).position);
+            let d = g
+                .node(e.source)
+                .position
+                .distance(g.node(e.target).position);
             assert!((d - e.weight.length).abs() < 1e-9);
         }
     }

@@ -10,19 +10,19 @@ use crate::model::Topology;
 /// Which random-graph family to generate the switch layer with (Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum GeneratorKind {
-    /// Waxman geometric random graph [31] (the paper's default).
+    /// Waxman geometric random graph \[31\] (the paper's default).
     Waxman {
         /// Locality exponent: larger values favour short edges. The
         /// connection probability is `β·exp(-d / (alpha·L_max))` with `β`
         /// calibrated to hit the target average degree.
         alpha: f64,
     },
-    /// Watts-Strogatz small-world graph [32].
+    /// Watts-Strogatz small-world graph \[32\].
     WattsStrogatz {
         /// Probability of rewiring each lattice edge to a random node.
         rewire: f64,
     },
-    /// Aiello-style power-law random graph [33] via Chung-Lu sampling.
+    /// Aiello-style power-law random graph \[33\] via Chung-Lu sampling.
     Aiello {
         /// Degree-distribution exponent (`P(k) ∝ k^-gamma`).
         gamma: f64,
@@ -105,7 +105,10 @@ impl TopologyConfig {
     #[must_use]
     pub fn generate(&self, seed: u64) -> Topology {
         assert!(self.num_switches > 0, "need at least one switch");
-        assert!(self.user_attach > 0, "users must attach to at least one switch");
+        assert!(
+            self.user_attach > 0,
+            "users must attach to at least one switch"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut graph = match self.kind {
             GeneratorKind::Waxman { alpha } => generators::waxman(self, alpha, &mut rng),
@@ -136,15 +139,25 @@ mod tests {
 
     #[test]
     fn max_edge_length_scales_inverse_sqrt() {
-        let c = TopologyConfig { num_switches: 100, ..TopologyConfig::default() };
+        let c = TopologyConfig {
+            num_switches: 100,
+            ..TopologyConfig::default()
+        };
         assert!((c.max_edge_length() - 10_000.0 * 15.0 / 10.0).abs() < 1e-9);
-        let c4 = TopologyConfig { num_switches: 400, ..c };
+        let c4 = TopologyConfig {
+            num_switches: 400,
+            ..c
+        };
         assert!(c4.max_edge_length() < c.max_edge_length());
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let c = TopologyConfig { num_switches: 40, num_user_pairs: 5, ..Default::default() };
+        let c = TopologyConfig {
+            num_switches: 40,
+            num_user_pairs: 5,
+            ..Default::default()
+        };
         let a = c.generate(3);
         let b = c.generate(3);
         assert_eq!(a.graph.node_count(), b.graph.node_count());
@@ -154,7 +167,11 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let c = TopologyConfig { num_switches: 40, num_user_pairs: 5, ..Default::default() };
+        let c = TopologyConfig {
+            num_switches: 40,
+            num_user_pairs: 5,
+            ..Default::default()
+        };
         let a = c.generate(1);
         let b = c.generate(2);
         // Positions are continuous, so equality across seeds is a bug.
@@ -178,7 +195,10 @@ mod tests {
                 ..Default::default()
             };
             let t = c.generate(11);
-            assert!(search::is_connected(&t.graph), "{kind:?} produced disconnected graph");
+            assert!(
+                search::is_connected(&t.graph),
+                "{kind:?} produced disconnected graph"
+            );
             assert_eq!(t.switch_count(), 50);
             assert_eq!(t.user_ids().count(), 10);
             assert_eq!(t.demands.len(), 5);

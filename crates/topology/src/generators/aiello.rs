@@ -13,12 +13,11 @@ use crate::model::{Link, Site};
 /// with probability `min(1, w_u·w_v / Σw)`, which preserves the expected
 /// degree sequence. The result resembles scale-free Internet-like
 /// topologies: a few high-degree hubs and many low-degree leaves.
-pub(crate) fn aiello(
-    cfg: &TopologyConfig,
-    gamma: f64,
-    rng: &mut impl Rng,
-) -> UnGraph<Site, Link> {
-    assert!(gamma > 2.0, "aiello gamma must exceed 2 for a finite mean degree");
+pub(crate) fn aiello(cfg: &TopologyConfig, gamma: f64, rng: &mut impl Rng) -> UnGraph<Site, Link> {
+    assert!(
+        gamma > 2.0,
+        "aiello gamma must exceed 2 for a finite mean degree"
+    );
     let n = cfg.num_switches;
     let mut graph = place_switches(n, cfg.side, rng);
     if n < 2 {
@@ -56,7 +55,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(n: usize, degree: f64) -> TopologyConfig {
-        TopologyConfig { num_switches: n, avg_degree: degree, ..TopologyConfig::default() }
+        TopologyConfig {
+            num_switches: n,
+            avg_degree: degree,
+            ..TopologyConfig::default()
+        }
     }
 
     #[test]
@@ -94,7 +97,10 @@ mod tests {
         let c = cfg(60, 6.0);
         let g = aiello(&c, 2.5, &mut StdRng::seed_from_u64(3));
         for e in g.edges() {
-            let d = g.node(e.source).position.distance(g.node(e.target).position);
+            let d = g
+                .node(e.source)
+                .position
+                .distance(g.node(e.target).position);
             assert!((d - e.weight.length).abs() < 1e-9);
         }
     }

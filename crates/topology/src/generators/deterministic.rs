@@ -21,7 +21,10 @@ pub fn grid(rows: usize, cols: usize, spacing: f64) -> UnGraph<Site, Link> {
     let mut g = UnGraph::with_capacity(rows * cols, 2 * rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            g.add_node(Site::switch(Position::new(c as f64 * spacing, r as f64 * spacing)));
+            g.add_node(Site::switch(Position::new(
+                c as f64 * spacing,
+                r as f64 * spacing,
+            )));
         }
     }
     let id = |r: usize, c: usize| NodeId::new(r * cols + c);
@@ -70,7 +73,10 @@ pub fn ring(n: usize, radius: f64) -> UnGraph<Site, Link> {
     let mut g = UnGraph::with_capacity(n, n);
     for i in 0..n {
         let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
-        g.add_node(Site::switch(Position::new(radius * theta.cos(), radius * theta.sin())));
+        g.add_node(Site::switch(Position::new(
+            radius * theta.cos(),
+            radius * theta.sin(),
+        )));
     }
     for i in 0..n {
         let j = (i + 1) % n;
@@ -100,8 +106,10 @@ pub fn star(leaves: usize, radius: f64) -> UnGraph<Site, Link> {
     let hub = g.add_node(Site::switch(Position::new(0.0, 0.0)));
     for i in 0..leaves {
         let theta = 2.0 * std::f64::consts::PI * i as f64 / leaves as f64;
-        let leaf =
-            g.add_node(Site::switch(Position::new(radius * theta.cos(), radius * theta.sin())));
+        let leaf = g.add_node(Site::switch(Position::new(
+            radius * theta.cos(),
+            radius * theta.sin(),
+        )));
         g.add_edge(hub, leaf, Link::new(radius));
     }
     g
@@ -140,7 +148,10 @@ pub fn attach_user_pair(
 pub fn chain_with_users(n: usize, spacing: f64, lead: f64) -> Topology {
     let mut graph = line(n, spacing);
     let (s, d) = attach_user_pair(&mut graph, NodeId::new(0), NodeId::new(n - 1), lead);
-    Topology { graph, demands: vec![(s, d)] }
+    Topology {
+        graph,
+        demands: vec![(s, d)],
+    }
 }
 
 #[cfg(test)]

@@ -6,14 +6,14 @@
 //! every family, including the non-geometric ones.
 
 mod aiello;
-mod waxman;
 mod watts;
+mod waxman;
 
 pub mod deterministic;
 
 pub(crate) use aiello::aiello;
-pub(crate) use waxman::waxman;
 pub(crate) use watts::watts_strogatz;
+pub(crate) use waxman::waxman;
 
 use fusion_graph::UnGraph;
 use rand::Rng;
@@ -22,11 +22,7 @@ use crate::geometry::Position;
 use crate::model::{Link, Site};
 
 /// Samples `n` switch positions and inserts them as nodes.
-pub(crate) fn place_switches(
-    n: usize,
-    side: f64,
-    rng: &mut impl Rng,
-) -> UnGraph<Site, Link> {
+pub(crate) fn place_switches(n: usize, side: f64, rng: &mut impl Rng) -> UnGraph<Site, Link> {
     let mut graph = UnGraph::with_capacity(n, n * 4);
     for _ in 0..n {
         graph.add_node(Site::switch(Position::sample(rng, side)));

@@ -17,7 +17,10 @@ pub(crate) fn watts_strogatz(
     rewire: f64,
     rng: &mut impl Rng,
 ) -> UnGraph<Site, Link> {
-    assert!((0.0..=1.0).contains(&rewire), "rewire probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&rewire),
+        "rewire probability must be in [0,1]"
+    );
     let n = cfg.num_switches;
     let mut graph = place_switches(n, cfg.side, rng);
     if n < 2 {
@@ -34,7 +37,9 @@ pub(crate) fn watts_strogatz(
         let pb = graph.node(NodeId::new(b)).position;
         let ta = (pa.y - cy).atan2(pa.x - cx);
         let tb = (pb.y - cy).atan2(pb.x - cx);
-        ta.partial_cmp(&tb).expect("angles are finite").then(a.cmp(&b))
+        ta.partial_cmp(&tb)
+            .expect("angles are finite")
+            .then(a.cmp(&b))
     });
 
     // Each node connects to k/2 successors on the ring.
@@ -83,7 +88,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(n: usize, degree: f64) -> TopologyConfig {
-        TopologyConfig { num_switches: n, avg_degree: degree, ..TopologyConfig::default() }
+        TopologyConfig {
+            num_switches: n,
+            avg_degree: degree,
+            ..TopologyConfig::default()
+        }
     }
 
     #[test]
@@ -112,11 +121,21 @@ mod tests {
         let rewired = watts_strogatz(&c, 0.5, &mut StdRng::seed_from_u64(3));
         let lattice_edges: std::collections::HashSet<_> = lattice
             .edges()
-            .map(|e| (e.source.index().min(e.target.index()), e.source.index().max(e.target.index())))
+            .map(|e| {
+                (
+                    e.source.index().min(e.target.index()),
+                    e.source.index().max(e.target.index()),
+                )
+            })
             .collect();
         let rewired_edges: std::collections::HashSet<_> = rewired
             .edges()
-            .map(|e| (e.source.index().min(e.target.index()), e.source.index().max(e.target.index())))
+            .map(|e| {
+                (
+                    e.source.index().min(e.target.index()),
+                    e.source.index().max(e.target.index()),
+                )
+            })
             .collect();
         assert_ne!(lattice_edges, rewired_edges);
     }
@@ -128,7 +147,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for e in g.edges() {
             assert_ne!(e.source, e.target, "self-loop generated");
-            let key = (e.source.index().min(e.target.index()), e.source.index().max(e.target.index()));
+            let key = (
+                e.source.index().min(e.target.index()),
+                e.source.index().max(e.target.index()),
+            );
             assert!(seen.insert(key), "duplicate edge {key:?}");
         }
     }

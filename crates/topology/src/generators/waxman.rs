@@ -12,11 +12,7 @@ use crate::model::{Link, Site};
 /// analytically so the expected number of edges matches the target average
 /// degree, which is how the paper controls degree while keeping Waxman's
 /// distance bias.
-pub(crate) fn waxman(
-    cfg: &TopologyConfig,
-    alpha: f64,
-    rng: &mut impl Rng,
-) -> UnGraph<Site, Link> {
+pub(crate) fn waxman(cfg: &TopologyConfig, alpha: f64, rng: &mut impl Rng) -> UnGraph<Site, Link> {
     assert!(alpha > 0.0, "waxman alpha must be positive");
     let n = cfg.num_switches;
     let mut graph = place_switches(n, cfg.side, rng);
@@ -37,7 +33,11 @@ pub(crate) fn waxman(
     }
 
     let target_edges = cfg.avg_degree * n as f64 / 2.0;
-    let beta = if weight_sum > 0.0 { target_edges / weight_sum } else { 0.0 };
+    let beta = if weight_sum > 0.0 {
+        target_edges / weight_sum
+    } else {
+        0.0
+    };
     for (u, v, d, w) in candidates {
         let p = (beta * w).min(1.0);
         if rng.gen_bool(p) {
@@ -54,7 +54,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(n: usize, degree: f64) -> TopologyConfig {
-        TopologyConfig { num_switches: n, avg_degree: degree, ..TopologyConfig::default() }
+        TopologyConfig {
+            num_switches: n,
+            avg_degree: degree,
+            ..TopologyConfig::default()
+        }
     }
 
     #[test]
@@ -90,7 +94,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = waxman(&c, 0.4, &mut rng);
         for e in g.edges() {
-            let d = g.node(e.source).position.distance(g.node(e.target).position);
+            let d = g
+                .node(e.source)
+                .position
+                .distance(g.node(e.target).position);
             assert!((d - e.weight.length).abs() < 1e-9);
         }
     }

@@ -38,7 +38,10 @@ impl Position {
 
     /// Samples a uniform position inside `[0, side] × [0, side]`.
     pub fn sample(rng: &mut impl Rng, side: f64) -> Self {
-        Position { x: rng.gen_range(0.0..side), y: rng.gen_range(0.0..side) }
+        Position {
+            x: rng.gen_range(0.0..side),
+            y: rng.gen_range(0.0..side),
+        }
     }
 }
 
@@ -77,6 +80,9 @@ mod tests {
     fn sample_is_deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(9);
         let mut b = StdRng::seed_from_u64(9);
-        assert_eq!(Position::sample(&mut a, 10.0), Position::sample(&mut b, 10.0));
+        assert_eq!(
+            Position::sample(&mut a, 10.0),
+            Position::sample(&mut b, 10.0)
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! Implements the three network-generation methods evaluated by the paper
 //! (§V-A / Fig. 7) plus deterministic topologies for tests and examples:
 //!
-//! * [`generators::waxman`] — the Waxman geometric random graph (default).
-//! * [`generators::watts_strogatz`] — small-world rewiring.
-//! * [`generators::aiello`] — power-law (Chung-Lu style) degree-driven graph.
+//! * [`GeneratorKind::Waxman`] — the Waxman geometric random graph (default).
+//! * [`GeneratorKind::WattsStrogatz`] — small-world rewiring.
+//! * [`GeneratorKind::Aiello`] — power-law (Chung-Lu style) degree-driven graph.
 //! * [`generators::deterministic`] — grids, lines, rings, stars.
 //!
 //! Generators produce a switch-only graph; the user-attachment stage then

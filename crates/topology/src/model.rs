@@ -25,13 +25,19 @@ impl Site {
     /// Creates a switch site.
     #[must_use]
     pub fn switch(position: Position) -> Self {
-        Site { position, role: Role::Switch }
+        Site {
+            position,
+            role: Role::Switch,
+        }
     }
 
     /// Creates a user site.
     #[must_use]
     pub fn user(position: Position) -> Self {
-        Site { position, role: Role::User }
+        Site {
+            position,
+            role: Role::User,
+        }
     }
 
     /// `true` when this is a user site.
@@ -56,7 +62,10 @@ impl Link {
     /// Panics if `length` is negative or not finite.
     #[must_use]
     pub fn new(length: f64) -> Self {
-        assert!(length.is_finite() && length >= 0.0, "invalid link length {length}");
+        assert!(
+            length.is_finite() && length >= 0.0,
+            "invalid link length {length}"
+        );
         Link { length }
     }
 }
@@ -74,12 +83,16 @@ pub struct Topology {
 impl Topology {
     /// Iterates over switch node ids.
     pub fn switch_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph.node_ids().filter(|&n| self.graph.node(n).role == Role::Switch)
+        self.graph
+            .node_ids()
+            .filter(|&n| self.graph.node(n).role == Role::Switch)
     }
 
     /// Iterates over user node ids.
     pub fn user_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph.node_ids().filter(|&n| self.graph.node(n).role == Role::User)
+        self.graph
+            .node_ids()
+            .filter(|&n| self.graph.node(n).role == Role::User)
     }
 
     /// Number of switches.
@@ -138,7 +151,10 @@ mod tests {
         graph.add_edge(s0, s1, Link::new(1.0));
         graph.add_edge(u0, s0, Link::new(1.0));
         graph.add_edge(u1, s1, Link::new(1.0));
-        let topo = Topology { graph, demands: vec![(u0, u1)] };
+        let topo = Topology {
+            graph,
+            demands: vec![(u0, u1)],
+        };
         assert_eq!(topo.switch_count(), 2);
         assert_eq!(topo.user_ids().collect::<Vec<_>>(), vec![u0, u1]);
         assert!((topo.average_switch_degree() - 2.0).abs() < 1e-12);

@@ -41,11 +41,17 @@ fn main() {
     let fig6 = WidthedPath::uniform(Path::new(vec![alice, carol, bob]), 2);
     let rate6 = metrics::widthed_path_rate(&net, &fig6).value();
     let c = 1.0 - (1.0 - p) * (1.0 - p);
-    println!("Fig. 6a (width 2)    fusion rate: {rate6:.4}  [closed form {:.4}]", q * c * c);
+    println!(
+        "Fig. 6a (width 2)    fusion rate: {rate6:.4}  [closed form {:.4}]",
+        q * c * c
+    );
 
     // The same width-2 path under classic swapping: one pre-committed lane.
     let classic = metrics::classic::success_probability(&net, &fig6);
-    println!("Fig. 6b (width 2)   classic rate: {classic:.4}  [closed form {:.4}]", p * p * q);
+    println!(
+        "Fig. 6b (width 2)   classic rate: {classic:.4}  [closed form {:.4}]",
+        p * p * q
+    );
 
     println!(
         "\nn-fusion advantage on this path: {:.1}x (idea 4 predicts ~w^(z-1) = {}x for small p)",

@@ -46,7 +46,10 @@ fn main() {
         println!(
             "k = {k}: hub {}, branch hops {:?}, rate analytic {:.4} / simulated {:.4} ± {:.4}",
             star.hub.expect("complete"),
-            star.branches.iter().map(|b| b.path.hops()).collect::<Vec<_>>(),
+            star.branches
+                .iter()
+                .map(|b| b.path.hops())
+                .collect::<Vec<_>>(),
             analytic,
             measured.mean,
             measured.stderr
@@ -64,5 +67,8 @@ fn main() {
     }
     let outcomes = fuse_groups(&mut tab, &groups, &[1, 3, 5], &mut rng);
     println!("  hub measurement outcomes: {outcomes:?}");
-    println!("  users {{0, 2, 4}} share canonical GHZ: {}", tab.is_ghz(&[0, 2, 4]));
+    println!(
+        "  users {{0, 2, 4}} share canonical GHZ: {}",
+        tab.is_ghz(&[0, 2, 4])
+    );
 }

@@ -27,13 +27,20 @@ fn main() {
     let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
     let demands = Demand::from_topology(&topo);
     let plan = alg_n_fusion(&net, &demands);
-    println!("Phase I   routes computed: {} demands served", plan.served_demands());
+    println!(
+        "Phase I   routes computed: {} demands served",
+        plan.served_demands()
+    );
 
     // Phases II-III: run protocol rounds against the entanglement
     // registry; each round generates Bell pairs per heralded link, fuses at
     // switches, and checks that the users share a GHZ group.
     let mut rng = StdRng::seed_from_u64(11);
-    let dp = plan.plans.iter().find(|p| !p.is_unserved()).expect("some demand routed");
+    let dp = plan
+        .plans
+        .iter()
+        .find(|p| !p.is_unserved())
+        .expect("some demand routed");
     println!("Phase II  synchronized attempt rounds for {}:", dp.demand);
     let mut established = 0;
     let rounds = 10;
@@ -44,7 +51,11 @@ fn main() {
             out.links_generated,
             out.fusions_succeeded,
             out.fusions_attempted,
-            if out.established { "STATE ESTABLISHED" } else { "retry" }
+            if out.established {
+                "STATE ESTABLISHED"
+            } else {
+                "retry"
+            }
         );
         established += usize::from(out.established);
     }
@@ -65,5 +76,8 @@ fn main() {
     }
     let outcomes = fuse_groups(&mut tab, &groups, &[1, 2, 4], &mut rng);
     println!("  measurement outcomes: {outcomes:?}");
-    println!("  survivors {{0, 3, 5}} form canonical GHZ: {}", tab.is_ghz(&[0, 3, 5]));
+    println!(
+        "  survivors {{0, 3, 5}} form canonical GHZ: {}",
+        tab.is_ghz(&[0, 3, 5])
+    );
 }

@@ -30,7 +30,11 @@ fn main() {
         .demands
         .iter()
         .enumerate()
-        .map(|(i, &(source, dest))| Arrival { round: (i / 4) * 5, source, dest })
+        .map(|(i, &(source, dest))| Arrival {
+            round: (i / 4) * 5,
+            source,
+            dest,
+        })
         .collect();
 
     let mut rng = StdRng::seed_from_u64(4);

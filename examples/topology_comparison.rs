@@ -5,17 +5,20 @@
 //! cargo run --release --example topology_comparison
 //! ```
 
+use ghz_entanglement_routing::core::algorithms::{route, RoutingConfig};
 use ghz_entanglement_routing::core::baselines::{
     route_b1, route_qcast, route_qcast_n, DEFAULT_REGION_PATHS,
 };
-use ghz_entanglement_routing::core::algorithms::{route, RoutingConfig};
 use ghz_entanglement_routing::core::{Demand, NetworkParams, QuantumNetwork};
 use ghz_entanglement_routing::topology::{GeneratorKind, TopologyConfig};
 
 fn main() {
     let kinds = [
         ("Waxman", GeneratorKind::Waxman { alpha: 1.0 }),
-        ("Watts-Strogatz", GeneratorKind::WattsStrogatz { rewire: 0.1 }),
+        (
+            "Watts-Strogatz",
+            GeneratorKind::WattsStrogatz { rewire: 0.1 },
+        ),
         ("Aiello", GeneratorKind::Aiello { gamma: 2.5 }),
     ];
 
@@ -42,8 +45,7 @@ fn main() {
                 route_qcast(&net, &demands, 5).total_rate(&net),
                 route_qcast_n(&net, &demands, 5).total_rate(&net),
                 route_b1(&net, &demands, DEFAULT_REGION_PATHS).total_rate(&net),
-                route(&net, &demands, &RoutingConfig::n_fusion_without_alg4())
-                    .total_rate(&net),
+                route(&net, &demands, &RoutingConfig::n_fusion_without_alg4()).total_rate(&net),
             ];
             for (s, r) in sums.iter_mut().zip(rates) {
                 *s += r;

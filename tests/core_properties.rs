@@ -65,8 +65,7 @@ fn brute_force_best(
     ) {
         let cur = *path.last().expect("non-empty");
         if cur == dest {
-            let rate =
-                metrics::path_rate(net, &Path::new(path.clone()), width).value();
+            let rate = metrics::path_rate(net, &Path::new(path.clone()), width).value();
             if rate > 0.0 && best.is_none_or(|b| rate > b) {
                 *best = Some(rate);
             }
@@ -183,8 +182,7 @@ fn sp_strategy() -> impl Strategy<Value = Sp> {
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (1u32..4, inner.clone()).prop_map(|(w, t)| Sp::Hop(w, Box::new(t))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Sp::Parallel(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Sp::Parallel(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -245,7 +243,7 @@ proptest! {
         for i in 0..switches {
             b.switch(2.0 + i as f64, 0.0, 1_000);
         }
-        for (&(u, v), _) in &merged {
+        for &(u, v) in merged.keys() {
             b.link_with_length(NodeId::new(u), NodeId::new(v), 1.0).unwrap();
         }
         let mut net = b.build();

@@ -26,9 +26,16 @@ fn outages_degrade_rates_monotonically() {
     let plan = alg_n_fusion(&net, &demands);
     let mut last = f64::INFINITY;
     for outage in [0.0, 0.1, 0.3, 0.5] {
-        let degraded = FailureModel { switch_outage: outage, link_decay: 0.0 }.degrade(&net);
+        let degraded = FailureModel {
+            switch_outage: outage,
+            link_decay: 0.0,
+        }
+        .degrade(&net);
         let rate = plan.total_rate(&degraded);
-        assert!(rate <= last + 1e-9, "outage {outage}: rate rose ({last} -> {rate})");
+        assert!(
+            rate <= last + 1e-9,
+            "outage {outage}: rate rose ({last} -> {rate})"
+        );
         last = rate;
     }
 }
@@ -39,7 +46,11 @@ fn link_decay_degrades_simulated_rates() {
     net.set_uniform_link_success(Some(0.6));
     let plan = alg_n_fusion(&net, &demands);
     let healthy = estimate_plan(&net, &plan, 3_000, 5).total_rate();
-    let decayed_net = FailureModel { switch_outage: 0.0, link_decay: 0.3 }.degrade(&net);
+    let decayed_net = FailureModel {
+        switch_outage: 0.0,
+        link_decay: 0.3,
+    }
+    .degrade(&net);
     let decayed = estimate_plan(&decayed_net, &plan, 3_000, 5).total_rate();
     assert!(
         decayed < healthy,
@@ -53,7 +64,11 @@ fn replanning_after_failure_recovers_rate() {
     // as the stale plan evaluated on the degraded network.
     let (net, demands) = world(3);
     let stale = alg_n_fusion(&net, &demands);
-    let degraded = FailureModel { switch_outage: 0.2, link_decay: 0.1 }.degrade(&net);
+    let degraded = FailureModel {
+        switch_outage: 0.2,
+        link_decay: 0.1,
+    }
+    .degrade(&net);
     let stale_rate = stale.total_rate(&degraded);
     let fresh_rate = alg_n_fusion(&degraded, &demands).total_rate(&degraded);
     assert!(
@@ -110,7 +125,10 @@ fn tiny_capacity_networks_still_route_what_fits() {
         ..TopologyConfig::default()
     }
     .generate(5);
-    let params = NetworkParams { switch_capacity: 2, ..NetworkParams::default() };
+    let params = NetworkParams {
+        switch_capacity: 2,
+        ..NetworkParams::default()
+    };
     let net = QuantumNetwork::from_topology(&topo, &params);
     let demands = Demand::from_topology(&topo);
     let plan = alg_n_fusion(&net, &demands);

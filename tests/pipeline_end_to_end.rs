@@ -110,10 +110,16 @@ fn alg4_and_merging_are_monotone_improvements() {
         let no_merge = route(
             &net,
             &demands,
-            &RoutingConfig { merge_paths: false, ..RoutingConfig::n_fusion() },
+            &RoutingConfig {
+                merge_paths: false,
+                ..RoutingConfig::n_fusion()
+            },
         )
         .total_rate(&net);
-        assert!(full >= no_alg4 - 1e-9, "seed {seed}: alg4 hurt ({full} < {no_alg4})");
+        assert!(
+            full >= no_alg4 - 1e-9,
+            "seed {seed}: alg4 hurt ({full} < {no_alg4})"
+        );
         assert!(
             full >= no_merge - 0.35,
             "seed {seed}: merging regressed sharply ({full} vs {no_merge})"
@@ -133,7 +139,10 @@ fn more_resources_never_hurt_much() {
     .generate(11);
     let demands_topo = Demand::from_topology(&topo);
     let rate_at = |cap: u32| {
-        let params = NetworkParams { switch_capacity: cap, ..NetworkParams::default() };
+        let params = NetworkParams {
+            switch_capacity: cap,
+            ..NetworkParams::default()
+        };
         let net = QuantumNetwork::from_topology(&topo, &params);
         alg_n_fusion(&net, &demands_topo).total_rate(&net)
     };

@@ -132,7 +132,11 @@ fn protocol_counters_scale_with_widths() {
     let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
     let demands = Demand::from_topology(&topo);
     let plan = alg_n_fusion(&net, &demands);
-    let dp = plan.plans.iter().find(|p| !p.is_unserved()).expect("routed demand");
+    let dp = plan
+        .plans
+        .iter()
+        .find(|p| !p.is_unserved())
+        .expect("routed demand");
     let total_width: u32 = dp.flow.edges().map(|(_, _, w)| w).sum();
 
     let mut rng = StdRng::seed_from_u64(5);
@@ -146,5 +150,8 @@ fn protocol_counters_scale_with_widths() {
         mean_links <= f64::from(total_width),
         "cannot herald more links than allocated ({mean_links} > {total_width})"
     );
-    assert!(mean_links > 0.2 * f64::from(total_width), "suspiciously few links heralded");
+    assert!(
+        mean_links > 0.2 * f64::from(total_width),
+        "suspiciously few links heralded"
+    );
 }

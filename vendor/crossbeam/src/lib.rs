@@ -1,0 +1,38 @@
+//! Offline stub of `crossbeam`: just `crossbeam::scope`, implemented on top
+//! of `std::thread::scope` (stable since Rust 1.63). See `vendor/README.md`.
+//!
+//! Behavioral note: the real `crossbeam::scope` returns `Err` when a child
+//! thread panics; `std::thread::scope` propagates the panic instead, so here
+//! the `Result` is always `Ok`. Callers that `.expect()` the result behave
+//! identically either way.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle mirroring `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle (for
+    /// nested spawns), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

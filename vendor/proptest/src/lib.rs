@@ -1,0 +1,591 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*!` / [`prop_assume!`] /
+//! [`prop_oneof!`], the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range, tuple,
+//! [`collection::vec`] and [`bool::ANY`] strategies.
+//!
+//! Differences from the real crate: cases are sampled from a fixed
+//! deterministic seed per test function, there is **no shrinking** (a
+//! failure reports the assertion and case number but not a minimized
+//! input), and rejected cases ([`prop_assume!`]) are skipped rather than
+//! retried. See `vendor/README.md` for how to swap the real crate in.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Execution plumbing used by the [`proptest!`](crate::proptest) macro.
+
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (assumed-away) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// `true` for rejections, which are skips rather than failures.
+        pub fn is_rejection(&self) -> bool {
+            matches!(self, TestCaseError::Reject(_))
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Outcome of one sampled case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic RNG driving strategy sampling, backed by the
+    /// vendored `rand` stub's `StdRng` (real proptest likewise sits on
+    /// top of the `rand` crate).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates the RNG from a 64-bit seed.
+        pub fn seed_from_u64(state: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(state))
+        }
+
+        /// The fixed seed every property test starts from, keeping runs
+        /// reproducible in this offline environment.
+        pub fn deterministic() -> Self {
+            Self::seed_from_u64(0x5eed_cafe_f00d_0001)
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below: empty bound");
+            rand::Rng::gen_range(self, 0..bound)
+        }
+    }
+
+    // All sampling delegates to the vendored `rand`'s uniform mappings
+    // (`gen_range`, `gen_bool`), keeping one implementation of the
+    // endpoint-handling logic.
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of one type. Unlike real proptest there is no
+    /// value tree: strategies sample directly and nothing shrinks.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> T + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a cheap-to-clone handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy
+        /// for subtrees and returns the strategy for composite nodes. Up
+        /// to `depth` composite layers are stacked, with each layer
+        /// choosing uniformly between a leaf (`self`) and a composite.
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                current = Union::new(vec![self.clone().boxed(), recurse(current).boxed()]).boxed();
+            }
+            current
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased, reference-counted strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Chooses uniformly among its arms; backs [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given arms (at least one).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Range strategies delegate to the vendored `rand`'s `gen_range`, so
+    // the uniform mapping and half-open endpoint handling live in one
+    // place.
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number of elements a [`vec()`](fn@vec) strategy may generate.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: (usize, usize),
+    }
+
+    /// Generates vectors with lengths drawn from `size` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            size: (size.min, size.max_exclusive),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let (min, max) = self.size;
+            let len = min + rng.below(max - min);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Supports the forms used in this workspace:
+/// an optional leading `#![proptest_config(...)]`, then one or more
+/// `fn name(pattern in strategy, ...) { body }` items, each carrying its
+/// own attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_rejection() => {}
+                        ::std::result::Result::Err(e) => {
+                            panic!("proptest case {}/{} failed: {}", __case + 1, __config.cases, e)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, y in 0usize..5, f in 0.25f64..0.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..0.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs((a, b) in (0u32..4, 0u32..4), v in crate::collection::vec(0usize..3, 2..6)) {
+            prop_assert!(a < 4 && b < 4);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn recursive_respects_depth(t in tree_strategy()) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        #[test]
+        fn bool_any_flips(bits in crate::collection::vec(crate::bool::ANY, 32..64)) {
+            // With >= 32 fair flips, all-equal outcomes are ~2^-31: this
+            // must never trip in 64 deterministic cases.
+            prop_assert!(bits.iter().any(|&b| b) || bits.len() < 8);
+        }
+    }
+
+    fn tree_strategy() -> impl Strategy<Value = Tree> {
+        let leaf = (0u32..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 12, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![0u32..1, 5u32..6, 9u32..10];
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.sample(&mut rng));
+        }
+        assert_eq!(seen, [0u32, 5, 9].into_iter().collect());
+    }
+}

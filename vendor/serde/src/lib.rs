@@ -1,0 +1,21 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` on plain
+//! data types; nothing actually serializes. This proc-macro crate accepts
+//! the derives (including `#[serde(...)]` helper attributes) and expands
+//! them to nothing, so the annotated types compile unchanged. See
+//! `vendor/README.md` for how to swap the real crate back in.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
