@@ -29,6 +29,26 @@ fn bench_alg1(c: &mut Criterion) {
                 ))
             });
         });
+        // Same query on a reused scratch: the allocation-free hot path
+        // Algorithm 2 runs on.
+        let mut scratch = fusion_graph::SearchScratch::with_capacity(net.node_count());
+        group.bench_with_input(
+            BenchmarkId::new("reused_scratch", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    black_box(alg1::largest_rate_path_with(
+                        &mut scratch,
+                        &net,
+                        d.source,
+                        d.dest,
+                        w,
+                        &caps,
+                        &cons,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -160,6 +180,13 @@ fn bench_monte_carlo_round(c: &mut Criterion) {
                 &net, &dp, &mut rng,
             ))
         });
+    });
+    // The reusable sampler: resolved lookups + generational union-find,
+    // i.e. what estimate_plan actually runs per round.
+    let mut sampler = fusion_sim::FlowSampler::new(&net, &dp);
+    let mut rng_s = StdRng::seed_from_u64(3);
+    c.bench_function("mc_flow_round_reused_sampler", |b| {
+        b.iter(|| black_box(sampler.sample(&mut rng_s)));
     });
     let mut rng2 = StdRng::seed_from_u64(4);
     c.bench_function("protocol_registry_round", |b| {

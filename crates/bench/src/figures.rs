@@ -564,6 +564,64 @@ pub fn ablation_failures(config: &ExperimentConfig) -> FigureTable {
     }
 }
 
+/// Scale probe: routes and estimates ALG-N-FUSION on the configured
+/// topology (typically a `--preset large-*` one), reporting instance
+/// shape, served rate, and wall time per pipeline stage. This is the
+/// figure that makes the 1k–10k-switch presets an exercisable scenario:
+/// `figures scale --preset large-1k`.
+#[must_use]
+pub fn fig_scale(config: &ExperimentConfig) -> FigureTable {
+    use std::time::Instant;
+    let threads = config.resolved_threads();
+    let mut switches = 0.0;
+    let mut edges = 0.0;
+    let mut rate = 0.0;
+    let mut route_ms = 0.0;
+    let mut mc_ms = 0.0;
+    for i in 0..config.networks {
+        let (net, demands) = config.instance(i);
+        edges += net.graph().edge_count() as f64;
+        switches += net.graph().node_ids().filter(|&n| net.is_switch(n)).count() as f64;
+        let t0 = Instant::now();
+        let plan = Algorithm::AlgNFusion.route_threads(&net, &demands, config.h, threads);
+        route_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        rate += if config.mc_rounds == 0 {
+            plan.total_rate(&net)
+        } else {
+            fusion_sim::evaluate::estimate_plan_parallel(
+                &net,
+                &plan,
+                config.mc_rounds,
+                config.seed,
+                threads,
+            )
+            .total_rate()
+        };
+        mc_ms += t1.elapsed().as_secs_f64() * 1e3;
+    }
+    let n = config.networks as f64;
+    FigureTable {
+        id: "scale",
+        title: format!(
+            "ALG-N-FUSION at scale ({} switches, {} threads)",
+            config.topology.num_switches, threads
+        ),
+        x_label: "measure",
+        ticks: vec![
+            "switches".into(),
+            "edges".into(),
+            "rate".into(),
+            "route_ms".into(),
+            "mc_ms".into(),
+        ],
+        series: vec![Series {
+            label: "ALG-N-FUSION".into(),
+            values: vec![switches / n, edges / n, rate / n, route_ms / n, mc_ms / n],
+        }],
+    }
+}
+
 /// Runs a figure by id; `None` for unknown ids.
 #[must_use]
 pub fn run(id: &str, config: &ExperimentConfig) -> Option<FigureTable> {
@@ -582,12 +640,13 @@ pub fn run(id: &str, config: &ExperimentConfig) -> Option<FigureTable> {
         "ablation-classic" => ablation_classic(config),
         "extension-multiparty" => extension_multiparty(config),
         "ablation-failures" => ablation_failures(config),
+        "scale" => fig_scale(config),
         _ => return None,
     })
 }
 
 /// Every figure id, in paper order then ablations.
-pub const ALL_FIGURES: [&str; 14] = [
+pub const ALL_FIGURES: [&str; 15] = [
     "fig7",
     "fig8a",
     "fig8b",
@@ -602,6 +661,7 @@ pub const ALL_FIGURES: [&str; 14] = [
     "ablation-classic",
     "ablation-failures",
     "extension-multiparty",
+    "scale",
 ];
 
 #[cfg(test)]
@@ -656,6 +716,17 @@ mod tests {
             assert!(run(id, &c).is_some(), "{id} must dispatch");
         }
         assert!(run("nope", &c).is_none());
+    }
+
+    #[test]
+    fn scale_figure_reports_shape_and_timing() {
+        let t = fig_scale(&tiny());
+        assert_eq!(t.ticks.len(), 5);
+        let v = &t.series[0].values;
+        assert_eq!(v[0], 30.0, "quick config has 30 switches");
+        assert!(v[1] > 30.0, "edges outnumber switches");
+        assert!(v[2] > 0.0, "must route something");
+        assert!(v[3] >= 0.0 && v[4] >= 0.0, "timings are non-negative");
     }
 
     #[test]

@@ -11,4 +11,5 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod workloads;

@@ -1,0 +1,396 @@
+//! Wall-clock perf workloads with machine-readable output.
+//!
+//! Criterion's statistical micro-benches (`cargo bench`) are great for
+//! local investigation but awkward to gate CI on: the vendored harness has
+//! no baseline comparison and shared runners are noisy. This module defines
+//! a small set of *fixed, deterministic* workloads, times them with plain
+//! `Instant` medians, and serializes the results as a flat JSON map so the
+//! `perfbench` binary can emit and compare them (the CI bench job fails on
+//! large threshold-based regressions, per ROADMAP).
+//!
+//! The committed reference numbers live in `BENCH_BASELINE.json` at the
+//! repo root; regenerate them with
+//! `cargo run --release -p fusion-bench --bin perfbench -- run --out BENCH_BASELINE.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fusion_core::algorithms::alg1;
+use fusion_core::{metrics, SwapMode};
+use fusion_graph::SearchScratch;
+use fusion_sim::evaluate::estimate_plan;
+
+use crate::workloads::{Algorithm, ExperimentConfig};
+
+/// Median wall time of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Workload name (stable across refactors; the baseline key).
+    pub name: String,
+    /// Median wall time of one workload iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Timed repetitions the median was taken over.
+    pub reps: usize,
+}
+
+/// Outcome of comparing one workload against the committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Workload name.
+    pub name: String,
+    /// Baseline median (ns).
+    pub baseline_ns: f64,
+    /// Current median (ns), after calibration scaling when available.
+    pub current_ns: f64,
+    /// `current / baseline - 1`; positive means slower.
+    pub ratio: f64,
+    /// Whether the ratio exceeds the regression threshold.
+    pub regressed: bool,
+}
+
+/// Name of the machine-speed calibration workload. It is emitted and used
+/// to normalize comparisons across machines, but never gated itself.
+pub const CALIBRATION: &str = "calibration";
+
+/// Stable workload names, in execution order.
+pub const WORKLOADS: [&str; 6] = [
+    CALIBRATION,
+    "alg1_path_search",
+    "alg2_selection",
+    "eq1_flow_rate",
+    "mc_round",
+    "scale_1k_route",
+];
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Times `work` over `reps` repetitions (plus one warmup) and returns the
+/// median nanoseconds per repetition.
+fn time_workload(name: &str, reps: usize, mut work: impl FnMut()) -> BenchResult {
+    work(); // warmup: page in code and data
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        work();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    BenchResult {
+        name: name.to_string(),
+        median_ns: median(samples),
+        reps,
+    }
+}
+
+/// Fixed-cost arithmetic loop used to estimate the host's single-core
+/// speed, so baselines captured on one machine can be compared on another.
+fn run_calibration(reps: usize) -> BenchResult {
+    time_workload(CALIBRATION, reps, || {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+        for i in 0..2_000_000u64 {
+            acc ^= acc << 13;
+            acc ^= acc >> 7;
+            acc ^= acc << 17;
+            acc = acc.wrapping_add(i);
+        }
+        black_box(acc);
+    })
+}
+
+/// Runs the named workload with `reps` timed repetitions.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`WORKLOADS`] or `reps == 0`.
+#[must_use]
+pub fn run_workload(name: &str, reps: usize) -> BenchResult {
+    assert!(reps > 0, "need at least one timed repetition");
+    match name {
+        CALIBRATION => run_calibration(reps),
+        "alg1_path_search" => {
+            // The workload is "answer these path queries"; since the
+            // scratch refactor the production callers hold a reusable
+            // arena, so the timed loop does too.
+            let config = ExperimentConfig::quick();
+            let (net, demands) = config.instance(0);
+            let caps = net.capacities();
+            let cons = alg1::PathConstraints::default();
+            let mut scratch = SearchScratch::with_capacity(net.node_count());
+            time_workload(name, reps, || {
+                for d in &demands {
+                    for width in [1u32, 2, 3] {
+                        black_box(alg1::largest_rate_path_with(
+                            &mut scratch,
+                            &net,
+                            d.source,
+                            d.dest,
+                            width,
+                            &caps,
+                            &cons,
+                        ));
+                    }
+                }
+            })
+        }
+        "alg2_selection" => {
+            let config = ExperimentConfig::quick();
+            let (net, demands) = config.instance(0);
+            let caps = net.capacities();
+            time_workload(name, reps, || {
+                black_box(fusion_core::algorithms::alg2::paths_selection(
+                    &net,
+                    &demands,
+                    &caps,
+                    config.h,
+                    5,
+                    SwapMode::NFusion,
+                ));
+            })
+        }
+        "eq1_flow_rate" => {
+            let config = ExperimentConfig::quick();
+            let (net, demands) = config.instance(0);
+            let plan = Algorithm::AlgNFusion.route(&net, &demands, config.h);
+            time_workload(name, reps, || {
+                for dp in &plan.plans {
+                    black_box(metrics::flow_rate(&net, &dp.flow));
+                }
+            })
+        }
+        "mc_round" => {
+            let config = ExperimentConfig::quick();
+            let (net, demands) = config.instance(0);
+            let plan = Algorithm::AlgNFusion.route(&net, &demands, config.h);
+            time_workload(name, reps, || {
+                black_box(estimate_plan(&net, &plan, 2_000, config.seed));
+            })
+        }
+        "scale_1k_route" => {
+            // End-to-end 1k-switch grid workload: routing plus a short
+            // Monte Carlo estimate. Topology generation is setup, not
+            // measured. Pinned to one thread: every gated workload must
+            // be single-threaded so the single-core `calibration` factor
+            // can normalize across machines — a core-count difference
+            // between the baseline host and a CI runner would otherwise
+            // trip (or mask) the gate on parallel workloads. Parallel
+            // scaling is covered by the bit-identity tests and the
+            // Criterion `scale` bench instead.
+            let mut config = ExperimentConfig::large_grid(1_000);
+            config.threads = 1;
+            let (net, demands) = config.instance(0);
+            time_workload(name, reps, || {
+                let plan = Algorithm::AlgNFusion.route_threads(&net, &demands, config.h, 1);
+                black_box(
+                    fusion_sim::evaluate::estimate_plan(&net, &plan, config.mc_rounds, config.seed)
+                        .total_rate(),
+                );
+            })
+        }
+        other => panic!("unknown workload {other}; known: {}", WORKLOADS.join(" ")),
+    }
+}
+
+/// Serializes results as a flat JSON object `{"name": median_ns, ...}`.
+#[must_use]
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!("  \"{}\": {:.1}{}\n", r.name, r.median_ns, comma));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat JSON object written by [`to_json`].
+///
+/// Only the exact shape produced by this module is supported: an object
+/// whose values are plain (non-scientific) numbers and whose keys contain
+/// no escapes — enough for the bench gate without a JSON dependency.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn parse_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "expected a JSON object".to_string())?;
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry {entry:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("malformed key in {entry:?}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("malformed value in {entry:?}: {e}"))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Compares current results against a baseline.
+///
+/// When both sides carry the [`CALIBRATION`] workload, current numbers are
+/// scaled by `baseline_calibration / current_calibration` first, so a
+/// slower or faster host does not trip the gate. A workload present in the
+/// baseline but missing from `current` is reported as a regression (it
+/// means a gated bench was silently dropped); extra current workloads are
+/// ignored.
+#[must_use]
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    threshold: f64,
+) -> Vec<Comparison> {
+    let find =
+        |set: &[(String, f64)], name: &str| set.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+    let scale = match (find(baseline, CALIBRATION), find(current, CALIBRATION)) {
+        (Some(b), Some(c)) if b > 0.0 && c > 0.0 => b / c,
+        _ => 1.0,
+    };
+    baseline
+        .iter()
+        .filter(|(name, _)| name != CALIBRATION)
+        .map(|(name, base)| match find(current, name) {
+            Some(cur) => {
+                let scaled = cur * scale;
+                let ratio = scaled / base - 1.0;
+                Comparison {
+                    name: name.clone(),
+                    baseline_ns: *base,
+                    current_ns: scaled,
+                    ratio,
+                    regressed: ratio > threshold,
+                }
+            }
+            None => Comparison {
+                name: name.clone(),
+                baseline_ns: *base,
+                current_ns: f64::NAN,
+                ratio: f64::INFINITY,
+                regressed: true,
+            },
+        })
+        .collect()
+}
+
+/// Renders a comparison table; the caller decides how to exit.
+#[must_use]
+pub fn render_comparison(comparisons: &[Comparison], threshold: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22}{:>14}{:>14}{:>9}  gate (threshold +{:.0}%)\n",
+        "workload",
+        "baseline",
+        "current",
+        "delta",
+        threshold * 100.0
+    ));
+    for c in comparisons {
+        let status = if c.regressed { "REGRESSED" } else { "ok" };
+        if c.current_ns.is_nan() {
+            out.push_str(&format!(
+                "{:<22}{:>12.0}us{:>14}{:>9}  {status}\n",
+                c.name,
+                c.baseline_ns / 1_000.0,
+                "missing",
+                "-"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<22}{:>12.0}us{:>12.0}us{:>+8.1}%  {status}\n",
+                c.name,
+                c.baseline_ns / 1_000.0,
+                c.current_ns / 1_000.0,
+                c.ratio * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let results = vec![
+            BenchResult {
+                name: "a".into(),
+                median_ns: 1234.5,
+                reps: 3,
+            },
+            BenchResult {
+                name: "b".into(),
+                median_ns: 6789.0,
+                reps: 3,
+            },
+        ];
+        let parsed = parse_json(&to_json(&results)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "a");
+        assert!((parsed[0].1 - 1234.5).abs() < 1e-9);
+        assert!((parsed[1].1 - 6789.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("{\"a\": x}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing() {
+        let base = vec![("x".to_string(), 100.0), ("y".to_string(), 100.0)];
+        let current = vec![("x".to_string(), 150.0)];
+        let cmp = compare(&base, &current, 0.4);
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp[0].regressed, "50% over a 40% threshold must fail");
+        assert!(cmp[1].regressed, "missing workload must fail");
+        let ok = compare(&base, &[("x".into(), 120.0), ("y".into(), 90.0)], 0.4);
+        assert!(!ok[0].regressed && !ok[1].regressed);
+    }
+
+    #[test]
+    fn calibration_scales_comparison() {
+        // Current machine is 2x slower (calibration 200 vs 100): a raw 180
+        // would regress, but scaled (90) it must pass.
+        let base = vec![(CALIBRATION.to_string(), 100.0), ("x".to_string(), 100.0)];
+        let current = vec![(CALIBRATION.to_string(), 200.0), ("x".to_string(), 180.0)];
+        let cmp = compare(&base, &current, 0.4);
+        assert_eq!(cmp.len(), 1, "calibration itself is not gated");
+        assert!(!cmp[0].regressed, "calibration scaling must apply");
+        assert!((cmp[0].current_ns - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_is_positional() {
+        assert_eq!(median(vec![5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(vec![2.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn quick_workloads_produce_positive_times() {
+        // Keep this to the two cheapest workloads so the test stays fast.
+        for name in ["eq1_flow_rate", "alg1_path_search"] {
+            let r = run_workload(name, 1);
+            assert!(r.median_ns > 0.0, "{name} measured nothing");
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Default experiment configuration (paper §V-A) and algorithm runners.
 
-use fusion_core::algorithms::{route, RoutingConfig};
+use fusion_core::algorithms::{route_parallel, RoutingConfig};
 use fusion_core::baselines::{route_b1, route_qcast, route_qcast_n, DEFAULT_REGION_PATHS};
 use fusion_core::{Demand, NetworkParams, NetworkPlan, PhysicsParams, QuantumNetwork};
 use fusion_sim::evaluate::estimate_plan;
@@ -24,6 +24,10 @@ pub struct ExperimentConfig {
     pub mc_rounds: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for routing and Monte Carlo estimation; `1` keeps
+    /// the historical fully-serial behaviour (and its RNG streams), `0`
+    /// means "all available cores". The scale presets default to `0`.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -35,6 +39,7 @@ impl Default for ExperimentConfig {
             h: 5,
             mc_rounds: 1_500,
             seed: 0x5eed,
+            threads: 1,
         }
     }
 }
@@ -57,6 +62,47 @@ impl ExperimentConfig {
         }
     }
 
+    /// A large-scale preset: `num_switches` switches (Waxman by default,
+    /// see [`ExperimentConfig::large_grid`]), 50 demanded states, one
+    /// network, h = 3, 200 Monte Carlo rounds, all cores. These settings
+    /// keep a 1k-switch end-to-end run in seconds and a 10k-switch run in
+    /// minutes; push any knob back up explicitly when you need more.
+    #[must_use]
+    pub fn large(num_switches: usize) -> Self {
+        ExperimentConfig {
+            topology: TopologyConfig {
+                num_switches,
+                num_user_pairs: 50,
+                ..TopologyConfig::default()
+            },
+            networks: 1,
+            h: 3,
+            mc_rounds: 200,
+            threads: 0,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// [`ExperimentConfig::large`] on the deterministic grid lattice —
+    /// O(n) generation, the reference shape for 5k/10k scale runs.
+    #[must_use]
+    pub fn large_grid(num_switches: usize) -> Self {
+        let mut c = Self::large(num_switches);
+        c.topology.kind = GeneratorKind::Grid;
+        c
+    }
+
+    /// Resolves [`threads`](ExperimentConfig::threads): `0` becomes the
+    /// available core count.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
+    }
+
     /// Generates the `i`-th network instance and its demand list.
     #[must_use]
     pub fn instance(&self, i: usize) -> (QuantumNetwork, Vec<Demand>) {
@@ -65,6 +111,20 @@ impl ExperimentConfig {
         let demands = Demand::from_topology(&topo);
         (net, demands)
     }
+}
+
+/// The named large-topology presets exercised by the `figures` binary
+/// (`--preset NAME`) and the scale benchmarks.
+#[must_use]
+pub fn scale_presets() -> Vec<(&'static str, ExperimentConfig)> {
+    vec![
+        ("large-1k", ExperimentConfig::large(1_000)),
+        ("large-1k-grid", ExperimentConfig::large_grid(1_000)),
+        ("large-5k", ExperimentConfig::large(5_000)),
+        ("large-5k-grid", ExperimentConfig::large_grid(5_000)),
+        ("large-10k", ExperimentConfig::large(10_000)),
+        ("large-10k-grid", ExperimentConfig::large_grid(10_000)),
+    ]
 }
 
 /// The five algorithm variants of the evaluation.
@@ -115,32 +175,51 @@ impl Algorithm {
     /// Routes `demands` on `net` with this algorithm.
     #[must_use]
     pub fn route(self, net: &QuantumNetwork, demands: &[Demand], h: usize) -> NetworkPlan {
+        self.route_threads(net, demands, h, 1)
+    }
+
+    /// [`Algorithm::route`] with candidate construction sharded over
+    /// `threads` workers for the pipeline-based algorithms (the plan is
+    /// bit-identical to the serial one). The B1 baseline routes demands
+    /// sequentially against a running capacity remainder, so it stays
+    /// serial regardless.
+    #[must_use]
+    pub fn route_threads(
+        self,
+        net: &QuantumNetwork,
+        demands: &[Demand],
+        h: usize,
+        threads: usize,
+    ) -> NetworkPlan {
         match self {
-            Algorithm::AlgNFusion => route(
+            Algorithm::AlgNFusion => route_parallel(
                 net,
                 demands,
                 &RoutingConfig {
                     h,
                     ..RoutingConfig::n_fusion()
                 },
+                threads,
             ),
             Algorithm::QCast => route_qcast(net, demands, h),
             Algorithm::QCastN => route_qcast_n(net, demands, h),
             Algorithm::B1 => route_b1(net, demands, DEFAULT_REGION_PATHS),
-            Algorithm::Alg3Only => route(
+            Algorithm::Alg3Only => route_parallel(
                 net,
                 demands,
                 &RoutingConfig {
                     h,
                     ..RoutingConfig::n_fusion_without_alg4()
                 },
+                threads,
             ),
         }
     }
 }
 
 /// Entanglement rate of `algorithm` on one network instance: Monte Carlo
-/// when `mc_rounds > 0`, analytic otherwise.
+/// when `mc_rounds > 0`, analytic otherwise. Honors `config.threads`
+/// (`threads == 1` reproduces the historical serial RNG streams exactly).
 #[must_use]
 pub fn measure_rate(
     config: &ExperimentConfig,
@@ -148,9 +227,19 @@ pub fn measure_rate(
     net: &QuantumNetwork,
     demands: &[Demand],
 ) -> f64 {
-    let plan = algorithm.route(net, demands, config.h);
+    let threads = config.resolved_threads();
+    let plan = algorithm.route_threads(net, demands, config.h, threads);
     if config.mc_rounds == 0 {
         plan.total_rate(net)
+    } else if threads > 1 {
+        fusion_sim::evaluate::estimate_plan_parallel(
+            net,
+            &plan,
+            config.mc_rounds,
+            config.seed,
+            threads,
+        )
+        .total_rate()
     } else {
         estimate_plan(net, &plan, config.mc_rounds, config.seed).total_rate()
     }
@@ -267,6 +356,55 @@ mod tests {
                 algo.name()
             );
         }
+    }
+
+    #[test]
+    fn scale_presets_are_runnable_shapes() {
+        let presets = scale_presets();
+        assert_eq!(presets.len(), 6);
+        for (name, c) in &presets {
+            assert!(
+                c.topology.num_switches >= 1_000,
+                "{name} is not large-scale"
+            );
+            assert_eq!(c.networks, 1, "{name} must average a single network");
+            assert!(c.mc_rounds <= 500, "{name} would run for hours");
+            assert!(c.resolved_threads() >= 1);
+        }
+        assert!(presets
+            .iter()
+            .any(|(n, c)| n.ends_with("-grid") && c.topology.kind == GeneratorKind::Grid));
+    }
+
+    #[test]
+    fn large_grid_preset_routes_end_to_end() {
+        // A scaled-down clone of the grid preset (same shape, fewer
+        // switches) must route and estimate without issue.
+        let mut c = ExperimentConfig::large_grid(1_000);
+        c.topology.num_switches = 150;
+        c.topology.num_user_pairs = 8;
+        c.mc_rounds = 50;
+        let (net, demands) = c.instance(0);
+        assert_eq!(
+            net.node_count(),
+            150 + 16,
+            "grid switches plus attached users"
+        );
+        let rate = measure_rate(&c, Algorithm::AlgNFusion, &net, &demands);
+        assert!(rate > 0.0, "grid network must route something");
+    }
+
+    #[test]
+    fn threaded_measure_matches_serial_analytically() {
+        // With mc_rounds == 0 the rate is analytic, so thread count must
+        // not change it at all.
+        let mut c = ExperimentConfig::quick();
+        c.mc_rounds = 0;
+        let (net, demands) = c.instance(0);
+        let serial = measure_rate(&c, Algorithm::AlgNFusion, &net, &demands);
+        c.threads = 0;
+        let parallel = measure_rate(&c, Algorithm::AlgNFusion, &net, &demands);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

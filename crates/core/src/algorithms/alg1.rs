@@ -12,7 +12,7 @@
 
 use std::collections::HashSet;
 
-use fusion_graph::{search, Metric, NodeId, Path};
+use fusion_graph::{search, Metric, NodeId, Path, SearchScratch};
 
 use crate::network::QuantumNetwork;
 
@@ -73,6 +73,35 @@ pub fn largest_rate_path(
     capacity: &[u32],
     constraints: &PathConstraints,
 ) -> Option<(Path, Metric)> {
+    let mut scratch = SearchScratch::with_capacity(net.node_count());
+    largest_rate_path_with(
+        &mut scratch,
+        net,
+        source,
+        dest,
+        width,
+        capacity,
+        constraints,
+    )
+}
+
+/// [`largest_rate_path`] with caller-provided search scratch: hot callers
+/// (Algorithm 2's Yen deviations, batched per-demand routing) reuse one
+/// arena across queries instead of allocating per call.
+///
+/// # Panics
+///
+/// Panics if `capacity` is shorter than the node count or `width == 0`.
+#[must_use]
+pub fn largest_rate_path_with(
+    scratch: &mut SearchScratch,
+    net: &QuantumNetwork,
+    source: NodeId,
+    dest: NodeId,
+    width: u32,
+    capacity: &[u32],
+    constraints: &PathConstraints,
+) -> Option<(Path, Metric)> {
     assert!(width > 0, "width must be positive");
     assert!(
         capacity.len() >= net.node_count(),
@@ -90,7 +119,8 @@ pub fn largest_rate_path(
     }
 
     let q = net.swap_success();
-    let best = search::max_product_dijkstra(
+    let best = search::max_product_dijkstra_with(
+        scratch,
         net.graph(),
         source,
         |from, e| {
@@ -252,6 +282,26 @@ mod tests {
         cons.ban_node(n[1]);
         cons.ban_node(n[3]);
         assert!(largest_rate_path(&net, n[0], n[5], 1, &caps, &cons).is_none());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_calls() {
+        let (net, n) = two_route_net(10);
+        let caps = net.capacities();
+        let mut scratch = SearchScratch::new();
+        let mut cons = PathConstraints::default();
+        // A query mix that exercises bans and infeasible widths on one
+        // dirty scratch.
+        for (width, banned) in [(1, None), (2, Some(n[3])), (3, None), (1, Some(n[1]))] {
+            cons.banned_nodes.clear();
+            if let Some(b) = banned {
+                cons.ban_node(b);
+            }
+            let reused =
+                largest_rate_path_with(&mut scratch, &net, n[0], n[5], width, &caps, &cons);
+            let fresh = largest_rate_path(&net, n[0], n[5], width, &caps, &cons);
+            assert_eq!(reused, fresh, "width {width}, banned {banned:?}");
+        }
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use std::collections::HashSet;
 
-use fusion_graph::{Metric, NodeId, Path};
+use fusion_graph::{Metric, NodeId, Path, SearchScratch};
 
-use crate::algorithms::alg1::{largest_rate_path, PathConstraints};
+use crate::algorithms::alg1::{largest_rate_path_with, PathConstraints};
 use crate::demand::{Demand, DemandId};
 use crate::flow::WidthedPath;
 use crate::metrics::path_rate;
@@ -53,21 +53,124 @@ pub fn paths_selection(
 ) -> Vec<CandidatePath> {
     assert!(h > 0, "need at least one candidate per width");
     assert!(max_width > 0, "max width must be positive");
-    let mut out = Vec::new();
-    for width in (1..=max_width).rev() {
-        for demand in demands {
-            for path in k_best_paths(net, demand, capacity, h, width) {
-                let wp = WidthedPath::uniform(path.clone(), width);
-                let metric = mode.score(net, &wp);
-                if metric > Metric::ZERO {
-                    out.push(CandidatePath {
+    let mut scratch = SearchScratch::with_capacity(net.node_count());
+    let per_demand: Vec<Vec<Vec<CandidatePath>>> = demands
+        .iter()
+        .map(|d| demand_candidates(net, d, capacity, h, max_width, mode, &mut scratch))
+        .collect();
+    assemble_width_major(per_demand, max_width)
+}
+
+/// Parallel variant of [`paths_selection`]: demands are sharded
+/// round-robin over `threads` workers, each with its own search scratch.
+/// Candidate construction evaluates every demand against the *full*
+/// capacity (contention is resolved later by Algorithm 3), so demands are
+/// independent and the output is bit-identical to the serial version.
+///
+/// # Panics
+///
+/// Panics if `h == 0`, `max_width == 0`, or `threads == 0`.
+#[must_use]
+pub fn paths_selection_parallel(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    capacity: &[u32],
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+    threads: usize,
+) -> Vec<CandidatePath> {
+    assert!(threads > 0, "need at least one worker");
+    if threads == 1 || demands.len() <= 1 {
+        return paths_selection(net, demands, capacity, h, max_width, mode);
+    }
+    assert!(h > 0, "need at least one candidate per width");
+    assert!(max_width > 0, "max width must be positive");
+
+    let mut slots: Vec<Option<Vec<Vec<CandidatePath>>>> = vec![None; demands.len()];
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(demands.len()))
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut scratch = SearchScratch::with_capacity(net.node_count());
+                    demands
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(di, d)| {
+                            let cands = demand_candidates(
+                                net,
+                                d,
+                                capacity,
+                                h,
+                                max_width,
+                                mode,
+                                &mut scratch,
+                            );
+                            (di, cands)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (di, cands) in handle.join().expect("selection workers must not panic") {
+                slots[di] = Some(cands);
+            }
+        }
+    })
+    .expect("selection scope must not panic");
+
+    let per_demand = slots
+        .into_iter()
+        .map(|s| s.expect("every demand was assigned to a worker"))
+        .collect();
+    assemble_width_major(per_demand, max_width)
+}
+
+/// One demand's candidates, grouped per width in descending-width order
+/// (`out[i]` holds width `max_width - i`).
+fn demand_candidates(
+    net: &QuantumNetwork,
+    demand: &Demand,
+    capacity: &[u32],
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+    scratch: &mut SearchScratch,
+) -> Vec<Vec<CandidatePath>> {
+    (1..=max_width)
+        .rev()
+        .map(|width| {
+            k_best_paths(net, demand, capacity, h, width, scratch)
+                .into_iter()
+                .filter_map(|path| {
+                    let wp = WidthedPath::uniform(path.clone(), width);
+                    let metric = mode.score(net, &wp);
+                    (metric > Metric::ZERO).then_some(CandidatePath {
                         demand: demand.id,
                         path,
                         width,
                         metric,
-                    });
-                }
-            }
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Flattens per-demand, per-width candidate groups into the pipeline's
+/// canonical order: width-major (descending), demand order within a width.
+fn assemble_width_major(
+    per_demand: Vec<Vec<Vec<CandidatePath>>>,
+    max_width: u32,
+) -> Vec<CandidatePath> {
+    let mut per_demand = per_demand;
+    let mut out = Vec::new();
+    for wi in 0..max_width as usize {
+        for groups in &mut per_demand {
+            out.append(&mut groups[wi]);
         }
     }
     out
@@ -80,11 +183,18 @@ fn k_best_paths(
     capacity: &[u32],
     h: usize,
     width: u32,
+    scratch: &mut SearchScratch,
 ) -> Vec<Path> {
     let base = PathConstraints::default();
-    let Some((first, metric)) =
-        largest_rate_path(net, demand.source, demand.dest, width, capacity, &base)
-    else {
+    let Some((first, metric)) = largest_rate_path_with(
+        scratch,
+        net,
+        demand.source,
+        demand.dest,
+        width,
+        capacity,
+        &base,
+    ) else {
         return Vec::new();
     };
 
@@ -144,9 +254,15 @@ fn k_best_paths(
                 cons.ban_node(n);
             }
 
-            let Some((spur, _)) =
-                largest_rate_path(net, spur_node, demand.dest, width, capacity, &cons)
-            else {
+            let Some((spur, _)) = largest_rate_path_with(
+                scratch,
+                net,
+                spur_node,
+                demand.dest,
+                width,
+                capacity,
+                &cons,
+            ) else {
                 continue;
             };
             let combined = root.join(&spur);
@@ -222,7 +338,7 @@ mod tests {
     fn finds_k_paths_in_rate_order() {
         let (net, demand, n) = triple_route();
         let caps = net.capacities();
-        let paths = k_best_paths(&net, &demand, &caps, 3, 1);
+        let paths = k_best_paths(&net, &demand, &caps, 3, 1, &mut SearchScratch::new());
         assert_eq!(paths.len(), 3);
         assert_eq!(paths[0].nodes(), &[n[0], n[2], n[1]], "2-hop route first");
         assert_eq!(paths[1].hops(), 3);
@@ -239,17 +355,27 @@ mod tests {
     fn h_bounds_output() {
         let (net, demand, _) = triple_route();
         let caps = net.capacities();
-        assert_eq!(k_best_paths(&net, &demand, &caps, 1, 1).len(), 1);
-        assert_eq!(k_best_paths(&net, &demand, &caps, 2, 1).len(), 2);
+        let mut scratch = SearchScratch::new();
+        assert_eq!(
+            k_best_paths(&net, &demand, &caps, 1, 1, &mut scratch).len(),
+            1
+        );
+        assert_eq!(
+            k_best_paths(&net, &demand, &caps, 2, 1, &mut scratch).len(),
+            2
+        );
         // Only 3 loopless routes exist.
-        assert_eq!(k_best_paths(&net, &demand, &caps, 10, 1).len(), 3);
+        assert_eq!(
+            k_best_paths(&net, &demand, &caps, 10, 1, &mut scratch).len(),
+            3
+        );
     }
 
     #[test]
     fn paths_are_distinct_and_loopless() {
         let (net, demand, _) = triple_route();
         let caps = net.capacities();
-        let paths = k_best_paths(&net, &demand, &caps, 10, 2);
+        let paths = k_best_paths(&net, &demand, &caps, 10, 2, &mut SearchScratch::new());
         let mut seen = HashSet::new();
         for p in &paths {
             assert!(seen.insert(p.nodes().to_vec()), "duplicate path {p}");
@@ -282,6 +408,35 @@ mod tests {
         let wp = WidthedPath::uniform(nf[0].path.clone(), 1);
         assert_eq!(nf[0].metric, SwapMode::NFusion.score(&net, &wp));
         assert_eq!(cl[0].metric, SwapMode::Classic.score(&net, &wp));
+    }
+
+    #[test]
+    fn parallel_selection_matches_serial_exactly() {
+        use crate::network::NetworkParams;
+        use fusion_topology::TopologyConfig;
+
+        let topo = TopologyConfig {
+            num_switches: 30,
+            num_user_pairs: 7,
+            avg_degree: 6.0,
+            ..TopologyConfig::default()
+        }
+        .generate(17);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        let caps = net.capacities();
+        let serial = paths_selection(&net, &demands, &caps, 3, 4, SwapMode::NFusion);
+        for threads in [2, 3, 8, 32] {
+            let parallel =
+                paths_selection_parallel(&net, &demands, &caps, 3, 4, SwapMode::NFusion, threads);
+            assert_eq!(serial.len(), parallel.len(), "threads={threads}");
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.demand, p.demand, "threads={threads}");
+                assert_eq!(s.path, p.path, "threads={threads}");
+                assert_eq!(s.width, p.width, "threads={threads}");
+                assert_eq!(s.metric, p.metric, "threads={threads}");
+            }
+        }
     }
 
     #[test]

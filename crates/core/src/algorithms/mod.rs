@@ -16,9 +16,9 @@ pub mod alg3_greedy;
 pub mod alg4;
 pub mod pipeline;
 
-pub use alg1::{largest_rate_path, PathConstraints};
-pub use alg2::{paths_selection, CandidatePath};
+pub use alg1::{largest_rate_path, largest_rate_path_with, PathConstraints};
+pub use alg2::{paths_selection, paths_selection_parallel, CandidatePath};
 pub use alg3::{paths_merge, MergeOutcome};
 pub use alg3_greedy::paths_merge_greedy;
 pub use alg4::assign_remaining;
-pub use pipeline::{alg_n_fusion, route, MergeOrder, RoutingConfig};
+pub use pipeline::{alg_n_fusion, route, route_parallel, MergeOrder, RoutingConfig};

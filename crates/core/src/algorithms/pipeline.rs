@@ -97,6 +97,27 @@ impl RoutingConfig {
 /// whose switches have no qubits cannot route anything).
 #[must_use]
 pub fn route(net: &QuantumNetwork, demands: &[Demand], config: &RoutingConfig) -> NetworkPlan {
+    route_parallel(net, demands, config, 1)
+}
+
+/// [`route`] with per-demand candidate construction sharded over
+/// `threads` workers (the dominant cost at 1k+ switches). The merge and
+/// leftover-assignment steps stay serial — they resolve cross-demand
+/// contention — so the resulting plan is bit-identical to the serial
+/// pipeline for any thread count.
+///
+/// # Panics
+///
+/// Panics if `config.h == 0`, `threads == 0`, or the resolved width bound
+/// is zero (a network whose switches have no qubits cannot route
+/// anything).
+#[must_use]
+pub fn route_parallel(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    config: &RoutingConfig,
+    threads: usize,
+) -> NetworkPlan {
     let max_width = config
         .max_width
         .unwrap_or_else(|| net.max_switch_capacity());
@@ -104,8 +125,15 @@ pub fn route(net: &QuantumNetwork, demands: &[Demand], config: &RoutingConfig) -
 
     // Step I: candidate construction against the full capacity.
     let capacity = net.capacities();
-    let candidates =
-        alg2::paths_selection(net, demands, &capacity, config.h, max_width, config.mode);
+    let candidates = alg2::paths_selection_parallel(
+        net,
+        demands,
+        &capacity,
+        config.h,
+        max_width,
+        config.mode,
+        threads,
+    );
 
     // Step II: capacity-aware merge.
     let alg3::MergeOutcome {
@@ -252,6 +280,23 @@ mod tests {
         assert_eq!(a.alg4_links, b.alg4_links);
         for (pa, pb) in a.plans.iter().zip(&b.plans) {
             assert_eq!(pa.flow, pb.flow);
+        }
+    }
+
+    #[test]
+    fn parallel_route_is_bit_identical_to_serial() {
+        let (net, demands) = small_world();
+        for config in [RoutingConfig::n_fusion(), RoutingConfig::classic()] {
+            let serial = route(&net, &demands, &config);
+            for threads in [2, 4, 16] {
+                let parallel = route_parallel(&net, &demands, &config, threads);
+                assert_eq!(serial.alg4_links, parallel.alg4_links);
+                assert_eq!(serial.leftover, parallel.leftover);
+                for (s, p) in serial.plans.iter().zip(&parallel.plans) {
+                    assert_eq!(s.flow, p.flow, "threads={threads}");
+                    assert_eq!(s.paths, p.paths, "threads={threads}");
+                }
+            }
         }
     }
 

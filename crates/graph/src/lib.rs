@@ -36,6 +36,7 @@
 mod graph;
 mod metric;
 mod path;
+mod stamps;
 mod unionfind;
 
 pub mod search;
@@ -44,4 +45,5 @@ pub mod yen;
 pub use graph::{EdgeId, EdgeRef, NodeId, UnGraph};
 pub use metric::Metric;
 pub use path::{Path, PathError};
-pub use unionfind::DisjointSets;
+pub use search::SearchScratch;
+pub use unionfind::{DisjointSets, GenerationalDisjointSets};

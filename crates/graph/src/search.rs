@@ -14,6 +14,173 @@ use crate::graph::{EdgeRef, NodeId, UnGraph};
 use crate::metric::Metric;
 use crate::path::Path;
 
+const NO_PREV: usize = usize::MAX;
+
+/// Reusable scratch arenas for [`dijkstra_with`] and
+/// [`max_product_dijkstra_with`].
+///
+/// A fresh Dijkstra run needs a distance array, a predecessor array, and a
+/// frontier heap — three allocations that dominate the cost of short
+/// queries on large graphs (Yen's algorithm issues hundreds of them per
+/// demand). A `SearchScratch` owns those buffers and resets them
+/// *generationally*: each run bumps a generation counter and entries are
+/// considered unset until stamped with the current generation, so reset is
+/// O(1) instead of O(nodes).
+///
+/// One scratch serves graphs of any size (buffers grow monotonically) but
+/// must not be shared across threads; give each worker its own.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::{search::SearchScratch, search, UnGraph};
+///
+/// let mut g: UnGraph<(), f64> = UnGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, 2.0);
+///
+/// let mut scratch = SearchScratch::new();
+/// for _ in 0..3 {
+///     let run = search::dijkstra_with(&mut scratch, &g, a, |_, w| *w);
+///     assert_eq!(run.distance(b), Some(2.0));
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+    stamps: crate::stamps::GenerationStamps,
+    min_heap: BinaryHeap<Reverse<(Metric, NodeId)>>,
+    max_heap: BinaryHeap<(Metric, NodeId)>,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for graphs of up to `nodes` nodes.
+    #[must_use]
+    pub fn with_capacity(nodes: usize) -> Self {
+        SearchScratch {
+            dist: vec![0.0; nodes],
+            prev: vec![NO_PREV; nodes],
+            stamps: crate::stamps::GenerationStamps::with_capacity(nodes),
+            min_heap: BinaryHeap::new(),
+            max_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Starts a new run over a graph with `n` nodes: grows buffers if
+    /// needed and invalidates every entry of the previous run in O(1).
+    fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.dist.resize(n, 0.0);
+            self.prev.resize(n, NO_PREV);
+        }
+        self.stamps.advance(n);
+        self.min_heap.clear();
+        self.max_heap.clear();
+    }
+
+    /// `true` if `i` has been written during the current run.
+    #[inline]
+    fn is_set(&self, i: usize) -> bool {
+        self.stamps.is_current(i)
+    }
+
+    /// Writes `(dist, prev)` for node `i` in the current generation.
+    #[inline]
+    fn set(&mut self, i: usize, dist: f64, prev: usize) {
+        self.dist[i] = dist;
+        self.prev[i] = prev;
+        self.stamps.mark(i);
+    }
+}
+
+/// Borrowed result of a scratch-backed min-sum Dijkstra run.
+#[derive(Debug)]
+pub struct MinSumRun<'a> {
+    source: NodeId,
+    scratch: &'a SearchScratch,
+}
+
+impl MinSumRun<'_> {
+    /// Distance from the source to `node`, or `None` if unreachable.
+    #[must_use]
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        self.scratch
+            .is_set(node.index())
+            .then(|| self.scratch.dist[node.index()])
+    }
+
+    /// Reconstructs the shortest path from the source to `node`.
+    #[must_use]
+    pub fn path_to(&self, node: NodeId) -> Option<Path> {
+        if !self.scratch.is_set(node.index()) {
+            return None;
+        }
+        walk_back(self.source, node, &self.scratch.prev)
+    }
+
+    /// The source node of this run.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+}
+
+/// Borrowed result of a scratch-backed max-product Dijkstra run.
+#[derive(Debug)]
+pub struct MaxProductRun<'a> {
+    source: NodeId,
+    scratch: &'a SearchScratch,
+}
+
+impl MaxProductRun<'_> {
+    /// Best (largest) product metric from the source to `node`; `0.0`
+    /// means unreachable.
+    #[must_use]
+    pub fn metric(&self, node: NodeId) -> Metric {
+        if self.scratch.is_set(node.index()) {
+            Metric::new(self.scratch.dist[node.index()])
+        } else {
+            Metric::ZERO
+        }
+    }
+
+    /// Reconstructs the best path to `node` together with its metric;
+    /// `None` if unreachable.
+    #[must_use]
+    pub fn path_to(&self, node: NodeId) -> Option<(Path, Metric)> {
+        let m = self.metric(node);
+        if m <= Metric::ZERO && node != self.source {
+            return None;
+        }
+        let path = walk_back(self.source, node, &self.scratch.prev)?;
+        Some((path, m))
+    }
+}
+
+/// Follows predecessor links from `node` back to `source`.
+fn walk_back(source: NodeId, node: NodeId, prev: &[usize]) -> Option<Path> {
+    let mut nodes = vec![node];
+    let mut cur = node;
+    while cur != source {
+        let p = prev[cur.index()];
+        if p == NO_PREV {
+            return None;
+        }
+        cur = NodeId::new(p);
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Some(Path::new(nodes))
+}
+
 /// Result of a min-sum Dijkstra run from a single source.
 #[derive(Debug, Clone)]
 pub struct ShortestPaths {
@@ -60,17 +227,41 @@ impl ShortestPaths {
 pub fn dijkstra<N, E>(
     graph: &UnGraph<N, E>,
     source: NodeId,
-    mut cost: impl FnMut(EdgeRef<'_, E>, &E) -> f64,
+    cost: impl FnMut(EdgeRef<'_, E>, &E) -> f64,
 ) -> ShortestPaths {
+    let mut scratch = SearchScratch::with_capacity(graph.node_count());
+    dijkstra_with(&mut scratch, graph, source, cost);
     let n = graph.node_count();
-    let mut dist: Vec<Option<f64>> = vec![None; n];
-    let mut prev: Vec<Option<NodeId>> = vec![None; n];
-    let mut heap: BinaryHeap<Reverse<(Metric, NodeId)>> = BinaryHeap::new();
-    dist[source.index()] = Some(0.0);
-    heap.push(Reverse((Metric::ZERO, source)));
+    let dist = (0..n)
+        .map(|i| scratch.is_set(i).then(|| scratch.dist[i]))
+        .collect();
+    let prev = (0..n)
+        .map(|i| {
+            (scratch.is_set(i) && scratch.prev[i] != NO_PREV).then(|| NodeId::new(scratch.prev[i]))
+        })
+        .collect();
+    ShortestPaths { source, dist, prev }
+}
 
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if dist[u.index()] != Some(d.value()) {
+/// Scratch-backed min-sum Dijkstra: identical semantics to [`dijkstra`],
+/// but all working memory comes from the caller-provided `scratch`, so a
+/// loop of queries performs no per-query allocation.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or if a cost is NaN.
+pub fn dijkstra_with<'s, N, E>(
+    scratch: &'s mut SearchScratch,
+    graph: &UnGraph<N, E>,
+    source: NodeId,
+    mut cost: impl FnMut(EdgeRef<'_, E>, &E) -> f64,
+) -> MinSumRun<'s> {
+    scratch.begin(graph.node_count());
+    scratch.set(source.index(), 0.0, NO_PREV);
+    scratch.min_heap.push(Reverse((Metric::ZERO, source)));
+
+    while let Some(Reverse((d, u))) = scratch.min_heap.pop() {
+        if scratch.dist[u.index()] != d.value() {
             continue; // stale entry
         }
         for e in graph.incident_edges(u) {
@@ -81,14 +272,13 @@ pub fn dijkstra<N, E>(
             assert!(!w.is_nan(), "edge cost must not be NaN");
             let v = e.other(u);
             let nd = d.value() + w;
-            if dist[v.index()].is_none_or(|old| nd < old) {
-                dist[v.index()] = Some(nd);
-                prev[v.index()] = Some(u);
-                heap.push(Reverse((Metric::new(nd), v)));
+            if !scratch.is_set(v.index()) || nd < scratch.dist[v.index()] {
+                scratch.set(v.index(), nd, u.index());
+                scratch.min_heap.push(Reverse((Metric::new(nd), v)));
             }
         }
     }
-    ShortestPaths { source, dist, prev }
+    MinSumRun { source, scratch }
 }
 
 /// Result of a max-product Dijkstra run from a single source.
@@ -145,18 +335,54 @@ impl BestRates {
 pub fn max_product_dijkstra<N, E>(
     graph: &UnGraph<N, E>,
     source: NodeId,
+    edge_factor: impl FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
+    transit_factor: impl FnMut(NodeId) -> Option<f64>,
+) -> BestRates {
+    let mut scratch = SearchScratch::with_capacity(graph.node_count());
+    max_product_dijkstra_with(&mut scratch, graph, source, edge_factor, transit_factor);
+    let n = graph.node_count();
+    let metric = (0..n)
+        .map(|i| {
+            if scratch.is_set(i) {
+                scratch.dist[i]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let prev = (0..n)
+        .map(|i| {
+            (scratch.is_set(i) && scratch.prev[i] != NO_PREV).then(|| NodeId::new(scratch.prev[i]))
+        })
+        .collect();
+    BestRates {
+        source,
+        metric,
+        prev,
+    }
+}
+
+/// Scratch-backed max-product Dijkstra: identical semantics to
+/// [`max_product_dijkstra`], but all working memory comes from the
+/// caller-provided `scratch` (Algorithm 2's Yen deviations issue hundreds
+/// of these per demand).
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds or a factor is outside `(0, 1]`.
+pub fn max_product_dijkstra_with<'s, N, E>(
+    scratch: &'s mut SearchScratch,
+    graph: &UnGraph<N, E>,
+    source: NodeId,
     mut edge_factor: impl FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
     mut transit_factor: impl FnMut(NodeId) -> Option<f64>,
-) -> BestRates {
-    let n = graph.node_count();
-    let mut metric = vec![0.0_f64; n];
-    let mut prev: Vec<Option<NodeId>> = vec![None; n];
-    let mut heap: BinaryHeap<(Metric, NodeId)> = BinaryHeap::new();
-    metric[source.index()] = 1.0;
-    heap.push((Metric::ONE, source));
+) -> MaxProductRun<'s> {
+    scratch.begin(graph.node_count());
+    scratch.set(source.index(), 1.0, NO_PREV);
+    scratch.max_heap.push((Metric::ONE, source));
 
-    while let Some((m, u)) = heap.pop() {
-        if metric[u.index()] != m.value() {
+    while let Some((m, u)) = scratch.max_heap.pop() {
+        if scratch.dist[u.index()] != m.value() {
             continue; // stale entry
         }
         // Transit factor applies when the path continues through u.
@@ -179,18 +405,13 @@ pub fn max_product_dijkstra<N, E>(
             assert!(f > 0.0 && f <= 1.0, "edge factor must be in (0,1], got {f}");
             let v = e.other(u);
             let nm = m.value() * through * f;
-            if nm > metric[v.index()] {
-                metric[v.index()] = nm;
-                prev[v.index()] = Some(u);
-                heap.push((Metric::new(nm), v));
+            if !scratch.is_set(v.index()) || nm > scratch.dist[v.index()] {
+                scratch.set(v.index(), nm, u.index());
+                scratch.max_heap.push((Metric::new(nm), v));
             }
         }
     }
-    BestRates {
-        source,
-        metric,
-        prev,
-    }
+    MaxProductRun { source, scratch }
 }
 
 /// Hop distances from `source` by breadth-first search; `None` = unreachable.
@@ -255,6 +476,7 @@ pub fn is_connected<N, E>(graph: &UnGraph<N, E>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Builds the weighted graph
     /// `a --1-- b --1-- d`, `a --4-- c --1-- d`.
@@ -376,6 +598,79 @@ mod tests {
         assert_eq!(hops[b.index()], Some(1));
         assert_eq!(hops[c.index()], Some(1));
         assert_eq!(hops[d.index()], Some(2));
+    }
+
+    #[test]
+    fn scratch_runs_match_fresh_runs() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut scratch = SearchScratch::new();
+        // Interleave min-sum and max-product queries on one scratch: each
+        // run must be independent of whatever the previous one left behind.
+        for source in [a, d, b, a, c] {
+            let run = dijkstra_with(&mut scratch, &g, source, |_, w| *w);
+            let fresh = dijkstra(&g, source, |_, w| *w);
+            for node in [a, b, c, d] {
+                assert_eq!(run.distance(node), fresh.distance(node));
+                assert_eq!(run.path_to(node), fresh.path_to(node));
+            }
+            assert_eq!(run.source(), source);
+            let run = max_product_dijkstra_with(
+                &mut scratch,
+                &g,
+                source,
+                |_, _| Some(0.9),
+                |_| Some(0.5),
+            );
+            let fresh = max_product_dijkstra(&g, source, |_, _| Some(0.9), |_| Some(0.5));
+            for node in [a, b, c, d] {
+                assert_eq!(run.metric(node), fresh.metric(node));
+                assert_eq!(run.path_to(node), fresh.path_to(node));
+            }
+        }
+    }
+
+    proptest! {
+        /// A dirty reused scratch must behave exactly like a fresh
+        /// allocation for every query in a random sequence.
+        #[test]
+        fn scratch_reuse_matches_fresh_on_random_graphs(
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u32..9), 1..24),
+            sources in proptest::collection::vec(0usize..8, 1..6),
+        ) {
+            let mut g: UnGraph<(), f64> = UnGraph::new();
+            for _ in 0..8 {
+                g.add_node(());
+            }
+            for (u, v, w) in edges {
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), f64::from(w));
+                }
+            }
+            let mut scratch = SearchScratch::new();
+            for s in sources {
+                let s = NodeId::new(s);
+                let run = dijkstra_with(&mut scratch, &g, s, |_, w| *w);
+                let fresh = dijkstra(&g, s, |_, w| *w);
+                for node in g.node_ids() {
+                    prop_assert_eq!(run.distance(node), fresh.distance(node));
+                    prop_assert_eq!(run.path_to(node), fresh.path_to(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_grows_across_graph_sizes() {
+        let mut scratch = SearchScratch::with_capacity(2);
+        let (big, [a, _, _, d]) = diamond();
+        let run = dijkstra_with(&mut scratch, &big, a, |_, w| *w);
+        assert_eq!(run.distance(d), Some(2.0));
+        // A smaller graph afterwards must not see the big graph's entries.
+        let mut small: UnGraph<(), f64> = UnGraph::new();
+        let x = small.add_node(());
+        let y = small.add_node(());
+        let run = dijkstra_with(&mut scratch, &small, x, |_, w| *w);
+        assert_eq!(run.distance(y), None);
     }
 
     #[test]

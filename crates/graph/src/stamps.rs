@@ -1,0 +1,108 @@
+//! Generation-stamp validity tracking shared by the reusable scratch
+//! structures ([`SearchScratch`](crate::search::SearchScratch),
+//! [`GenerationalDisjointSets`](crate::GenerationalDisjointSets)).
+//!
+//! The pattern: payload buffers are never cleared between runs; instead an
+//! entry is valid only while its stamp equals the current generation, and
+//! starting a new run just bumps the generation — O(1) reset. The subtle
+//! invariants (new or resized entries must start invalid, counter wrap
+//! pays one full clear) live here, single-sourced.
+
+/// Per-entry generation stamps with an O(1) bulk invalidate.
+#[derive(Debug, Clone)]
+pub(crate) struct GenerationStamps {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl Default for GenerationStamps {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+impl GenerationStamps {
+    /// Creates stamps for `n` entries, all invalid (generation starts at 1
+    /// and fresh stamps at 0).
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        GenerationStamps {
+            stamp: vec![0; n],
+            generation: 1,
+        }
+    }
+
+    /// Number of entries the stamp buffer covers.
+    pub(crate) fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Starts a new generation covering at least `n` entries: grows the
+    /// buffer if needed (new entries invalid) and invalidates every
+    /// existing entry in O(1) — except on `u32` counter wrap, which pays
+    /// one full clear.
+    pub(crate) fn advance(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// `true` if entry `i` was marked during the current generation.
+    #[inline]
+    pub(crate) fn is_current(&self, i: usize) -> bool {
+        self.stamp[i] == self.generation
+    }
+
+    /// Marks entry `i` as valid for the current generation.
+    #[inline]
+    pub(crate) fn mark(&mut self, i: usize) {
+        self.stamp[i] = self.generation;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_start_invalid_and_mark_per_generation() {
+        let mut s = GenerationStamps::with_capacity(3);
+        assert!(!s.is_current(0));
+        s.mark(0);
+        assert!(s.is_current(0));
+        s.advance(3);
+        assert!(!s.is_current(0), "advance invalidates prior marks");
+        s.mark(1);
+        assert!(s.is_current(1) && !s.is_current(0));
+    }
+
+    #[test]
+    fn growth_keeps_new_entries_invalid() {
+        let mut s = GenerationStamps::default();
+        s.advance(2);
+        s.mark(1);
+        s.advance(5);
+        assert_eq!(s.len(), 5);
+        for i in 0..5 {
+            assert!(!s.is_current(i));
+        }
+    }
+
+    #[test]
+    fn counter_wrap_clears_instead_of_aliasing() {
+        let mut s = GenerationStamps::with_capacity(2);
+        s.generation = u32::MAX;
+        s.mark(0); // stamped u32::MAX
+        s.advance(2); // wraps: fill(0), generation = 1
+        assert!(!s.is_current(0));
+        assert!(!s.is_current(1));
+        s.mark(1);
+        assert!(s.is_current(1));
+    }
+}

@@ -126,6 +126,159 @@ impl DisjointSets {
     }
 }
 
+/// Union-find with O(1) generational reset, for tight sampling loops.
+///
+/// The Monte Carlo connectivity sampler runs one union-find per round over
+/// the same node set; constructing a [`DisjointSets`] each round costs
+/// three allocations plus an O(n) fill. `GenerationalDisjointSets` keeps
+/// the buffers and invalidates them by bumping a generation counter:
+/// [`reset`](GenerationalDisjointSets::reset) is O(1) (amortized), and
+/// elements are lazily re-initialized as singletons on first touch.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::GenerationalDisjointSets;
+///
+/// let mut ds = GenerationalDisjointSets::new(3);
+/// ds.union(0, 1);
+/// assert!(ds.same_set(0, 1));
+/// ds.reset(3); // O(1): next round starts from singletons
+/// assert!(!ds.same_set(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenerationalDisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    size: Vec<usize>,
+    stamps: crate::stamps::GenerationStamps,
+    len: usize,
+    sets: usize,
+}
+
+impl GenerationalDisjointSets {
+    /// Creates `n` singleton sets labelled `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        GenerationalDisjointSets {
+            parent: vec![0; n],
+            rank: vec![0; n],
+            size: vec![0; n],
+            stamps: crate::stamps::GenerationStamps::with_capacity(n),
+            len: n,
+            sets: n,
+        }
+    }
+
+    /// Number of elements in the current generation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if there are no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct sets in the current generation.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Starts a fresh generation of `n` singleton sets, reusing the
+    /// buffers. O(1) unless the element count grows or the generation
+    /// counter wraps (then one O(n) clear is paid).
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.parent.resize(n, 0);
+            self.rank.resize(n, 0);
+            self.size.resize(n, 0);
+        }
+        self.stamps.advance(n);
+        self.len = n;
+        self.sets = n;
+    }
+
+    /// Lazily re-initializes `x` as a singleton if it has not been touched
+    /// this generation.
+    #[inline]
+    fn ensure(&mut self, x: usize) {
+        assert!(x < self.len, "element {x} out of bounds (len {})", self.len);
+        if !self.stamps.is_current(x) {
+            self.stamps.mark(x);
+            self.parent[x] = x;
+            self.rank[x] = 0;
+            self.size[x] = 1;
+        }
+    }
+
+    /// Returns the representative of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds for the current generation.
+    pub fn find(&mut self, x: usize) -> usize {
+        self.ensure(x);
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of bounds.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[ra] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of bounds.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,7 +322,72 @@ mod tests {
         assert_eq!(ds.set_count(), 0);
     }
 
+    #[test]
+    fn generational_reset_clears_state() {
+        let mut ds = GenerationalDisjointSets::new(4);
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert!(ds.union(0, 1));
+        assert!(ds.union(2, 3));
+        assert_eq!(ds.set_count(), 2);
+        assert_eq!(ds.set_size(0), 2);
+        ds.reset(4);
+        assert_eq!(ds.set_count(), 4);
+        assert!(!ds.same_set(0, 1));
+        assert_eq!(ds.set_size(2), 1);
+    }
+
+    #[test]
+    fn generational_grows_and_shrinks() {
+        let mut ds = GenerationalDisjointSets::new(2);
+        ds.union(0, 1);
+        ds.reset(6);
+        assert_eq!(ds.len(), 6);
+        assert!(ds.union(4, 5));
+        assert!(!ds.same_set(0, 1));
+        ds.reset(3);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.set_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn generational_bounds_follow_reset() {
+        let mut ds = GenerationalDisjointSets::new(5);
+        ds.reset(2);
+        let _ = ds.find(3);
+    }
+
     proptest! {
+        /// Across many generations, a reused generational union-find must
+        /// agree element-for-element with a freshly rebuilt
+        /// [`DisjointSets`] — the from-scratch reference the sampler used
+        /// to reconstruct every round.
+        #[test]
+        fn generational_matches_fresh_rebuild_across_rounds(
+            rounds in proptest::collection::vec(
+                (2usize..16, proptest::collection::vec((0usize..16, 0usize..16), 0..24)),
+                1..8,
+            ),
+        ) {
+            let mut gen_ds = GenerationalDisjointSets::new(0);
+            for (n, ops) in rounds {
+                gen_ds.reset(n);
+                let mut fresh = DisjointSets::new(n);
+                for (a, b) in ops {
+                    let (a, b) = (a % n, b % n);
+                    prop_assert_eq!(gen_ds.union(a, b), fresh.union(a, b));
+                }
+                prop_assert_eq!(gen_ds.set_count(), fresh.set_count());
+                for a in 0..n {
+                    prop_assert_eq!(gen_ds.set_size(a), fresh.set_size(a));
+                    for b in 0..n {
+                        prop_assert_eq!(gen_ds.same_set(a, b), fresh.same_set(a, b));
+                    }
+                }
+            }
+        }
+
         /// Union-find must agree with a naive label-propagation model.
         #[test]
         fn matches_naive_model(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..60)) {

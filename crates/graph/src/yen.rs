@@ -12,7 +12,7 @@ use std::collections::{BinaryHeap, HashSet};
 use crate::graph::{NodeId, UnGraph};
 use crate::metric::Metric;
 use crate::path::Path;
-use crate::search::{dijkstra, ShortestPaths};
+use crate::search::{dijkstra_with, SearchScratch};
 
 /// A path together with its total cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,14 +37,18 @@ fn path_cost<N, E>(
         .sum()
 }
 
-fn dijkstra_with_bans<N, E>(
+/// Spur search with root-node and next-hop bans, reusing `scratch`; returns
+/// the shortest banned-aware path to `target`, if any.
+fn spur_path<N, E>(
+    scratch: &mut SearchScratch,
     graph: &UnGraph<N, E>,
     source: NodeId,
+    target: NodeId,
     banned_nodes: &HashSet<NodeId>,
     banned_hops: &HashSet<(NodeId, NodeId)>,
     cost: &mut impl FnMut(NodeId, NodeId, &E) -> f64,
-) -> ShortestPaths {
-    dijkstra(graph, source, |e, w| {
+) -> Option<Path> {
+    let run = dijkstra_with(scratch, graph, source, |e, w| {
         let (u, v) = (e.source, e.target);
         if banned_nodes.contains(&u) || banned_nodes.contains(&v) {
             return -1.0;
@@ -53,7 +57,8 @@ fn dijkstra_with_bans<N, E>(
             return -1.0;
         }
         cost(u, v, w)
-    })
+    });
+    run.path_to(target)
 }
 
 /// Finds up to `k` loopless minimum-cost paths from `source` to `target`,
@@ -85,6 +90,22 @@ pub fn yen_k_shortest<N, E>(
     source: NodeId,
     target: NodeId,
     k: usize,
+    cost: impl FnMut(NodeId, NodeId, &E) -> f64,
+) -> Vec<CostedPath> {
+    let mut scratch = SearchScratch::with_capacity(graph.node_count());
+    yen_k_shortest_with(&mut scratch, graph, source, target, k, cost)
+}
+
+/// [`yen_k_shortest`] with caller-provided search scratch: every spur
+/// search reuses the same arenas, so batch callers (one scratch, many
+/// `(source, target)` queries) avoid all per-query allocation of the
+/// underlying Dijkstra runs.
+pub fn yen_k_shortest_with<N, E>(
+    scratch: &mut SearchScratch,
+    graph: &UnGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
     mut cost: impl FnMut(NodeId, NodeId, &E) -> f64,
 ) -> Vec<CostedPath> {
     let mut accepted: Vec<CostedPath> = Vec::new();
@@ -92,7 +113,7 @@ pub fn yen_k_shortest<N, E>(
         return accepted;
     }
 
-    let first = dijkstra(graph, source, |e, w| cost(e.source, e.target, w));
+    let first = dijkstra_with(scratch, graph, source, |e, w| cost(e.source, e.target, w));
     let Some(best) = first.path_to(target) else {
         return accepted;
     };
@@ -103,9 +124,12 @@ pub fn yen_k_shortest<N, E>(
     });
 
     // Min-heap of candidate deviations keyed by cost; the node list is a
-    // tiebreaker so ordering is deterministic.
+    // tiebreaker so ordering is deterministic. The ban sets are reused
+    // (cleared) across spur iterations.
     let mut candidates: BinaryHeap<Reverse<(Metric, Vec<NodeId>)>> = BinaryHeap::new();
     let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    let mut banned_hops: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut banned_nodes: HashSet<NodeId> = HashSet::new();
     seen.insert(accepted[0].path.nodes().to_vec());
 
     while accepted.len() < k {
@@ -120,18 +144,25 @@ pub fn yen_k_shortest<N, E>(
 
             // Ban the next hop of every accepted path sharing this root, per
             // Yen: the spur path must deviate here.
-            let mut banned_hops: HashSet<(NodeId, NodeId)> = HashSet::new();
+            banned_hops.clear();
             for a in &accepted {
                 if a.path.len() > i + 1 && a.path.nodes()[..=i] == *root.nodes() {
                     banned_hops.insert((a.path.nodes()[i], a.path.nodes()[i + 1]));
                 }
             }
             // Root nodes other than the spur node must not reappear.
-            let banned_nodes: HashSet<NodeId> = root.nodes()[..i].iter().copied().collect();
+            banned_nodes.clear();
+            banned_nodes.extend(root.nodes()[..i].iter().copied());
 
-            let spur_tree =
-                dijkstra_with_bans(graph, spur_node, &banned_nodes, &banned_hops, &mut cost);
-            let Some(spur) = spur_tree.path_to(target) else {
+            let Some(spur) = spur_path(
+                scratch,
+                graph,
+                spur_node,
+                target,
+                &banned_nodes,
+                &banned_hops,
+                &mut cost,
+            ) else {
                 continue;
             };
             let total = root.join(&spur);
@@ -282,6 +313,35 @@ mod tests {
                 // Costs must match the brute-force ranking (paths may tie).
                 prop_assert!((got.cost - want.1).abs() < 1e-9,
                     "cost mismatch: got {} want {}", got.cost, want.1);
+            }
+        }
+
+        /// Reusing one scratch across many queries must return exactly the
+        /// same path sets as fresh per-call allocation.
+        #[test]
+        fn scratch_reuse_returns_identical_path_sets(
+            edges in proptest::collection::vec((0usize..7, 0usize..7, 1u32..10), 1..16),
+            queries in proptest::collection::vec((0usize..7, 0usize..7, 1usize..5), 1..5),
+        ) {
+            let mut g: UnGraph<(), f64> = UnGraph::new();
+            for _ in 0..7 {
+                g.add_node(());
+            }
+            let mut used = HashSet::new();
+            for (u, v, w) in edges {
+                if u == v {
+                    continue;
+                }
+                if used.insert((u.min(v), u.max(v))) {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), f64::from(w));
+                }
+            }
+            let mut scratch = crate::search::SearchScratch::new();
+            for (s, t, k) in queries {
+                let (s, t) = (NodeId::new(s), NodeId::new(t));
+                let reused = yen_k_shortest_with(&mut scratch, &g, s, t, k, |_, _, w| *w);
+                let fresh = yen_k_shortest(&g, s, t, k, |_, _, w| *w);
+                prop_assert_eq!(reused, fresh);
             }
         }
     }

@@ -11,85 +11,198 @@
 use std::collections::HashMap;
 
 use fusion_core::{DemandPlan, QuantumNetwork, SwapMode};
-use fusion_graph::{DisjointSets, NodeId};
+use fusion_graph::{GenerationalDisjointSets, NodeId};
 use rand::Rng;
 
 /// Samples one protocol round for a demand routed under `mode`.
 /// Returns `true` when the demanded state is established.
+///
+/// Convenience wrapper that rebuilds the sampling state per call; tight
+/// loops should build a [`PlanSampler`] once and call
+/// [`PlanSampler::sample`] per round.
 pub fn sample_round(
     net: &QuantumNetwork,
     plan: &DemandPlan,
     mode: SwapMode,
     rng: &mut impl Rng,
 ) -> bool {
-    match mode {
-        SwapMode::NFusion => sample_flow_round(net, plan, rng),
-        SwapMode::Classic => sample_classic_round(net, plan, rng),
-    }
+    PlanSampler::new(net, plan, mode).sample(rng)
 }
 
-/// One n-fusion round: percolation over the flow-like graph.
+/// One n-fusion round: percolation over the flow-like graph. Rebuilds the
+/// sampling state per call — see [`FlowSampler`] for the loop-friendly
+/// form.
 pub fn sample_flow_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl Rng) -> bool {
-    let flow = &plan.flow;
-    if flow.is_empty() {
-        return false;
-    }
-    let nodes = flow.nodes();
-    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-
-    // Sample switch fusions once per state per switch.
-    let q = net.swap_success();
-    let switch_up: Vec<bool> = nodes
-        .iter()
-        .map(|&n| !net.is_switch(n) || rng.gen_bool(q))
-        .collect();
-
-    let mut sets = DisjointSets::new(nodes.len());
-    for (u, v, w) in flow.edges() {
-        let Some((edge, _)) = net.hop(u, v) else {
-            continue;
-        };
-        let (ui, vi) = (index[&u], index[&v]);
-        if !switch_up[ui] || !switch_up[vi] {
-            continue;
-        }
-        if rng.gen_bool(net.channel_success(edge, w)) {
-            sets.union(ui, vi);
-        }
-    }
-    let (Some(&s), Some(&d)) = (index.get(&flow.source()), index.get(&flow.sink())) else {
-        return false;
-    };
-    sets.same_set(s, d)
+    FlowSampler::new(net, plan).sample(rng)
 }
 
-/// One classic-swapping round: each accepted path carries the state on a
-/// single pre-committed lane — one link per hop, one BSM per intermediate
-/// switch (the paper's classic model, see
-/// `fusion_core::metrics::classic`).
+/// One classic-swapping round. Rebuilds the sampling state per call — see
+/// [`ClassicSampler`] for the loop-friendly form.
 pub fn sample_classic_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl Rng) -> bool {
-    let q = net.swap_success();
-    'path: for wp in &plan.paths {
-        let hops: Option<Vec<f64>> = wp
-            .hops()
-            .map(|(u, v, _)| net.hop(u, v).map(|(_, p)| p))
-            .collect();
-        let Some(hops) = hops else { continue };
-        // The lane's link on every hop must herald successfully.
-        for &p in &hops {
-            if !rng.gen_bool(p) {
-                continue 'path;
-            }
+    ClassicSampler::new(net, plan).sample(rng)
+}
+
+/// Reusable per-demand round sampler for either swapping technology.
+///
+/// Construction resolves every graph lookup (node indexing, hop → edge,
+/// channel success probabilities) once; [`sample`](PlanSampler::sample)
+/// then runs allocation-free, so a Monte Carlo loop costs only the RNG
+/// draws and a generationally-reset union-find. The sampler snapshots the
+/// network's success probabilities at construction time.
+///
+/// The RNG draw sequence is identical to the historical per-round
+/// implementation, so estimates for a fixed seed are unchanged.
+#[derive(Debug, Clone)]
+pub enum PlanSampler {
+    /// n-fusion percolation sampling.
+    Flow(FlowSampler),
+    /// Classic pre-committed-lane sampling.
+    Classic(ClassicSampler),
+}
+
+impl PlanSampler {
+    /// Builds the sampler matching `mode`.
+    #[must_use]
+    pub fn new(net: &QuantumNetwork, plan: &DemandPlan, mode: SwapMode) -> Self {
+        match mode {
+            SwapMode::NFusion => PlanSampler::Flow(FlowSampler::new(net, plan)),
+            SwapMode::Classic => PlanSampler::Classic(ClassicSampler::new(net, plan)),
         }
-        // Every intermediate BSM must succeed.
-        for _ in 0..hops.len().saturating_sub(1) {
-            if !rng.gen_bool(q) {
-                continue 'path;
-            }
-        }
-        return true;
     }
-    false
+
+    /// Samples one round; `true` when the demanded state is established.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> bool {
+        match self {
+            PlanSampler::Flow(s) => s.sample(rng),
+            PlanSampler::Classic(s) => s.sample(rng),
+        }
+    }
+}
+
+/// Allocation-free n-fusion round sampler (percolation over the flow-like
+/// graph, §III-C).
+///
+/// Per round: one fusion draw per participating switch, one channel draw
+/// per flow edge whose endpoints are up, then a source–sink connectivity
+/// query on a generationally-reset union-find.
+#[derive(Debug, Clone)]
+pub struct FlowSampler {
+    /// `true` at indices whose flow node is a switch (draws a fusion).
+    switch_mask: Vec<bool>,
+    /// Resolved flow edges `(ui, vi, channel_success)`; edges without a
+    /// backing network hop are dropped at build time (they never drew).
+    edges: Vec<(usize, usize, f64)>,
+    source: Option<usize>,
+    sink: Option<usize>,
+    q: f64,
+    switch_up: Vec<bool>,
+    sets: GenerationalDisjointSets,
+}
+
+impl FlowSampler {
+    /// Resolves `plan.flow` against `net` once.
+    #[must_use]
+    pub fn new(net: &QuantumNetwork, plan: &DemandPlan) -> Self {
+        let flow = &plan.flow;
+        let nodes = flow.nodes();
+        let index: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let switch_mask: Vec<bool> = nodes.iter().map(|&n| net.is_switch(n)).collect();
+        let edges = flow
+            .edges()
+            .filter_map(|(u, v, w)| {
+                let (edge, _) = net.hop(u, v)?;
+                Some((index[&u], index[&v], net.channel_success(edge, w)))
+            })
+            .collect();
+        FlowSampler {
+            switch_up: vec![false; switch_mask.len()],
+            sets: GenerationalDisjointSets::new(switch_mask.len()),
+            switch_mask,
+            edges,
+            source: index.get(&flow.source()).copied(),
+            sink: index.get(&flow.sink()).copied(),
+            q: net.swap_success(),
+        }
+    }
+
+    /// Samples one percolation round.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> bool {
+        let n = self.switch_mask.len();
+        if n == 0 {
+            return false;
+        }
+        // Sample switch fusions once per state per switch.
+        for (up, &is_switch) in self.switch_up.iter_mut().zip(&self.switch_mask) {
+            *up = !is_switch || rng.gen_bool(self.q);
+        }
+        self.sets.reset(n);
+        for &(ui, vi, p) in &self.edges {
+            if !self.switch_up[ui] || !self.switch_up[vi] {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                self.sets.union(ui, vi);
+            }
+        }
+        let (Some(s), Some(d)) = (self.source, self.sink) else {
+            return false;
+        };
+        self.sets.same_set(s, d)
+    }
+}
+
+/// Allocation-free classic-swapping round sampler: each accepted path is a
+/// single pre-committed lane — one link per hop, one BSM per intermediate
+/// switch (the paper's classic model, see `fusion_core::metrics::classic`).
+#[derive(Debug, Clone)]
+pub struct ClassicSampler {
+    /// Per routed path with all hops resolvable: the per-hop link success
+    /// probabilities.
+    lanes: Vec<Vec<f64>>,
+    q: f64,
+}
+
+impl ClassicSampler {
+    /// Resolves `plan.paths` against `net` once. Paths with a missing hop
+    /// are dropped (they can never carry the state and never drew).
+    #[must_use]
+    pub fn new(net: &QuantumNetwork, plan: &DemandPlan) -> Self {
+        let lanes = plan
+            .paths
+            .iter()
+            .filter_map(|wp| {
+                wp.hops()
+                    .map(|(u, v, _)| net.hop(u, v).map(|(_, p)| p))
+                    .collect::<Option<Vec<f64>>>()
+            })
+            .collect();
+        ClassicSampler {
+            lanes,
+            q: net.swap_success(),
+        }
+    }
+
+    /// Samples one round: the first lane that survives every hop and every
+    /// intermediate BSM establishes the state.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> bool {
+        'lane: for lane in &self.lanes {
+            // The lane's link on every hop must herald successfully.
+            for &p in lane {
+                if !rng.gen_bool(p) {
+                    continue 'lane;
+                }
+            }
+            // Every intermediate BSM must succeed.
+            for _ in 0..lane.len().saturating_sub(1) {
+                if !rng.gen_bool(self.q) {
+                    continue 'lane;
+                }
+            }
+            return true;
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +299,102 @@ mod tests {
             (measured - analytic).abs() < 0.01,
             "measured {measured} vs analytic {analytic}"
         );
+    }
+
+    /// Verbatim copy of the pre-sampler `sample_flow_round`: rebuilds the
+    /// index map and union-find from scratch every round. Kept as the
+    /// reference the reusable sampler must match draw-for-draw.
+    fn naive_flow_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl rand::Rng) -> bool {
+        use fusion_graph::DisjointSets;
+        let flow = &plan.flow;
+        if flow.is_empty() {
+            return false;
+        }
+        let nodes = flow.nodes();
+        let index: std::collections::HashMap<fusion_graph::NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let q = net.swap_success();
+        let switch_up: Vec<bool> = nodes
+            .iter()
+            .map(|&n| !net.is_switch(n) || rng.gen_bool(q))
+            .collect();
+        let mut sets = DisjointSets::new(nodes.len());
+        for (u, v, w) in flow.edges() {
+            let Some((edge, _)) = net.hop(u, v) else {
+                continue;
+            };
+            let (ui, vi) = (index[&u], index[&v]);
+            if !switch_up[ui] || !switch_up[vi] {
+                continue;
+            }
+            if rng.gen_bool(net.channel_success(edge, w)) {
+                sets.union(ui, vi);
+            }
+        }
+        let (Some(&s), Some(&d)) = (index.get(&flow.source()), index.get(&flow.sink())) else {
+            return false;
+        };
+        sets.same_set(s, d)
+    }
+
+    #[test]
+    fn reused_sampler_matches_from_scratch_rebuild() {
+        // Across many rounds, one reused sampler (generational union-find
+        // reset) must produce the exact outcome sequence of a sampler
+        // rebuilt from scratch each round, and of the historical
+        // implementation — same seed, draw-for-draw.
+        for (p, q, seed) in [(0.5, 0.8, 7u64), (0.2, 0.5, 11), (0.9, 0.95, 13)] {
+            let (net, plan) = chain_plan(p, q, 2);
+            let mut reused = FlowSampler::new(&net, &plan);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut rng_c = StdRng::seed_from_u64(seed);
+            for round in 0..500 {
+                let a = reused.sample(&mut rng_a);
+                let b = FlowSampler::new(&net, &plan).sample(&mut rng_b);
+                let c = naive_flow_round(&net, &plan, &mut rng_c);
+                assert_eq!(a, b, "round {round}: reuse diverged from rebuild");
+                assert_eq!(a, c, "round {round}: sampler diverged from naive");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_sampler_matches_rebuild_under_edge_failures() {
+        // Randomized link-decay rounds: degrade the network, rebuild a
+        // fresh sampler on the degraded instance, and check the reused
+        // sampler built on the same degraded instance agrees.
+        use crate::failure::FailureModel;
+        let (net, plan) = chain_plan(0.7, 0.9, 2);
+        for round in 0..20u64 {
+            let model = FailureModel {
+                switch_outage: 0.0,
+                link_decay: 0.05 * (round % 10) as f64,
+            };
+            let degraded = model.degrade(&net);
+            let mut reused = FlowSampler::new(&degraded, &plan);
+            let mut rng_a = StdRng::seed_from_u64(round);
+            let mut rng_b = StdRng::seed_from_u64(round);
+            for _ in 0..200 {
+                let a = reused.sample(&mut rng_a);
+                let b = FlowSampler::new(&degraded, &plan).sample(&mut rng_b);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn classic_sampler_reuse_matches_rebuild() {
+        let (net, plan) = chain_plan(0.6, 0.8, 2);
+        let mut reused = ClassicSampler::new(&net, &plan);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        for _ in 0..500 {
+            assert_eq!(
+                reused.sample(&mut rng_a),
+                ClassicSampler::new(&net, &plan).sample(&mut rng_b)
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::connectivity::sample_round;
+use crate::connectivity::PlanSampler;
 use crate::stats::RateEstimate;
 
 /// Monte Carlo estimate of a routed network's entanglement rate.
@@ -60,10 +60,11 @@ pub fn estimate_plan(
         .iter()
         .enumerate()
         .map(|(i, dp)| {
+            let mut sampler = PlanSampler::new(net, dp, plan.mode);
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
             let mut hits = 0usize;
             for _ in 0..rounds {
-                if sample_round(net, dp, plan.mode, &mut rng) {
+                if sampler.sample(&mut rng) {
                     hits += 1;
                 }
             }
@@ -100,12 +101,13 @@ pub fn estimate_plan_parallel(
             let net = &net;
             scope.spawn(move |_| {
                 for (i, dp) in plan.plans.iter().enumerate() {
+                    let mut sampler = PlanSampler::new(net, dp, plan.mode);
                     let mut rng = StdRng::seed_from_u64(
                         seed.wrapping_add((t * plan.plans.len() + i) as u64 ^ 0x9e37_79b9),
                     );
                     let mut local = 0usize;
                     for _ in 0..per_thread {
-                        if sample_round(net, dp, plan.mode, &mut rng) {
+                        if sampler.sample(&mut rng) {
                             local += 1;
                         }
                     }

@@ -33,5 +33,6 @@ pub mod protocol;
 pub mod stats;
 pub mod timeline;
 
+pub use connectivity::{ClassicSampler, FlowSampler, PlanSampler};
 pub use evaluate::{estimate_plan, estimate_plan_parallel, PlanEstimate};
 pub use stats::RateEstimate;

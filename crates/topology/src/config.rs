@@ -27,6 +27,10 @@ pub enum GeneratorKind {
         /// Degree-distribution exponent (`P(k) ∝ k^-gamma`).
         gamma: f64,
     },
+    /// Deterministic 4-connected lattice spanning the area — the scale
+    /// preset for 1k–10k-switch workloads (O(n) generation, no pair
+    /// scan). Ignores `avg_degree`; interior degree is 4.
+    Grid,
 }
 
 impl Default for GeneratorKind {
@@ -116,6 +120,7 @@ impl TopologyConfig {
                 generators::watts_strogatz(self, rewire, &mut rng)
             }
             GeneratorKind::Aiello { gamma } => generators::aiello(self, gamma, &mut rng),
+            GeneratorKind::Grid => generators::grid(self),
         };
         connect::ensure_connected(&mut graph);
         let demands = attach::attach_users(&mut graph, self, &mut rng);
@@ -187,6 +192,7 @@ mod tests {
             GeneratorKind::Waxman { alpha: 0.4 },
             GeneratorKind::WattsStrogatz { rewire: 0.1 },
             GeneratorKind::Aiello { gamma: 2.5 },
+            GeneratorKind::Grid,
         ] {
             let c = TopologyConfig {
                 num_switches: 50,

@@ -1,0 +1,103 @@
+//! Deterministic grid preset for the large-scale workloads.
+//!
+//! Complex-topology GHZ-routing studies (Chen et al., Tian et al.)
+//! evaluate on regular lattices alongside random graphs; a grid is also
+//! the cheapest topology to generate at 10k switches (no O(n²) pair
+//! scan), which makes it the reference shape for the scale benchmarks.
+
+use fusion_graph::{NodeId, UnGraph};
+
+use crate::config::TopologyConfig;
+use crate::geometry::Position;
+use crate::model::{Link, Site};
+
+/// Generates `cfg.num_switches` switches on a near-square lattice filling
+/// the deployment area, 4-connected; a partial last row keeps the exact
+/// switch count (its nodes still connect upward, so the graph stays
+/// connected).
+///
+/// Unlike the random families, the layout ignores `avg_degree` (interior
+/// degree is 4) and draws nothing from an RNG: the same config always
+/// yields the same lattice. Users are attached by the common pipeline
+/// afterwards and remain randomly placed.
+pub(crate) fn grid(cfg: &TopologyConfig) -> UnGraph<Site, Link> {
+    let n = cfg.num_switches;
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    // Span the full area so fiber lengths (and thus link successes) stay
+    // comparable with the random families at the same switch count.
+    let spacing = cfg.side / cols.max(2) as f64;
+    let mut graph = UnGraph::with_capacity(n, 2 * n);
+    for i in 0..n {
+        let (r, c) = (i / cols, i % cols);
+        graph.add_node(Site::switch(Position::new(
+            c as f64 * spacing,
+            r as f64 * spacing,
+        )));
+    }
+    let id = NodeId::new;
+    for i in 0..n {
+        let (r, c) = (i / cols, i % cols);
+        if c + 1 < cols && i + 1 < n {
+            graph.add_edge(id(i), id(i + 1), Link::new(spacing));
+        }
+        if r + 1 < rows && i + cols < n {
+            graph.add_edge(id(i), id(i + cols), Link::new(spacing));
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_graph::search;
+
+    fn cfg(n: usize) -> TopologyConfig {
+        TopologyConfig {
+            num_switches: n,
+            ..TopologyConfig::default()
+        }
+    }
+
+    #[test]
+    fn exact_switch_count_and_connected() {
+        for n in [1usize, 2, 5, 9, 10, 100, 1000] {
+            let g = grid(&cfg(n));
+            assert_eq!(g.node_count(), n, "n={n}");
+            assert!(search::is_connected(&g), "n={n} disconnected");
+            assert!(g.node_weights().all(|s| !s.is_user()));
+        }
+    }
+
+    #[test]
+    fn interior_degree_is_four() {
+        let g = grid(&cfg(100));
+        let max_degree = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        assert_eq!(max_degree, 4);
+        // 10x10 grid: 2 * 10 * 9 = 180 edges.
+        assert_eq!(g.edge_count(), 180);
+    }
+
+    #[test]
+    fn edge_lengths_match_positions() {
+        let g = grid(&cfg(37));
+        for e in g.edges() {
+            let d = g
+                .node(e.source)
+                .position
+                .distance(g.node(e.target).position);
+            assert!((d - e.weight.length).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn positions_stay_inside_the_area() {
+        let c = cfg(1000);
+        let g = grid(&c);
+        for s in g.node_weights() {
+            assert!(s.position.x >= 0.0 && s.position.x <= c.side);
+            assert!(s.position.y >= 0.0 && s.position.y <= c.side);
+        }
+    }
+}

@@ -6,12 +6,14 @@
 //! every family, including the non-geometric ones.
 
 mod aiello;
+mod grid;
 mod watts;
 mod waxman;
 
 pub mod deterministic;
 
 pub(crate) use aiello::aiello;
+pub(crate) use grid::grid;
 pub(crate) use watts::watts_strogatz;
 pub(crate) use waxman::waxman;
 

@@ -18,16 +18,18 @@ pub(crate) fn waxman(cfg: &TopologyConfig, alpha: f64, rng: &mut impl Rng) -> Un
     let mut graph = place_switches(n, cfg.side, rng);
     let d_cap = cfg.max_edge_length();
 
-    // Collect candidate pairs and their locality weights.
-    let mut candidates: Vec<(usize, usize, f64, f64)> = Vec::new();
+    // Pass 1: sum the locality weights of candidate pairs. Recomputing
+    // distances in pass 2 instead of storing every candidate keeps memory
+    // O(n) — at 10k switches the candidate list would hold millions of
+    // pairs. The RNG is only consumed in pass 2, in the same pair order as
+    // the original single-pass formulation, so generated topologies are
+    // unchanged for a fixed seed.
     let mut weight_sum = 0.0;
     for u in 0..n {
         for v in (u + 1)..n {
             let d = span(&graph, u, v);
             if d <= d_cap {
-                let w = (-d / (alpha * d_cap)).exp();
-                candidates.push((u, v, d, w));
-                weight_sum += w;
+                weight_sum += (-d / (alpha * d_cap)).exp();
             }
         }
     }
@@ -38,10 +40,18 @@ pub(crate) fn waxman(cfg: &TopologyConfig, alpha: f64, rng: &mut impl Rng) -> Un
     } else {
         0.0
     };
-    for (u, v, d, w) in candidates {
-        let p = (beta * w).min(1.0);
-        if rng.gen_bool(p) {
-            graph.add_edge(NodeId::new(u), NodeId::new(v), Link::new(d));
+    // Pass 2: sample each candidate pair.
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = span(&graph, u, v);
+            if d > d_cap {
+                continue;
+            }
+            let w = (-d / (alpha * d_cap)).exp();
+            let p = (beta * w).min(1.0);
+            if rng.gen_bool(p) {
+                graph.add_edge(NodeId::new(u), NodeId::new(v), Link::new(d));
+            }
         }
     }
     graph
