@@ -19,6 +19,10 @@
 //!   --calibrate  print network calibration stats + large presets and exit
 //! ```
 //!
+//! The `scale` figure additionally writes `<DIR>/scale.jsonl`: one JSON
+//! row per network instance in the schema the `fusion-runner` sweep
+//! aggregator consumes (`sweep aggregate` parses both).
+//!
 //! Large presets are guarded: sweep settings sized for the 100-switch
 //! paper workload would run for hours at 10k switches, so `--seeds` /
 //! `--rounds` beyond the preset's budget abort with a clear error instead
@@ -26,7 +30,7 @@
 
 use std::path::PathBuf;
 
-use fusion_bench::figures::{run, ALL_FIGURES};
+use fusion_bench::figures::{fig_scale_from_rows, run, scale_rows, ALL_FIGURES};
 use fusion_bench::workloads::{instance_stats, scale_presets, ExperimentConfig};
 
 /// Hard ceilings for configs at or beyond this many switches; chosen so a
@@ -193,11 +197,28 @@ fn main() {
 
     let _ = std::fs::create_dir_all(&out_dir);
     for id in &ids {
-        let Some(table) = run(id, &config) else {
-            die(&format!(
-                "unknown figure id {id}; known: {}",
-                ALL_FIGURES.join(" ")
-            ));
+        // The scale probe also emits its per-run JSON rows (the schema the
+        // fusion-runner aggregator consumes) so one set of tooling parses
+        // single-shot probes and sweep campaigns alike.
+        let table = if id == "scale" {
+            let label = preset
+                .as_deref()
+                .unwrap_or(if quick { "quick" } else { "default" });
+            let rows = scale_rows(&config, label);
+            let jsonl: String = rows.iter().map(|r| r.to_json() + "\n").collect();
+            let rows_path = out_dir.join("scale.jsonl");
+            if let Err(e) = std::fs::write(&rows_path, jsonl) {
+                eprintln!("warning: could not write {}: {e}", rows_path.display());
+            }
+            fig_scale_from_rows(&config, &rows)
+        } else {
+            let Some(table) = run(id, &config) else {
+                die(&format!(
+                    "unknown figure id {id}; known: {}",
+                    ALL_FIGURES.join(" ")
+                ));
+            };
+            table
         };
         println!("{}", table.render());
         let csv_path = out_dir.join(format!("{id}.csv"));

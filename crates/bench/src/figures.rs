@@ -564,31 +564,27 @@ pub fn ablation_failures(config: &ExperimentConfig) -> FigureTable {
     }
 }
 
-/// Scale probe: routes and estimates ALG-N-FUSION on the configured
-/// topology (typically a `--preset large-*` one), reporting instance
-/// shape, served rate, and wall time per pipeline stage. This is the
-/// figure that makes the 1k–10k-switch presets an exercisable scenario:
-/// `figures scale --preset large-1k`.
+/// One per-instance measurement row for the scale probe, in the schema
+/// consumed by the `fusion-runner` aggregator (same field names as the
+/// sweep engine's JSONL results store, so one set of tooling parses both).
 #[must_use]
-pub fn fig_scale(config: &ExperimentConfig) -> FigureTable {
+pub fn scale_row(
+    config: &ExperimentConfig,
+    preset: &str,
+    algorithm: Algorithm,
+    instance: usize,
+) -> crate::report::Row {
     use std::time::Instant;
     let threads = config.resolved_threads();
-    let mut switches = 0.0;
-    let mut edges = 0.0;
-    let mut rate = 0.0;
-    let mut route_ms = 0.0;
-    let mut mc_ms = 0.0;
-    for i in 0..config.networks {
-        let (net, demands) = config.instance(i);
-        edges += net.graph().edge_count() as f64;
-        switches += net.graph().node_ids().filter(|&n| net.is_switch(n)).count() as f64;
-        let t0 = Instant::now();
-        let plan = Algorithm::AlgNFusion.route_threads(&net, &demands, config.h, threads);
-        route_ms += t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        rate += if config.mc_rounds == 0 {
-            plan.total_rate(&net)
-        } else {
+    let (net, demands) = config.instance(instance);
+    let t0 = Instant::now();
+    let plan = algorithm.route_threads(&net, &demands, config.h, threads);
+    let route_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let (rate, stderr) = if config.mc_rounds == 0 {
+        (plan.total_rate(&net), 0.0)
+    } else {
+        let est = if threads > 1 {
             fusion_sim::evaluate::estimate_plan_parallel(
                 &net,
                 &plan,
@@ -596,16 +592,70 @@ pub fn fig_scale(config: &ExperimentConfig) -> FigureTable {
                 config.seed,
                 threads,
             )
-            .total_rate()
+        } else {
+            estimate_plan(&net, &plan, config.mc_rounds, config.seed)
         };
-        mc_ms += t1.elapsed().as_secs_f64() * 1e3;
-    }
-    let n = config.networks as f64;
+        (est.total_rate(), est.total_stderr())
+    };
+    let mc_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let mut row = crate::report::Row::new();
+    row.push_str("preset", preset)
+        .push_str("generator", config.topology.kind.name())
+        .push_int("switches", config.topology.num_switches as i64)
+        .push_int("load", config.topology.num_user_pairs as i64)
+        .push_str("algorithm", algorithm.name())
+        .push_int("seed", config.seed.wrapping_add(instance as u64) as i64)
+        .push_num("rate", rate)
+        .push_num("stderr", stderr)
+        .push_int("rounds", config.mc_rounds as i64)
+        .push_int("demands", demands.len() as i64)
+        .push_int("nodes", net.node_count() as i64)
+        .push_int("edges", net.graph().edge_count() as i64)
+        .push_num("route_ms", route_ms)
+        .push_num("mc_ms", mc_ms);
+    row
+}
+
+/// The per-instance rows behind the `scale` figure: ALG-N-FUSION on every
+/// configured network instance.
+#[must_use]
+pub fn scale_rows(config: &ExperimentConfig, preset: &str) -> Vec<crate::report::Row> {
+    (0..config.networks)
+        .map(|i| scale_row(config, preset, Algorithm::AlgNFusion, i))
+        .collect()
+}
+
+/// Scale probe: routes and estimates ALG-N-FUSION on the configured
+/// topology (typically a `--preset large-*` one), reporting instance
+/// shape, served rate, and wall time per pipeline stage. This is the
+/// figure that makes the 1k–10k-switch presets an exercisable scenario:
+/// `figures scale --preset large-1k`. The underlying per-run JSON rows
+/// ([`scale_rows`]) are what the binary writes as `scale.jsonl`.
+#[must_use]
+pub fn fig_scale(config: &ExperimentConfig) -> FigureTable {
+    fig_scale_from_rows(config, &scale_rows(config, "scale"))
+}
+
+/// Renders the scale figure table from already-measured rows.
+#[must_use]
+pub fn fig_scale_from_rows(config: &ExperimentConfig, rows: &[crate::report::Row]) -> FigureTable {
+    let mean = |key: &str| {
+        let vals: Vec<f64> = rows.iter().filter_map(|r| r.num_field(key)).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    // Switch counts are exact per instance (generators always emit the
+    // configured number of switches), so the mean equals the config value.
     FigureTable {
         id: "scale",
         title: format!(
             "ALG-N-FUSION at scale ({} switches, {} threads)",
-            config.topology.num_switches, threads
+            config.topology.num_switches,
+            config.resolved_threads()
         ),
         x_label: "measure",
         ticks: vec![
@@ -617,7 +667,13 @@ pub fn fig_scale(config: &ExperimentConfig) -> FigureTable {
         ],
         series: vec![Series {
             label: "ALG-N-FUSION".into(),
-            values: vec![switches / n, edges / n, rate / n, route_ms / n, mc_ms / n],
+            values: vec![
+                mean("switches"),
+                mean("edges"),
+                mean("rate"),
+                mean("route_ms"),
+                mean("mc_ms"),
+            ],
         }],
     }
 }
@@ -727,6 +783,26 @@ mod tests {
         assert!(v[1] > 30.0, "edges outnumber switches");
         assert!(v[2] > 0.0, "must route something");
         assert!(v[3] >= 0.0 && v[4] >= 0.0, "timings are non-negative");
+    }
+
+    #[test]
+    fn scale_rows_follow_runner_schema() {
+        let c = tiny();
+        let rows = scale_rows(&c, "quick");
+        assert_eq!(rows.len(), c.networks);
+        for (i, row) in rows.iter().enumerate() {
+            // The aggregation keys and folded metric of the sweep engine.
+            assert_eq!(row.str_field("preset"), Some("quick"));
+            assert_eq!(row.str_field("algorithm"), Some("ALG-N-FUSION"));
+            assert_eq!(row.int_field("switches"), Some(30));
+            assert_eq!(row.int_field("load"), Some(6));
+            assert_eq!(row.int_field("seed"), Some((c.seed + i as u64) as i64));
+            assert!(row.num_field("rate").is_some_and(|r| r > 0.0));
+            assert!(row.num_field("route_ms").is_some());
+            // Rows must round-trip through the shared JSONL codec.
+            let line = row.to_json();
+            assert_eq!(&crate::report::Row::parse_json(&line).unwrap(), row);
+        }
     }
 
     #[test]

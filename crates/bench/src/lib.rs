@@ -12,4 +12,5 @@
 
 pub mod figures;
 pub mod perf;
+pub mod report;
 pub mod workloads;

@@ -1,0 +1,573 @@
+//! Machine-readable experiment rows and streaming statistics.
+//!
+//! One [`Row`] is a flat, ordered map of scalar fields serialized as a
+//! single JSON line — the unit of the sweep runner's crash-safe JSONL
+//! results store and of `figures scale --preset ...` output, so one set of
+//! tooling parses both. [`Welford`] is the numerically-stable streaming
+//! mean/variance accumulator the aggregation layer folds rows with.
+//!
+//! The vendored `serde` is a no-op derive stub (see `vendor/README.md`),
+//! so the codec here is hand-rolled for exactly this shape: a flat object
+//! of strings, finite numbers, and booleans. Field order is preserved, and
+//! numbers render through Rust's shortest-round-trip `f64` formatting, so
+//! encoding is deterministic — byte-identical output for identical values
+//! regardless of thread count or platform.
+
+use std::fmt::Write as _;
+
+/// A scalar field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string field (preset names, algorithm labels, ...).
+    Str(String),
+    /// An integer field (counts, seeds).
+    Int(i64),
+    /// A finite floating-point field (rates, milliseconds).
+    Num(f64),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+/// One flat record: an ordered list of `(key, value)` fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    fields: Vec<(String, Value)>,
+}
+
+impl Row {
+    /// Creates an empty row.
+    #[must_use]
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// Appends an already-built value.
+    pub fn push(&mut self, key: &str, value: Value) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.fields
+            .push((key.to_string(), Value::Str(value.into())));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn push_int(&mut self, key: &str, value: i64) -> &mut Self {
+        self.fields.push((key.to_string(), Value::Int(value)));
+        self
+    }
+
+    /// Appends a floating-point field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite — rows must round-trip through
+    /// JSON, which has no NaN/infinity.
+    pub fn push_num(&mut self, key: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "row field {key} must be finite");
+        self.fields.push((key.to_string(), Value::Num(value)));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn push_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_string(), Value::Bool(value)));
+        self
+    }
+
+    /// The fields in insertion order.
+    #[must_use]
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Looks up a field by key (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A string field's value.
+    #[must_use]
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric field's value; integers coerce to `f64`.
+    #[must_use]
+    pub fn num_field(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Value::Num(x)) => Some(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Some(Value::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// An integer field's value.
+    #[must_use]
+    pub fn int_field(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Serializes the row as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, key);
+            out.push(':');
+            match value {
+                Value::Str(s) => write_json_string(&mut out, s),
+                Value::Int(i) => {
+                    let _ = write!(out, "{i}");
+                }
+                Value::Num(x) => {
+                    // Debug keeps the ".0" on integral floats, so a Num
+                    // never parses back as an Int (shortest round-trip
+                    // precision either way).
+                    let _ = write!(out, "{x:?}");
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line produced by [`Row::to_json`] (or any flat JSON
+    /// object of strings, numbers, and booleans).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error — nested objects
+    /// and arrays are rejected.
+    pub fn parse_json(line: &str) -> Result<Row, String> {
+        let mut p = Parser::new(line);
+        let row = p.object()?;
+        p.skip_ws();
+        if p.peek().is_some() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(row)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Minimal recursive-descent parser for flat JSON objects.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Row, String> {
+        self.expect(b'{')?;
+        let mut row = Row::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(row);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            row.fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(row);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'{' | b'[') => Err(format!(
+                "nested values are not supported (byte {})",
+                self.pos
+            )),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid utf-8 in number at byte {start}"))?;
+        if token.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+            if let Ok(i) = token.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("malformed number {token:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unsupported escape '\\{}'", char::from(other)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Welford's online mean/variance accumulator.
+///
+/// Numerically stable streaming fold: `O(1)` state per metric regardless
+/// of sample count. Note that the fold order affects the final bits (float
+/// addition is not associative), so deterministic aggregation must push
+/// samples in a canonical order.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_bench::report::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.count as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples folded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n - 1` denominator; 0 for fewer than two
+    /// samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.count as f64;
+            self.m2 / (n - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 when empty).
+    #[must_use]
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.count as f64;
+            (self.variance() / n).sqrt()
+        }
+    }
+
+    /// Half-width of the two-sided ~95% confidence interval of the mean,
+    /// using the Student-t multiplier for the sample size (sweeps often
+    /// fold only 5 seeds, where the normal 1.96 would understate the
+    /// interval by ~30%). Falls back to the normal approximation past 30
+    /// degrees of freedom.
+    #[must_use]
+    pub fn ci95_half(&self) -> f64 {
+        // Two-sided 95% Student-t quantiles for df = 1..=30.
+        const T975: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        if self.count < 2 {
+            return 0.0;
+        }
+        let df = (self.count - 1) as usize;
+        let multiplier = if df <= T975.len() { T975[df - 1] } else { 1.96 };
+        multiplier * self.stderr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_json_round_trips() {
+        let mut row = Row::new();
+        row.push_str("preset", "large-1k-grid")
+            .push_str("algorithm", "ALG-N-FUSION")
+            .push_int("seed", 3)
+            .push_int("switches", 1000)
+            .push_num("rate", 12.625)
+            .push_num("stderr", 0.0625)
+            .push_bool("over_budget", false);
+        let line = row.to_json();
+        assert!(!line.contains('\n'), "rows must be single lines");
+        let back = Row::parse_json(&line).unwrap();
+        assert_eq!(back, row);
+        assert_eq!(back.str_field("preset"), Some("large-1k-grid"));
+        assert_eq!(back.int_field("switches"), Some(1000));
+        assert_eq!(back.num_field("rate"), Some(12.625));
+        assert_eq!(back.num_field("seed"), Some(3.0), "ints coerce to f64");
+        assert_eq!(back.get("over_budget"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn row_encoding_is_deterministic() {
+        let build = || {
+            let mut row = Row::new();
+            row.push_str("a", "x")
+                .push_num("b", 0.1 + 0.2)
+                .push_int("c", -7);
+            row.to_json()
+        };
+        assert_eq!(build(), build());
+        // Shortest-round-trip float formatting: exact value recovered.
+        let back = Row::parse_json(&build()).unwrap();
+        assert_eq!(back.num_field("b"), Some(0.1 + 0.2));
+    }
+
+    #[test]
+    fn row_escapes_special_characters() {
+        let mut row = Row::new();
+        row.push_str("k\"ey", "va\\lue\nwith\ttabs\u{1}");
+        let line = row.to_json();
+        let back = Row::parse_json(&line).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Row::parse_json("not json").is_err());
+        assert!(Row::parse_json("{\"a\": }").is_err());
+        assert!(Row::parse_json("{\"a\": 1,}").is_err());
+        assert!(Row::parse_json("{\"a\": [1]}").is_err());
+        assert!(Row::parse_json("{\"a\": {\"b\": 1}}").is_err());
+        assert!(Row::parse_json("{\"a\": 1} trailing").is_err());
+        assert!(Row::parse_json("{\"a\": \"unterminated}").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_empty_object_and_whitespace() {
+        assert_eq!(Row::parse_json("{}").unwrap(), Row::new());
+        let row = Row::parse_json("  { \"a\" :\t1 ,\n\"b\" : 2.5 }  ").unwrap();
+        assert_eq!(row.int_field("a"), Some(1));
+        assert_eq!(row.num_field("b"), Some(2.5));
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        // The satellite's reference check: streaming mean/variance must
+        // agree with the textbook two-pass computation.
+        let samples: Vec<f64> = (0..257)
+            .map(|i| ((i * 37 % 101) as f64).mul_add(0.31, -4.2))
+            .collect();
+        let mut w = Welford::new();
+        for &x in &samples {
+            w.push(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        assert_eq!(w.count(), samples.len() as u64);
+        assert!((w.mean() - mean).abs() < 1e-10, "{} vs {mean}", w.mean());
+        assert!(
+            (w.variance() - var).abs() < 1e-9,
+            "{} vs {var}",
+            w.variance()
+        );
+        assert!((w.stderr() - (var / n).sqrt()).abs() < 1e-10);
+        assert!((w.ci95_half() - 1.96 * (var / n).sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_degenerate_counts() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stderr(), 0.0);
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0, "one sample has no variance");
+        assert_eq!(w.ci95_half(), 0.0, "one sample has no interval");
+    }
+
+    #[test]
+    fn ci95_uses_student_t_for_small_samples() {
+        // 5 seeds is the sweep default: df = 4 ⇒ t = 2.776, not 1.96.
+        let mut five = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            five.push(x);
+        }
+        assert!((five.ci95_half() - 2.776 * five.stderr()).abs() < 1e-12);
+        // Two samples: df = 1 ⇒ the wide 12.706 multiplier.
+        let mut two = Welford::new();
+        two.push(1.0);
+        two.push(2.0);
+        assert!((two.ci95_half() - 12.706 * two.stderr()).abs() < 1e-12);
+    }
+}

@@ -127,6 +127,39 @@ pub fn scale_presets() -> Vec<(&'static str, ExperimentConfig)> {
     ]
 }
 
+/// The named base presets: the paper's §V-A configuration and the
+/// scaled-down smoke configuration.
+#[must_use]
+pub fn base_presets() -> Vec<(&'static str, ExperimentConfig)> {
+    vec![
+        ("default", ExperimentConfig::default()),
+        ("quick", ExperimentConfig::quick()),
+    ]
+}
+
+/// Every canonical preset name, base presets first then the large-scale
+/// ones — the vocabulary sweep specifications are authored against
+/// (`sweep list-presets`).
+#[must_use]
+pub fn preset_names() -> Vec<&'static str> {
+    base_presets()
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(scale_presets().iter().map(|(n, _)| *n))
+        .collect()
+}
+
+/// Resolves a canonical preset name ([`base_presets`] or
+/// [`scale_presets`]) to its configuration.
+#[must_use]
+pub fn resolve_preset(name: &str) -> Option<ExperimentConfig> {
+    base_presets()
+        .into_iter()
+        .chain(scale_presets())
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
+}
+
 /// The five algorithm variants of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -170,6 +203,15 @@ impl Algorithm {
             Algorithm::B1 => "B1",
             Algorithm::Alg3Only => "Alg-3",
         }
+    }
+
+    /// Parses a display name ([`Algorithm::name`]) back into the variant.
+    /// Case-insensitive; returns `None` for unknown names.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
     }
 
     /// Routes `demands` on `net` with this algorithm.
@@ -341,6 +383,30 @@ mod tests {
             a.graph().edge_count() != other.graph().edge_count()
                 || a.node_count() == other.node_count()
         );
+    }
+
+    #[test]
+    fn preset_names_resolve() {
+        let names = preset_names();
+        assert!(names.contains(&"default") && names.contains(&"quick"));
+        assert!(names.contains(&"large-1k-grid"));
+        for name in names {
+            assert!(resolve_preset(name).is_some(), "{name} must resolve");
+        }
+        assert!(resolve_preset("nope").is_none());
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for algo in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(algo.name()), Some(algo));
+        }
+        assert_eq!(
+            Algorithm::from_name("alg-n-fusion"),
+            Some(Algorithm::AlgNFusion),
+            "parsing is case-insensitive"
+        );
+        assert_eq!(Algorithm::from_name("dijkstra"), None);
     }
 
     #[test]

@@ -126,6 +126,26 @@ impl EntanglementRegistry {
         Self::default()
     }
 
+    /// Creates an empty registry with room for `qubits` qubits (and a
+    /// matching number of group slots) before reallocating.
+    #[must_use]
+    pub fn with_capacity(qubits: usize) -> Self {
+        EntanglementRegistry {
+            states: Vec::with_capacity(qubits),
+            groups: Vec::with_capacity(qubits),
+        }
+    }
+
+    /// Clears every qubit and group, retaining the allocated buffers, so
+    /// one registry can be refilled round after round without touching the
+    /// allocator (the sampler pattern used by the per-round simulators).
+    /// Qubit and group ids issued before the reset are meaningless
+    /// afterwards.
+    pub fn reset(&mut self) {
+        self.states.clear();
+        self.groups.clear();
+    }
+
     /// Allocates a fresh free qubit.
     pub fn alloc(&mut self) -> QubitId {
         let id = QubitId(self.states.len());
@@ -508,6 +528,33 @@ mod tests {
             reg.fuse(&[QubitId(999)]),
             Err(RegistryError::UnknownQubit(QubitId(999)))
         );
+    }
+
+    #[test]
+    fn reset_clears_state_and_reissues_ids() {
+        let (mut reg, pairs) = reg_with_pairs(3);
+        assert_eq!(reg.qubit_count(), 6);
+        assert_eq!(reg.group_count(), 3);
+        reg.reset();
+        assert_eq!(reg.qubit_count(), 0);
+        assert_eq!(reg.group_count(), 0);
+        let (old_a, old_b) = pairs[0];
+        assert!(!reg.are_entangled(old_a, old_b), "stale ids must be dead");
+        assert_eq!(reg.group_of(old_a), None);
+        // Refill: ids restart from zero and behave like a fresh registry.
+        let a = reg.alloc();
+        let b = reg.alloc();
+        assert_eq!(a.index(), 0);
+        reg.create_pair(a, b).unwrap();
+        assert!(reg.are_entangled(a, b));
+        assert_eq!(reg.group_count(), 1);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let reg = EntanglementRegistry::with_capacity(64);
+        assert_eq!(reg.qubit_count(), 0);
+        assert_eq!(reg.group_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Sharded multi-seed experiment orchestration for the GHZ-routing stack.
+//!
+//! The paper's figures average several random networks per data point;
+//! PR 2 made single 1k–10k-switch instances runnable but left every large
+//! preset at one sample. This crate turns one-shot figure runs into
+//! orchestrated, resumable campaigns:
+//!
+//! * [`spec`] — a declarative [`SweepSpec`]: a grid of presets/generators
+//!   × demand loads × algorithms × seeds with per-cell budgets, parsed
+//!   from a flat TOML subset or JSON. Each cell's RNG seed derives
+//!   deterministically from `(campaign_seed, cell key)`.
+//! * [`campaign`] — a self-scheduling (work-stealing) shard pool that
+//!   executes pending cells on any number of worker threads; results are
+//!   bit-identical regardless of thread count, shard order, or resume
+//!   boundaries.
+//! * [`store`] — a crash-safe JSONL results store with atomic append and
+//!   an atomically-replaced manifest; an interrupted campaign resumes by
+//!   skipping completed cells.
+//! * [`aggregate`] — streaming Welford aggregation of result rows into
+//!   per-configuration mean ± 95% CI summaries (the Fig. 9b extension
+//!   table into the 1k–10k-switch regime), byte-deterministic.
+//!
+//! The `sweep` binary drives it end to end:
+//!
+//! ```text
+//! sweep run --spec campaign.toml --out results/campaign [--threads N]
+//! sweep aggregate --out results/campaign
+//! sweep list-presets
+//! sweep example-spec > campaign.toml
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod campaign;
+pub mod spec;
+pub mod store;
+
+pub use aggregate::{aggregate_rows, render_table, summary_json, GroupSummary};
+pub use campaign::{aggregate_campaign, run_campaign, CampaignOutcome, RunOptions};
+pub use spec::{derive_cell_seed, Cell, SweepSpec};
+pub use store::{CampaignStore, Manifest};

@@ -1,0 +1,414 @@
+//! Crash-safe campaign persistence: JSONL rows plus an atomic manifest.
+//!
+//! The results store is append-only: each completed cell is one
+//! [`Row`] written as a single JSON line in one `write` call to a file
+//! opened in append mode, so a crash can at worst leave one partial final
+//! line — which [`CampaignStore::load_rows`] detects and drops. The
+//! manifest is rewritten through a temp-file + rename, so it is always
+//! either the old or the new version. Together they make resume trivial:
+//! reload the rows, skip the cells already present.
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use fusion_bench::report::Row;
+
+/// Campaign-level bookkeeping, serialized as one flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// [`crate::spec::SweepSpec::fingerprint`] of the spec the rows
+    /// belong to; a directory refuses rows from a different spec.
+    pub spec_fingerprint: u64,
+    /// The campaign seed (informational; part of the fingerprint too).
+    pub campaign_seed: u64,
+    /// Total cells in the expanded grid.
+    pub total_cells: usize,
+    /// Cells completed so far.
+    pub completed_cells: usize,
+    /// `true` once every cell has a row.
+    pub done: bool,
+}
+
+impl Manifest {
+    fn to_row(&self) -> Row {
+        let mut row = Row::new();
+        #[allow(clippy::cast_possible_wrap)]
+        row.push_str("name", self.name.clone())
+            .push_int("spec_fingerprint", self.spec_fingerprint as i64)
+            .push_int("campaign_seed", self.campaign_seed as i64)
+            .push_int("total_cells", self.total_cells as i64)
+            .push_int("completed_cells", self.completed_cells as i64)
+            .push_bool("done", self.done);
+        row
+    }
+
+    fn from_row(row: &Row) -> Result<Manifest, String> {
+        let int = |key: &str| {
+            row.int_field(key)
+                .ok_or_else(|| format!("manifest missing integer field {key:?}"))
+        };
+        Ok(Manifest {
+            name: row
+                .str_field("name")
+                .ok_or("manifest missing field \"name\"")?
+                .to_string(),
+            #[allow(clippy::cast_sign_loss)]
+            spec_fingerprint: int("spec_fingerprint")? as u64,
+            #[allow(clippy::cast_sign_loss)]
+            campaign_seed: int("campaign_seed")? as u64,
+            total_cells: usize::try_from(int("total_cells")?)
+                .map_err(|_| "negative total_cells")?,
+            completed_cells: usize::try_from(int("completed_cells")?)
+                .map_err(|_| "negative completed_cells")?,
+            done: matches!(
+                row.get("done"),
+                Some(fusion_bench::report::Value::Bool(true))
+            ),
+        })
+    }
+}
+
+/// Rows loaded from disk plus what was skipped while loading.
+#[derive(Debug, Default)]
+pub struct LoadedRows {
+    /// Every complete, parseable row in file order.
+    pub rows: Vec<Row>,
+    /// Unparseable lines dropped (at most the crash-truncated tail; more
+    /// than one suggests a corrupted file).
+    pub dropped: usize,
+}
+
+impl LoadedRows {
+    /// The set of completed cell keys (rows carrying a `"cell"` field).
+    #[must_use]
+    pub fn completed_cells(&self) -> BTreeSet<String> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.str_field("cell"))
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Parses JSONL text into rows, counting (not failing on) unparseable
+/// lines — the shared loading discipline for `rows.jsonl`, `scale.jsonl`,
+/// and any other file in the row schema.
+#[must_use]
+pub fn parse_jsonl(text: &str) -> LoadedRows {
+    let mut loaded = LoadedRows::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Row::parse_json(line) {
+            Ok(row) => loaded.rows.push(row),
+            Err(_) => loaded.dropped += 1,
+        }
+    }
+    loaded
+}
+
+/// One campaign directory: `rows.jsonl`, `manifest.json`, `summary.json`.
+#[derive(Debug)]
+pub struct CampaignStore {
+    dir: PathBuf,
+    /// Kept open across appends so each row is a single `write` syscall
+    /// on an `O_APPEND` descriptor.
+    rows_file: Option<File>,
+}
+
+impl CampaignStore {
+    /// Opens (creating if needed) a campaign directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(dir: &Path) -> io::Result<CampaignStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(CampaignStore {
+            dir: dir.to_path_buf(),
+            rows_file: None,
+        })
+    }
+
+    /// The campaign directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the append-only results file.
+    #[must_use]
+    pub fn rows_path(&self) -> PathBuf {
+        self.dir.join("rows.jsonl")
+    }
+
+    /// Path of the manifest.
+    #[must_use]
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    /// Path of the aggregated summary.
+    #[must_use]
+    pub fn summary_path(&self) -> PathBuf {
+        self.dir.join("summary.json")
+    }
+
+    /// Drops a crash-truncated partial final line (no trailing newline)
+    /// before the first append of a session, so the re-executed cell's
+    /// row doesn't get glued onto the partial bytes and lost.
+    fn truncate_partial_tail(&self) -> io::Result<()> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = match OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.rows_path())
+        {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(());
+        }
+        // Common (clean) case: O(1) — just inspect the final byte.
+        file.seek(SeekFrom::End(-1))?;
+        let mut last = [0u8; 1];
+        file.read_exact(&mut last)?;
+        if last[0] == b'\n' {
+            return Ok(());
+        }
+        // Rare crash case: find the last newline and cut after it.
+        let bytes = std::fs::read(self.rows_path())?;
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        file.set_len(keep as u64)?;
+        file.sync_data()
+    }
+
+    /// Appends one result row: a single line written in one call and
+    /// flushed before returning, so a completed cell survives any later
+    /// crash. The first append of a session truncates any partial line a
+    /// previous crash left at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_row(&mut self, row: &Row) -> io::Result<()> {
+        if self.rows_file.is_none() {
+            self.truncate_partial_tail()?;
+            self.rows_file = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.rows_path())?,
+            );
+        }
+        let file = self.rows_file.as_mut().expect("opened above");
+        let mut line = row.to_json();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.sync_data()
+    }
+
+    /// Loads every complete row, dropping a crash-truncated or corrupt
+    /// tail (a missing file is simply zero rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than "not found".
+    pub fn load_rows(&self) -> io::Result<LoadedRows> {
+        let text = match std::fs::read_to_string(self.rows_path()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadedRows::default()),
+            Err(e) => return Err(e),
+        };
+        Ok(parse_jsonl(&text))
+    }
+
+    /// Atomically replaces the manifest (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_manifest(&self, manifest: &Manifest) -> io::Result<()> {
+        let tmp = self.dir.join("manifest.json.tmp");
+        let mut file = File::create(&tmp)?;
+        let mut text = manifest.to_row().to_json();
+        text.push('\n');
+        file.write_all(text.as_bytes())?;
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, self.manifest_path())
+    }
+
+    /// Loads the manifest; `None` when the directory has none yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description for filesystem or parse errors.
+    pub fn load_manifest(&self) -> Result<Option<Manifest>, String> {
+        let text = match std::fs::read_to_string(self.manifest_path()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("reading manifest: {e}")),
+        };
+        let row = Row::parse_json(text.trim()).map_err(|e| format!("parsing manifest: {e}"))?;
+        Manifest::from_row(&row).map(Some)
+    }
+
+    /// Deletes rows, manifest, and summary — a fresh start in the same
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than "not found".
+    pub fn wipe(&mut self) -> io::Result<()> {
+        self.rows_file = None;
+        for path in [self.rows_path(), self.manifest_path(), self.summary_path()] {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fusion-runner-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn row(cell: &str, rate: f64) -> Row {
+        let mut r = Row::new();
+        r.push_str("cell", cell).push_num("rate", rate);
+        r
+    }
+
+    #[test]
+    fn rows_round_trip_and_resume_skips_completed() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.append_row(&row("a/seed0", 1.5)).unwrap();
+        store.append_row(&row("a/seed1", 2.5)).unwrap();
+        let loaded = store.load_rows().unwrap();
+        assert_eq!(loaded.rows.len(), 2);
+        assert_eq!(loaded.dropped, 0);
+        let done = loaded.completed_cells();
+        assert!(done.contains("a/seed0") && done.contains("a/seed1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let dir = tmp_dir("truncated");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.append_row(&row("a/seed0", 1.5)).unwrap();
+        // Simulate a crash mid-append: a partial line at the tail.
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(store.rows_path())
+            .unwrap();
+        file.write_all(b"{\"cell\": \"a/seed1\", \"rate\": 2.")
+            .unwrap();
+        drop(file);
+        let loaded = store.load_rows().unwrap();
+        assert_eq!(loaded.rows.len(), 1);
+        assert_eq!(loaded.dropped, 1);
+        assert!(!loaded.completed_cells().contains("a/seed1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_after_truncated_tail_does_not_glue_lines() {
+        // A crash mid-write leaves a partial line without a trailing
+        // newline; the next session's first append must drop it instead
+        // of gluing the new row onto the same line (which would corrupt
+        // BOTH rows and silently lose the re-executed cell's result).
+        let dir = tmp_dir("glue");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.append_row(&row("a/seed0", 1.5)).unwrap();
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(store.rows_path())
+            .unwrap();
+        file.write_all(b"{\"cell\": \"a/seed1\", \"rate\": 2.")
+            .unwrap();
+        drop(file);
+        // Fresh session (new store handle), as after a real crash.
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.append_row(&row("a/seed1", 2.5)).unwrap();
+        let loaded = store.load_rows().unwrap();
+        assert_eq!(loaded.dropped, 0, "partial tail must be gone, not glued");
+        assert_eq!(loaded.rows.len(), 2);
+        assert_eq!(loaded.rows[1].str_field("cell"), Some("a/seed1"));
+        assert_eq!(loaded.rows[1].num_field("rate"), Some(2.5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trips_atomically() {
+        let dir = tmp_dir("manifest");
+        let store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.load_manifest().unwrap(), None);
+        let manifest = Manifest {
+            name: "camp".to_string(),
+            spec_fingerprint: u64::MAX - 3,
+            campaign_seed: 42,
+            total_cells: 10,
+            completed_cells: 4,
+            done: false,
+        };
+        store.write_manifest(&manifest).unwrap();
+        assert_eq!(store.load_manifest().unwrap(), Some(manifest.clone()));
+        let finished = Manifest {
+            completed_cells: 10,
+            done: true,
+            ..manifest
+        };
+        store.write_manifest(&finished).unwrap();
+        assert_eq!(store.load_manifest().unwrap(), Some(finished));
+        assert!(
+            !dir.join("manifest.json.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wipe_resets_the_directory() {
+        let dir = tmp_dir("wipe");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.append_row(&row("a/seed0", 1.0)).unwrap();
+        store
+            .write_manifest(&Manifest {
+                name: "w".to_string(),
+                spec_fingerprint: 1,
+                campaign_seed: 2,
+                total_cells: 1,
+                completed_cells: 1,
+                done: true,
+            })
+            .unwrap();
+        store.wipe().unwrap();
+        assert_eq!(store.load_rows().unwrap().rows.len(), 0);
+        assert_eq!(store.load_manifest().unwrap(), None);
+        // The store still works after a wipe.
+        store.append_row(&row("b/seed0", 3.0)).unwrap();
+        assert_eq!(store.load_rows().unwrap().rows.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -35,4 +35,5 @@ pub mod timeline;
 
 pub use connectivity::{ClassicSampler, FlowSampler, PlanSampler};
 pub use evaluate::{estimate_plan, estimate_plan_parallel, PlanEstimate};
+pub use protocol::{RoundOutcome, RoundSimulator};
 pub use stats::RateEstimate;

@@ -21,6 +21,13 @@
 //! The simulator also recomputes each round's verdict with plain
 //! percolation connectivity and asserts the two agree — the registry and
 //! the paper's Eq.-1 world model are equivalent round by round.
+//!
+//! Tight Monte Carlo loops should build a [`RoundSimulator`] once per
+//! routed demand and call [`RoundSimulator::simulate`] per round: the
+//! graph lookups are resolved at construction and the registry is
+//! reset-and-refilled instead of reallocated (the sampler pattern used by
+//! [`crate::connectivity`]), so large presets can afford protocol-level
+//! validation too.
 
 use std::collections::HashMap;
 
@@ -42,8 +49,23 @@ pub struct RoundOutcome {
     pub fusions_succeeded: usize,
 }
 
+impl RoundOutcome {
+    fn dead() -> Self {
+        RoundOutcome {
+            established: false,
+            links_generated: 0,
+            fusions_attempted: 0,
+            fusions_succeeded: 0,
+        }
+    }
+}
+
 /// Simulates one full protocol round for a routed demand, returning the
 /// outcome. See the module docs for the phase structure.
+///
+/// Convenience wrapper that resolves the plan from scratch per call (the
+/// fresh-allocation path); Monte Carlo loops should reuse a
+/// [`RoundSimulator`], which draws and decides identically.
 ///
 /// # Panics
 ///
@@ -51,171 +73,241 @@ pub struct RoundOutcome {
 /// percolation connectivity — that would mean the quantum bookkeeping and
 /// the analytic model diverged.
 pub fn simulate_round(net: &QuantumNetwork, plan: &DemandPlan, rng: &mut impl Rng) -> RoundOutcome {
-    let flow = &plan.flow;
-    if flow.is_empty() {
-        return RoundOutcome {
-            established: false,
-            links_generated: 0,
-            fusions_attempted: 0,
-            fusions_succeeded: 0,
-        };
+    RoundSimulator::new(net, plan).simulate(rng)
+}
+
+/// Reusable protocol-round simulator for one routed demand.
+///
+/// Construction resolves every graph lookup once: flow nodes are indexed,
+/// channels are expanded into parallel links with their heralding
+/// probabilities, and per-round buffers (held-qubit lists, live-link list,
+/// fusion outcomes) plus the [`EntanglementRegistry`] are allocated up
+/// front. [`simulate`](RoundSimulator::simulate) then reset-and-refills
+/// that state instead of reallocating it, drawing from the RNG in exactly
+/// the order of the fresh-allocation path ([`simulate_round`]).
+///
+/// Fusions are processed in flow-node order (failures first, then
+/// successes), so the outcome — including the attempt counters — is a
+/// deterministic function of the RNG draws.
+#[derive(Debug, Clone)]
+pub struct RoundSimulator {
+    /// One entry per parallel link: `(u_idx, v_idx, heralding p)`, in flow
+    /// edge order with each channel expanded to its width. Flow edges
+    /// without a backing network hop are dropped at build time (they never
+    /// drew in the historical implementation either).
+    links: Vec<(usize, usize, f64)>,
+    /// `true` at indices whose flow node is a switch.
+    switch_mask: Vec<bool>,
+    /// Flow-node index of the source / destination user, when present.
+    source: Option<usize>,
+    sink: Option<usize>,
+    /// GHZ fusion success probability.
+    q: f64,
+    // ---- per-round state, reset and refilled each call ----
+    registry: EntanglementRegistry,
+    /// Qubits pinned at each flow node this round.
+    held: Vec<Vec<QubitId>>,
+    /// Indices of links whose heralding succeeded this round. Only
+    /// maintained in debug builds, where it feeds the percolation
+    /// cross-check.
+    live: Vec<(usize, usize)>,
+    /// Per flow node: fusion verdict (users are always up).
+    switch_up: Vec<bool>,
+    /// Scratch for the per-switch list of still-entangled qubits.
+    measured: Vec<QubitId>,
+}
+
+impl RoundSimulator {
+    /// Resolves `plan.flow` against `net` once.
+    #[must_use]
+    pub fn new(net: &QuantumNetwork, plan: &DemandPlan) -> Self {
+        let flow = &plan.flow;
+        let nodes = flow.nodes();
+        let index: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let switch_mask: Vec<bool> = nodes.iter().map(|&n| net.is_switch(n)).collect();
+        let mut links = Vec::new();
+        for (u, v, width) in flow.edges() {
+            let Some((_, p)) = net.hop(u, v) else {
+                continue;
+            };
+            for _ in 0..width {
+                links.push((index[&u], index[&v], p));
+            }
+        }
+        RoundSimulator {
+            registry: EntanglementRegistry::with_capacity(2 * links.len()),
+            held: vec![Vec::new(); switch_mask.len()],
+            live: Vec::with_capacity(links.len()),
+            switch_up: vec![false; switch_mask.len()],
+            measured: Vec::new(),
+            links,
+            source: index.get(&flow.source()).copied(),
+            sink: index.get(&flow.sink()).copied(),
+            q: net.swap_success(),
+            switch_mask,
+        }
     }
 
-    let mut registry = EntanglementRegistry::new();
-    // Per-node qubits pinned for this state, in flow-node order.
-    let mut held: HashMap<NodeId, Vec<QubitId>> = HashMap::new();
-    let mut links_generated = 0usize;
+    /// Refills `self.measured` with the still-entangled qubits held at
+    /// node index `ni`.
+    fn collect_entangled(&mut self, ni: usize) {
+        self.measured.clear();
+        for &q in &self.held[ni] {
+            if self.registry.group_of(q).is_some() {
+                self.measured.push(q);
+            }
+        }
+    }
 
-    // Phase III.1: heralded link-level entanglement on every parallel link.
-    let mut live_links: Vec<(NodeId, NodeId)> = Vec::new();
-    for (u, v, width) in flow.edges() {
-        let Some((_, p)) = net.hop(u, v) else {
-            continue;
-        };
-        for _ in 0..width {
+    /// Simulates one full protocol round, reusing the internal buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the registry verdict disagrees with
+    /// percolation connectivity over the same sampled outcomes.
+    pub fn simulate(&mut self, rng: &mut impl Rng) -> RoundOutcome {
+        let n = self.switch_mask.len();
+        if n == 0 {
+            return RoundOutcome::dead();
+        }
+        self.registry.reset();
+        for held in &mut self.held {
+            held.clear();
+        }
+        // `live` only feeds the debug-build percolation cross-check;
+        // don't pay for it in release Monte Carlo loops.
+        #[cfg(debug_assertions)]
+        self.live.clear();
+
+        // Phase III.1: heralded link-level entanglement on every parallel
+        // link, in flow edge order.
+        let mut links_generated = 0usize;
+        for li in 0..self.links.len() {
+            let (ui, vi, p) = self.links[li];
             if rng.gen_bool(p) {
-                let qu = registry.alloc();
-                let qv = registry.alloc();
-                registry.create_pair(qu, qv).expect("fresh qubits");
-                held.entry(u).or_default().push(qu);
-                held.entry(v).or_default().push(qv);
-                live_links.push((u, v));
+                let qu = self.registry.alloc();
+                let qv = self.registry.alloc();
+                self.registry.create_pair(qu, qv).expect("fresh qubits");
+                self.held[ui].push(qu);
+                self.held[vi].push(qv);
+                #[cfg(debug_assertions)]
+                self.live.push((ui, vi));
                 links_generated += 1;
             }
         }
-    }
 
-    // Phase III.2: simultaneous fusions at every participating switch.
-    let nodes = flow.nodes();
-    let mut fusions_attempted = 0usize;
-    let mut fusions_succeeded = 0usize;
-    let mut switch_up: HashMap<NodeId, bool> = HashMap::new();
-    for &node in &nodes {
-        if !net.is_switch(node) {
-            continue;
+        // Phase III.2: simultaneous fusions at every participating switch.
+        // Verdicts are drawn in flow-node order (one draw per switch).
+        let mut fusions_attempted = 0usize;
+        let mut fusions_succeeded = 0usize;
+        for ni in 0..n {
+            self.switch_up[ni] = !self.switch_mask[ni] || rng.gen_bool(self.q);
         }
-        let up = rng.gen_bool(net.swap_success());
-        switch_up.insert(node, up);
-    }
-    // Failed fusions resolve first: at measurement time every qubit is
-    // still in its own Bell pair, so the damage is local to those pairs.
-    // A pair between two failed switches dies at whichever fusion is
-    // processed first; the second switch then simply holds dead qubits.
-    for (&node, &up) in &switch_up {
-        if up {
-            continue;
-        }
-        let qubits: Vec<QubitId> = held
-            .get(&node)
-            .map(|qs| {
-                qs.iter()
-                    .copied()
-                    .filter(|&q| registry.group_of(q).is_some())
-                    .collect()
-            })
-            .unwrap_or_default();
-        if qubits.is_empty() {
-            continue;
-        }
-        fusions_attempted += usize::from(qubits.len() >= 2);
-        registry
-            .fail_fuse(&qubits)
-            .expect("filtered to entangled qubits");
-    }
-    // Successful fusions merge whatever survived.
-    for (&node, &up) in &switch_up {
-        if !up {
-            continue;
-        }
-        let qubits: Vec<QubitId> = held
-            .get(&node)
-            .map(|qs| {
-                qs.iter()
-                    .copied()
-                    .filter(|&q| registry.group_of(q).is_some())
-                    .collect()
-            })
-            .unwrap_or_default();
-        match qubits.len() {
-            0 => {}
-            1 => {
-                // Dangling link end: Pauli-measure it out (1-fusion).
-                registry.measure_out(qubits[0]).expect("entangled");
+        // Failed fusions resolve first: at measurement time every qubit is
+        // still in its own Bell pair, so the damage is local to those pairs.
+        // A pair between two failed switches dies at whichever fusion is
+        // processed first (flow-node order); the second switch then simply
+        // holds dead qubits.
+        for ni in 0..n {
+            if !self.switch_mask[ni] || self.switch_up[ni] {
+                continue;
             }
-            _ => {
-                fusions_attempted += 1;
-                registry.fuse(&qubits).expect("entangled");
-                fusions_succeeded += 1;
+            self.collect_entangled(ni);
+            if self.measured.is_empty() {
+                continue;
+            }
+            fusions_attempted += usize::from(self.measured.len() >= 2);
+            self.registry
+                .fail_fuse(&self.measured)
+                .expect("filtered to entangled qubits");
+        }
+        // Successful fusions merge whatever survived.
+        for ni in 0..n {
+            if !self.switch_mask[ni] || !self.switch_up[ni] {
+                continue;
+            }
+            self.collect_entangled(ni);
+            match self.measured.len() {
+                0 => {}
+                1 => {
+                    // Dangling link end: Pauli-measure it out (1-fusion).
+                    self.registry
+                        .measure_out(self.measured[0])
+                        .expect("entangled");
+                }
+                _ => {
+                    fusions_attempted += 1;
+                    self.registry.fuse(&self.measured).expect("entangled");
+                    fusions_succeeded += 1;
+                }
             }
         }
-    }
 
-    // Phase III.3: do the users share a group?
-    let empty = Vec::new();
-    let s_qubits = held.get(&flow.source()).unwrap_or(&empty);
-    let d_qubits = held.get(&flow.sink()).unwrap_or(&empty);
-    let mut witness: Option<(QubitId, QubitId)> = None;
-    'outer: for &sq in s_qubits {
-        for &dq in d_qubits {
-            if registry.are_entangled(sq, dq) {
-                witness = Some((sq, dq));
-                break 'outer;
+        // Phase III.3: do the users share a group?
+        let mut witness: Option<(QubitId, QubitId)> = None;
+        if let (Some(s), Some(d)) = (self.source, self.sink) {
+            'outer: for &sq in &self.held[s] {
+                for &dq in &self.held[d] {
+                    if self.registry.are_entangled(sq, dq) {
+                        witness = Some((sq, dq));
+                        break 'outer;
+                    }
+                }
             }
         }
-    }
-    let established = witness.is_some();
+        let established = witness.is_some();
 
-    // Cross-check against percolation connectivity on the same outcomes.
-    debug_assert_eq!(
-        established,
-        connectivity_verdict(net, plan, &live_links, &switch_up),
-        "registry and percolation semantics diverged"
-    );
-
-    // Trim the shared group down to a Bell pair for teleportation.
-    if let Some((sq, dq)) = witness {
-        let group = registry.group_of(sq).expect("witnessed group");
-        let members = registry.group_members(group).expect("live group");
-        for member in members {
-            if member != sq && member != dq {
-                registry.measure_out(member).expect("member of live group");
-            }
-        }
-        debug_assert!(registry.are_entangled(sq, dq));
+        // Cross-check against percolation connectivity on the same
+        // outcomes (debug builds only — it allocates).
         debug_assert_eq!(
-            registry.group_of(sq).and_then(|g| registry.group_size(g)),
-            Some(2),
-            "trimming must leave exactly a Bell pair"
+            established,
+            self.connectivity_verdict(),
+            "registry and percolation semantics diverged"
         );
-    }
 
-    RoundOutcome {
-        established,
-        links_generated,
-        fusions_attempted,
-        fusions_succeeded,
-    }
-}
+        // Trim the shared group down to a Bell pair for teleportation.
+        if let Some((sq, dq)) = witness {
+            let group = self.registry.group_of(sq).expect("witnessed group");
+            let members = self.registry.group_members(group).expect("live group");
+            for member in members {
+                if member != sq && member != dq {
+                    self.registry
+                        .measure_out(member)
+                        .expect("member of live group");
+                }
+            }
+            debug_assert!(self.registry.are_entangled(sq, dq));
+            debug_assert_eq!(
+                self.registry
+                    .group_of(sq)
+                    .and_then(|g| self.registry.group_size(g)),
+                Some(2),
+                "trimming must leave exactly a Bell pair"
+            );
+        }
 
-/// Recomputes the round verdict by percolation over the sampled outcomes.
-fn connectivity_verdict(
-    net: &QuantumNetwork,
-    plan: &DemandPlan,
-    live_links: &[(NodeId, NodeId)],
-    switch_up: &HashMap<NodeId, bool>,
-) -> bool {
-    let nodes = plan.flow.nodes();
-    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-    let mut sets = DisjointSets::new(nodes.len());
-    let up = |n: NodeId| !net.is_switch(n) || *switch_up.get(&n).unwrap_or(&false);
-    for &(u, v) in live_links {
-        if up(u) && up(v) {
-            sets.union(index[&u], index[&v]);
+        RoundOutcome {
+            established,
+            links_generated,
+            fusions_attempted,
+            fusions_succeeded,
         }
     }
-    match (index.get(&plan.flow.source()), index.get(&plan.flow.sink())) {
-        (Some(&s), Some(&d)) => sets.same_set(s, d),
-        _ => false,
+
+    /// Recomputes the round verdict by percolation over the sampled
+    /// outcomes (`self.live`, `self.switch_up`).
+    fn connectivity_verdict(&self) -> bool {
+        let mut sets = DisjointSets::new(self.switch_mask.len());
+        for &(ui, vi) in &self.live {
+            if self.switch_up[ui] && self.switch_up[vi] {
+                sets.union(ui, vi);
+            }
+        }
+        match (self.source, self.sink) {
+            (Some(s), Some(d)) => sets.same_set(s, d),
+            _ => false,
+        }
     }
 }
 
@@ -255,10 +347,11 @@ mod tests {
     fn registry_rate_matches_eq1() {
         let (net, plan) = branching_plan(0.5, 0.8);
         let mut rng = StdRng::seed_from_u64(99);
+        let mut sim = RoundSimulator::new(&net, &plan);
         let rounds = 20_000;
         let mut hits = 0;
         for _ in 0..rounds {
-            if simulate_round(&net, &plan, &mut rng).established {
+            if sim.simulate(&mut rng).established {
                 hits += 1;
             }
         }
@@ -271,11 +364,30 @@ mod tests {
     }
 
     #[test]
+    fn reused_simulator_matches_fresh_allocation_path() {
+        // The reset-and-refill simulator must reproduce the
+        // fresh-allocation path (`simulate_round` rebuilds everything per
+        // call) outcome-for-outcome: same seed, same draws, same counters.
+        for (p, q, seed) in [(0.5, 0.8, 7u64), (0.2, 0.5, 11), (0.9, 0.95, 13)] {
+            let (net, plan) = branching_plan(p, q);
+            let mut reused = RoundSimulator::new(&net, &plan);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            for round in 0..2_000 {
+                let a = reused.simulate(&mut rng_a);
+                let b = simulate_round(&net, &plan, &mut rng_b);
+                assert_eq!(a, b, "round {round}: reuse diverged from fresh");
+            }
+        }
+    }
+
+    #[test]
     fn outcome_counters_are_consistent() {
         let (net, plan) = branching_plan(0.9, 0.9);
         let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = RoundSimulator::new(&net, &plan);
         for _ in 0..200 {
-            let out = simulate_round(&net, &plan, &mut rng);
+            let out = sim.simulate(&mut rng);
             assert!(out.fusions_succeeded <= out.fusions_attempted);
             // 3 channel-links exist in total (width 2 + width 1) per side.
             assert!(out.links_generated <= 6);

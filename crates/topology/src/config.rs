@@ -33,6 +33,43 @@ pub enum GeneratorKind {
     Grid,
 }
 
+impl GeneratorKind {
+    /// Canonical lower-case name of this generator family, as accepted by
+    /// [`GeneratorKind::parse`] (parameters are not encoded).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            GeneratorKind::Waxman { .. } => "waxman",
+            GeneratorKind::WattsStrogatz { .. } => "watts-strogatz",
+            GeneratorKind::Aiello { .. } => "aiello",
+            GeneratorKind::Grid => "grid",
+        }
+    }
+
+    /// Every generator family with its default parameters, in canonical
+    /// order — the set a sweep specification may enumerate by name.
+    #[must_use]
+    pub fn all_default() -> [GeneratorKind; 4] {
+        [
+            GeneratorKind::default(),
+            GeneratorKind::WattsStrogatz { rewire: 0.1 },
+            GeneratorKind::Aiello { gamma: 2.5 },
+            GeneratorKind::Grid,
+        ]
+    }
+
+    /// Parses a canonical generator name (see [`GeneratorKind::name`])
+    /// into the family with its default parameters. Case-insensitive;
+    /// returns `None` for unknown names.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<GeneratorKind> {
+        let lower = name.to_ascii_lowercase();
+        GeneratorKind::all_default()
+            .into_iter()
+            .find(|kind| kind.name() == lower)
+    }
+}
+
 impl Default for GeneratorKind {
     fn default() -> Self {
         // alpha = 1.0 keeps the length bias weak: edges span the area
@@ -140,6 +177,16 @@ mod tests {
         assert_eq!(c.num_user_pairs, 20);
         assert_eq!(c.avg_degree, 10.0);
         assert_eq!(c.side, 10_000.0);
+    }
+
+    #[test]
+    fn generator_names_round_trip() {
+        for kind in GeneratorKind::all_default() {
+            let parsed = GeneratorKind::parse(kind.name()).unwrap();
+            assert_eq!(parsed.name(), kind.name());
+        }
+        assert_eq!(GeneratorKind::parse("GRID"), Some(GeneratorKind::Grid));
+        assert_eq!(GeneratorKind::parse("erdos"), None);
     }
 
     #[test]
