@@ -15,7 +15,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use fusion_core::algorithms::alg1;
+use fusion_core::algorithms::{alg1, alg2, alg3_greedy};
 use fusion_core::{metrics, SwapMode};
 use fusion_graph::SearchScratch;
 use fusion_sim::evaluate::estimate_plan;
@@ -52,13 +52,16 @@ pub struct Comparison {
 /// to normalize comparisons across machines, but never gated itself.
 pub const CALIBRATION: &str = "calibration";
 
-/// Stable workload names, in execution order.
-pub const WORKLOADS: [&str; 6] = [
+/// Stable workload names, in execution order. Must stay in sync with the
+/// committed `BENCH_BASELINE.json` — `workload_set_matches_baseline_keys`
+/// fails otherwise, so a new workload cannot silently escape the CI gate.
+pub const WORKLOADS: [&str; 7] = [
     CALIBRATION,
     "alg1_path_search",
     "alg2_selection",
     "eq1_flow_rate",
     "mc_round",
+    "alg3_merge",
     "scale_1k_route",
 ];
 
@@ -165,6 +168,37 @@ pub fn run_workload(name: &str, reps: usize) -> BenchResult {
             let plan = Algorithm::AlgNFusion.route(&net, &demands, config.h);
             time_workload(name, reps, || {
                 black_box(estimate_plan(&net, &plan, 2_000, config.seed));
+            })
+        }
+        "alg3_merge" => {
+            // The Algorithm 3 incremental gain-queue merge at the
+            // `large-10k-grid` preset — the ROADMAP's former top
+            // bottleneck. Topology generation and candidate construction
+            // are setup, not measured: the timed region is the merge
+            // alone, so a regression here points straight at the queue.
+            // (The full-re-scan oracle `paths_merge_greedy_reference` is
+            // ~30x slower on this workload; see EXPERIMENTS.md.)
+            let mut config = ExperimentConfig::large_grid(10_000);
+            config.threads = 1;
+            let (net, demands) = config.instance(0);
+            let caps = net.capacities();
+            let candidates = alg2::paths_selection(
+                &net,
+                &demands,
+                &caps,
+                config.h,
+                net.max_switch_capacity(),
+                SwapMode::NFusion,
+            );
+            time_workload(name, reps, || {
+                black_box(alg3_greedy::paths_merge_greedy(
+                    &net,
+                    &demands,
+                    &candidates,
+                    SwapMode::NFusion,
+                    true,
+                    None,
+                ));
             })
         }
         "scale_1k_route" => {
@@ -383,6 +417,29 @@ mod tests {
     fn median_is_positional() {
         assert_eq!(median(vec![5.0, 1.0, 3.0]), 3.0);
         assert_eq!(median(vec![2.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn workload_set_matches_baseline_keys() {
+        // The committed baseline must cover exactly the gated workload
+        // set: a workload added to the binary without a regenerated
+        // baseline would never be gated (compare ignores extra current
+        // results), and a key lingering in the baseline after a workload
+        // rename would fail every CI run as "missing". Regenerate with:
+        // cargo run --release -p fusion-bench --bin perfbench -- run --out BENCH_BASELINE.json
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_BASELINE.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_BASELINE.json at the repo root");
+        let baseline: std::collections::BTreeSet<String> = parse_json(&text)
+            .expect("committed baseline parses")
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        let workloads: std::collections::BTreeSet<String> =
+            WORKLOADS.iter().map(|w| (*w).to_string()).collect();
+        assert_eq!(
+            workloads, baseline,
+            "WORKLOADS and BENCH_BASELINE.json keys diverged; regenerate the baseline"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub(crate) fn record_route(
 }
 
 /// Output of the merge: per-demand plans plus the remaining qubit budget.
-#[derive(Debug, Clone)]
+/// Equality is exact (widths, flows, and remaining qubits are all
+/// integral), which is what the queue-vs-reference differential tests
+/// compare.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MergeOutcome {
     /// One plan per input demand, in input order.
     pub plans: Vec<DemandPlan>,

@@ -4,8 +4,9 @@
 //! * [`alg2`] — Paths Selection (Yen's structure over Algorithm 1).
 //! * [`alg3`] — Paths Merge (capacity-aware, builds flow-like graphs),
 //!   in the paper's literal width-major order.
-//! * [`alg3_greedy`] — Paths Merge in gain-per-qubit order (the default;
-//!   see that module for why the literal order underperforms).
+//! * [`alg3_greedy`] — Paths Merge in gain-per-qubit order via an
+//!   incremental gain queue (the default; see that module for the queue
+//!   design and for why the literal order underperforms).
 //! * [`alg4`] — Remaining Qubits Assignment (channel widening).
 //! * [`pipeline`] — the composed `ALG-N-FUSION` routing algorithm.
 
@@ -19,6 +20,6 @@ pub mod pipeline;
 pub use alg1::{largest_rate_path, largest_rate_path_with, PathConstraints};
 pub use alg2::{paths_selection, paths_selection_parallel, CandidatePath};
 pub use alg3::{paths_merge, MergeOutcome};
-pub use alg3_greedy::paths_merge_greedy;
+pub use alg3_greedy::{paths_merge_greedy, paths_merge_greedy_reference};
 pub use alg4::assign_remaining;
 pub use pipeline::{alg_n_fusion, route, route_parallel, MergeOrder, RoutingConfig};

@@ -11,11 +11,15 @@ use crate::demand::Demand;
 use crate::network::QuantumNetwork;
 use crate::plan::{NetworkPlan, SwapMode};
 
-/// Order in which Algorithm 3 consumes the candidate set.
+/// Order in which Algorithm 3 consumes the candidate set — the
+/// merge-order ablation knob (see EXPERIMENTS.md).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MergeOrder {
     /// Greedy by marginal entanglement-rate gain per qubit spent (default;
-    /// implements Main Idea 2's resource-efficiency principle).
+    /// implements Main Idea 2's resource-efficiency principle). Runs on
+    /// the incremental gain queue of [`alg3_greedy::paths_merge_greedy`],
+    /// differentially tested byte-identical to the full re-scan
+    /// ([`alg3_greedy::paths_merge_greedy_reference`]).
     GainPerQubit,
     /// The paper's literal order: widest first, metric-sorted within a
     /// width. Kept for the merge-order ablation.

@@ -31,7 +31,7 @@ impl SwapMode {
 }
 
 /// The routed structure serving one demanded quantum state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DemandPlan {
     /// The demand being served.
     pub demand: Demand,
