@@ -55,12 +55,13 @@ pub const CALIBRATION: &str = "calibration";
 /// Stable workload names, in execution order. Must stay in sync with the
 /// committed `BENCH_BASELINE.json` — `workload_set_matches_baseline_keys`
 /// fails otherwise, so a new workload cannot silently escape the CI gate.
-pub const WORKLOADS: [&str; 7] = [
+pub const WORKLOADS: [&str; 8] = [
     CALIBRATION,
     "alg1_path_search",
     "alg2_selection",
     "eq1_flow_rate",
     "mc_round",
+    "alg2_select",
     "alg3_merge",
     "scale_1k_route",
 ];
@@ -168,6 +169,33 @@ pub fn run_workload(name: &str, reps: usize) -> BenchResult {
             let plan = Algorithm::AlgNFusion.route(&net, &demands, config.h);
             time_workload(name, reps, || {
                 black_box(estimate_plan(&net, &plan, 2_000, config.seed));
+            })
+        }
+        "alg2_select" => {
+            // Algorithm 2's width-descent candidate construction at the
+            // `large-10k-grid` preset — the ROADMAP's former top
+            // single-core bottleneck. Topology generation is setup, not
+            // measured. The timed region covers a fixed 8-demand slice of
+            // the preset's 50 demands so a 7-rep CI run stays in tens of
+            // seconds; the per-demand descent is what the gate needs to
+            // watch, and it is identical across demands. (The retained
+            // per-width sweep `paths_selection_reference` is several
+            // times slower on this workload; see EXPERIMENTS.md.)
+            let mut config = ExperimentConfig::large_grid(10_000);
+            config.threads = 1;
+            let (net, demands) = config.instance(0);
+            let caps = net.capacities();
+            let slice = &demands[..8.min(demands.len())];
+            let max_width = net.max_switch_capacity();
+            time_workload(name, reps, || {
+                black_box(alg2::paths_selection(
+                    &net,
+                    slice,
+                    &caps,
+                    config.h,
+                    max_width,
+                    SwapMode::NFusion,
+                ));
             })
         }
         "alg3_merge" => {

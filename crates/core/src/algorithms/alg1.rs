@@ -47,7 +47,9 @@ impl PathConstraints {
         self.banned_nodes.insert(node);
     }
 
-    fn hop_banned(&self, u: NodeId, v: NodeId) -> bool {
+    /// `true` if the undirected hop `{u, v}` is banned.
+    #[must_use]
+    pub fn hop_banned(&self, u: NodeId, v: NodeId) -> bool {
         self.banned_hops.contains(&Self::hop_key(u, v))
     }
 }

@@ -6,10 +6,38 @@
 //! decomposable and therefore Dijkstra-compatible) and scored with the
 //! caller's [`SwapMode`]; capacity during selection is the *full* network
 //! capacity — contention is resolved later by Algorithm 3.
+//!
+//! # Width-descent engine
+//!
+//! The default engine ([`paths_selection`]) exploits how much the widths
+//! share: stepping the width down only *grows* the capacity-feasible
+//! subgraph (a node relaying width `w + 1` always relays `w`), so one
+//! per-demand descent carries its state across widths instead of starting
+//! over per width. Concretely, per demand it
+//!
+//! * keeps a [`DescentReach`] view that is repaired incrementally at each
+//!   width step — only the newly-feasible region is re-searched — and
+//!   whose negative answers are exact certificates that let provably-empty
+//!   searches be skipped before they explore the graph;
+//! * runs every remaining Yen/Dijkstra query *goal-directed*
+//!   ([`max_product_resume`]): the search pauses the moment the
+//!   destination settles, instead of exhausting all of a 10k-switch
+//!   graph for a path that only needs its near side;
+//! * reuses one [`SearchScratch`] arena and per-width channel-success
+//!   tables (`1 - (1 - p_e)^w` per edge, computed once per width, not
+//!   once per relaxation).
+//!
+//! All three are result-preserving: the settle order, tie-breaking, and
+//! `f64` arithmetic are exactly those of the per-width sweep, so the
+//! output is byte-identical to [`paths_selection_reference`] — the
+//! retained original implementation — which the differential harness
+//! (`crates/core/tests/alg2_differential.rs`) enforces over random
+//! networks, loads, seeds, and modes.
 
 use std::collections::HashSet;
 
-use fusion_graph::{Metric, NodeId, Path, SearchScratch};
+use fusion_graph::search::max_product_resume;
+use fusion_graph::{DescentReach, Metric, NodeId, Path, SearchScratch, WidthFeasibility};
 
 use crate::algorithms::alg1::{largest_rate_path_with, PathConstraints};
 use crate::demand::{Demand, DemandId};
@@ -19,7 +47,7 @@ use crate::network::QuantumNetwork;
 use crate::plan::SwapMode;
 
 /// One candidate route emitted by Algorithm 2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidatePath {
     /// The demand this candidate serves.
     pub demand: DemandId,
@@ -39,9 +67,13 @@ pub struct CandidatePath {
 /// selection (the paper uses the full capacity here; B1 passes its running
 /// remainder).
 ///
+/// This is the width-descent engine (see the module docs); its output is
+/// byte-identical to [`paths_selection_reference`].
+///
 /// # Panics
 ///
-/// Panics if `h == 0` or `max_width == 0`.
+/// Panics if `h == 0`, `max_width == 0`, or `capacity` is shorter than
+/// the node count.
 #[must_use]
 pub fn paths_selection(
     net: &QuantumNetwork,
@@ -53,23 +85,31 @@ pub fn paths_selection(
 ) -> Vec<CandidatePath> {
     assert!(h > 0, "need at least one candidate per width");
     assert!(max_width > 0, "max width must be positive");
-    let mut scratch = SearchScratch::with_capacity(net.node_count());
+    assert!(
+        capacity.len() >= net.node_count(),
+        "capacity vector too short"
+    );
+    let ctx = DescentContext::new(net, capacity, max_width);
+    let mut state = DescentState::new(net.node_count());
     let per_demand: Vec<Vec<Vec<CandidatePath>>> = demands
         .iter()
-        .map(|d| demand_candidates(net, d, capacity, h, max_width, mode, &mut scratch))
+        .map(|d| demand_candidates(net, d, h, max_width, mode, &ctx, &mut state))
         .collect();
     assemble_width_major(per_demand, max_width)
 }
 
 /// Parallel variant of [`paths_selection`]: demands are sharded
-/// round-robin over `threads` workers, each with its own search scratch.
-/// Candidate construction evaluates every demand against the *full*
-/// capacity (contention is resolved later by Algorithm 3), so demands are
-/// independent and the output is bit-identical to the serial version.
+/// round-robin over `threads` workers, each with its own search scratch
+/// and descent state (the feasibility view and channel tables are shared
+/// read-only). Candidate construction evaluates every demand against the
+/// *full* capacity (contention is resolved later by Algorithm 3), so
+/// demands are independent and the output is bit-identical to the serial
+/// version.
 ///
 /// # Panics
 ///
-/// Panics if `h == 0`, `max_width == 0`, or `threads == 0`.
+/// Panics if `h == 0`, `max_width == 0`, `threads == 0`, or `capacity` is
+/// shorter than the node count.
 #[must_use]
 pub fn paths_selection_parallel(
     net: &QuantumNetwork,
@@ -86,28 +126,27 @@ pub fn paths_selection_parallel(
     }
     assert!(h > 0, "need at least one candidate per width");
     assert!(max_width > 0, "max width must be positive");
+    assert!(
+        capacity.len() >= net.node_count(),
+        "capacity vector too short"
+    );
 
+    let ctx = DescentContext::new(net, capacity, max_width);
+    let ctx = &ctx;
     let mut slots: Vec<Option<Vec<Vec<CandidatePath>>>> = vec![None; demands.len()];
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads.min(demands.len()))
             .map(|t| {
                 scope.spawn(move |_| {
-                    let mut scratch = SearchScratch::with_capacity(net.node_count());
+                    let mut state = DescentState::new(net.node_count());
                     demands
                         .iter()
                         .enumerate()
                         .skip(t)
                         .step_by(threads)
                         .map(|(di, d)| {
-                            let cands = demand_candidates(
-                                net,
-                                d,
-                                capacity,
-                                h,
-                                max_width,
-                                mode,
-                                &mut scratch,
-                            );
+                            let cands =
+                                demand_candidates(net, d, h, max_width, mode, ctx, &mut state);
                             (di, cands)
                         })
                         .collect::<Vec<_>>()
@@ -129,9 +168,313 @@ pub fn paths_selection_parallel(
     assemble_width_major(per_demand, max_width)
 }
 
+/// Read-only width-descent context shared by every demand (and every
+/// worker): the width-indexed feasibility view over the caller's capacity
+/// vector, and per-width channel-success tables.
+struct DescentContext {
+    feas: WidthFeasibility,
+    /// `channel[w - 1][e] = net.channel_success(e, w)` — the same
+    /// expression Algorithm 1 evaluates inline, computed once per
+    /// (width, edge) instead of once per relaxation.
+    channel: Vec<Vec<f64>>,
+}
+
+impl DescentContext {
+    fn new(net: &QuantumNetwork, capacity: &[u32], max_width: u32) -> Self {
+        let mut feas = WidthFeasibility::new(net.node_count());
+        for v in net.graph().node_ids() {
+            let cap = capacity[v.index()];
+            // Paper line 9: an intermediate switch pins 2w qubits, so it
+            // relays width cap / 2; users never relay. Endpoints need w.
+            let relay = if net.is_switch(v) { cap / 2 } else { 0 };
+            feas.set_node(v, relay, cap);
+        }
+        let channel = (1..=max_width)
+            .map(|w| {
+                net.graph()
+                    .edge_ids()
+                    .map(|e| net.channel_success(e, w))
+                    .collect()
+            })
+            .collect();
+        DescentContext { feas, channel }
+    }
+}
+
+/// Per-worker mutable width-descent state, reused across demands.
+struct DescentState {
+    scratch: SearchScratch,
+    reach: DescentReach,
+}
+
+impl DescentState {
+    fn new(nodes: usize) -> Self {
+        DescentState {
+            scratch: SearchScratch::with_capacity(nodes),
+            reach: DescentReach::new(),
+        }
+    }
+}
+
 /// One demand's candidates, grouped per width in descending-width order
-/// (`out[i]` holds width `max_width - i`).
+/// (`out[i]` holds width `max_width - i`): the width-descent engine.
 fn demand_candidates(
+    net: &QuantumNetwork,
+    demand: &Demand,
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+    ctx: &DescentContext,
+    state: &mut DescentState,
+) -> Vec<Vec<CandidatePath>> {
+    state
+        .reach
+        .begin(net.graph(), &ctx.feas, demand.dest, max_width);
+    (1..=max_width)
+        .rev()
+        .map(|width| {
+            if width < max_width {
+                state.reach.descend(net.graph(), &ctx.feas, width);
+            }
+            k_best_paths_descent(net, demand, h, width, ctx, state)
+                .into_iter()
+                .filter_map(|path| {
+                    let wp = WidthedPath::uniform(path, width);
+                    let metric = mode.score(net, &wp);
+                    if metric > Metric::ZERO {
+                        Some(CandidatePath {
+                            demand: demand.id,
+                            path: wp.path,
+                            width,
+                            metric,
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Flattens per-demand, per-width candidate groups into the pipeline's
+/// canonical order: width-major (descending), demand order within a width.
+fn assemble_width_major(
+    per_demand: Vec<Vec<Vec<CandidatePath>>>,
+    max_width: u32,
+) -> Vec<CandidatePath> {
+    let mut per_demand = per_demand;
+    let mut out = Vec::new();
+    for wi in 0..max_width as usize {
+        for groups in &mut per_demand {
+            out.append(&mut groups[wi]);
+        }
+    }
+    out
+}
+
+/// Width-`width` largest-rate search from `source` to the demand's
+/// destination under the descent state: preconditions and feasibility
+/// rules are exactly those of [`largest_rate_path_with`] (the width view
+/// encodes them — `endpoint_feasible` is `capacity >= w`,
+/// `relay_feasible` is "switch with `capacity >= 2w`"), but the search
+/// is goal-directed (pauses when the destination settles), reads channel
+/// successes from the per-width table, and is skipped outright when the
+/// reachability view certifies it cannot succeed.
+fn descent_search(
+    net: &QuantumNetwork,
+    source: NodeId,
+    dest: NodeId,
+    width: u32,
+    constraints: &PathConstraints,
+    ctx: &DescentContext,
+    state: &mut DescentState,
+) -> Option<(Path, Metric)> {
+    debug_assert_eq!(state.reach.width(), width, "descent out of step");
+    if source == dest {
+        return None;
+    }
+    // Paper line 2: endpoints must hold at least `w` qubits.
+    if !ctx.feas.endpoint_feasible(source, width) || !ctx.feas.endpoint_feasible(dest, width) {
+        return None;
+    }
+    if constraints.banned_nodes.contains(&source) || constraints.banned_nodes.contains(&dest) {
+        return None;
+    }
+    // Monotone-feasibility certificate: banned nodes and hops only shrink
+    // the graph, so an unreachable destination here is unreachable in the
+    // constrained search too — skip it without exploring anything.
+    if !state.reach.can_reach(source) {
+        return None;
+    }
+
+    let q = net.swap_success();
+    let feas = &ctx.feas;
+    let channel = &ctx.channel[(width - 1) as usize];
+    max_product_resume(
+        &mut state.scratch,
+        net.graph(),
+        source,
+        |from, e| {
+            let to = e.other(from);
+            if constraints.banned_nodes.contains(&to) || constraints.hop_banned(from, to) {
+                return None;
+            }
+            // Entering `to` as an intermediate pins 2w qubits there; only
+            // the destination gets away with w (paper line 9). Users other
+            // than the destination cannot relay at all.
+            if to != dest && !feas.relay_feasible(to, width) {
+                return None;
+            }
+            Some(channel[e.id.index()])
+        },
+        |via| {
+            // Transit through a node costs one fusion; users never relay.
+            net.is_switch(via).then_some(q)
+        },
+    )
+    .run_to(dest)
+}
+
+/// Yen's algorithm over Algorithm 1 for one demand at one width, driven
+/// by the width-descent search. The deviation structure is identical to
+/// [`k_best_paths`]; only how each underlying query is answered differs.
+fn k_best_paths_descent(
+    net: &QuantumNetwork,
+    demand: &Demand,
+    h: usize,
+    width: u32,
+    ctx: &DescentContext,
+    state: &mut DescentState,
+) -> Vec<Path> {
+    let base = PathConstraints::default();
+    let Some((first, metric)) =
+        descent_search(net, demand.source, demand.dest, width, &base, ctx, state)
+    else {
+        return Vec::new();
+    };
+
+    // Pending deviation: discovery metric, path, and the banned hops
+    // inherited along its deviation branch — the paper's E'.
+    type Pending = (Metric, Path, HashSet<(NodeId, NodeId)>);
+    let mut accepted: Vec<(Path, Metric)> = Vec::new();
+    let mut queue: Vec<Pending> = vec![(metric, first, HashSet::new())];
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+
+    while accepted.len() < h {
+        // Pop the best pending candidate (deterministic tie-break on the
+        // node sequence).
+        let Some(best_idx) = queue
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.0.cmp(&b.0).then_with(|| b.1.nodes().cmp(a.1.nodes())))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (_, path, banned) = queue.swap_remove(best_idx);
+        if !seen.insert(path.nodes().to_vec()) {
+            continue;
+        }
+        accepted.push((path.clone(), Metric::ZERO));
+        if accepted.len() >= h {
+            break;
+        }
+
+        // Deviations at every hop of the newly accepted path.
+        for i in 0..path.hops() {
+            let spur_node = path.nodes()[i];
+            let root = path.prefix(i);
+
+            // The paper's tuples carry E' and extend it with the deviated
+            // edge e; the accepted-path bans below are recomputed per
+            // deviation (classic Yen) and not inherited.
+            let mut inherited = banned.clone();
+            inherited.insert(PathConstraints::hop_key(
+                path.nodes()[i],
+                path.nodes()[i + 1],
+            ));
+
+            let mut cons = PathConstraints {
+                banned_hops: inherited.clone(),
+                ..Default::default()
+            };
+            // Classic Yen: also ban the next hop of every accepted path
+            // sharing this root, so deviations cannot regenerate them.
+            for (acc, _) in &accepted {
+                if acc.len() > i + 1 && acc.nodes()[..=i] == *root.nodes() {
+                    cons.ban_hop(acc.nodes()[i], acc.nodes()[i + 1]);
+                }
+            }
+            for &n in &root.nodes()[..i] {
+                cons.ban_node(n);
+            }
+
+            let Some((spur, _)) =
+                descent_search(net, spur_node, demand.dest, width, &cons, ctx, state)
+            else {
+                continue;
+            };
+            let combined = root.join(&spur);
+            if seen.contains(combined.nodes()) {
+                continue;
+            }
+            if queue.iter().any(|(_, p, _)| p == &combined) {
+                continue;
+            }
+            // Score the whole deviation with the discovery metric.
+            let m = path_rate(net, &combined, width);
+            if m == Metric::ZERO {
+                continue;
+            }
+            queue.push((m, combined, inherited));
+        }
+
+        // Paper line 14: bound the frontier to h outstanding paths.
+        while queue.len() + accepted.len() > h {
+            let Some(worst_idx) = queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.cmp(&b.0).then_with(|| b.1.nodes().cmp(a.1.nodes())))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            queue.swap_remove(worst_idx);
+        }
+    }
+    accepted.into_iter().map(|(p, _)| p).collect()
+}
+
+/// The original per-width sweep, retained verbatim as the differential
+/// oracle for the width-descent engine: every width runs an independent
+/// exhaustive Yen/Dijkstra search. Same contract and output as
+/// [`paths_selection`], at the cost the width descent exists to avoid.
+///
+/// # Panics
+///
+/// Panics if `h == 0` or `max_width == 0`.
+#[must_use]
+pub fn paths_selection_reference(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    capacity: &[u32],
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+) -> Vec<CandidatePath> {
+    assert!(h > 0, "need at least one candidate per width");
+    assert!(max_width > 0, "max width must be positive");
+    let mut scratch = SearchScratch::with_capacity(net.node_count());
+    let per_demand: Vec<Vec<Vec<CandidatePath>>> = demands
+        .iter()
+        .map(|d| demand_candidates_reference(net, d, capacity, h, max_width, mode, &mut scratch))
+        .collect();
+    assemble_width_major(per_demand, max_width)
+}
+
+/// One demand's candidates under the reference per-width sweep.
+fn demand_candidates_reference(
     net: &QuantumNetwork,
     demand: &Demand,
     capacity: &[u32],
@@ -160,23 +503,8 @@ fn demand_candidates(
         .collect()
 }
 
-/// Flattens per-demand, per-width candidate groups into the pipeline's
-/// canonical order: width-major (descending), demand order within a width.
-fn assemble_width_major(
-    per_demand: Vec<Vec<Vec<CandidatePath>>>,
-    max_width: u32,
-) -> Vec<CandidatePath> {
-    let mut per_demand = per_demand;
-    let mut out = Vec::new();
-    for wi in 0..max_width as usize {
-        for groups in &mut per_demand {
-            out.append(&mut groups[wi]);
-        }
-    }
-    out
-}
-
-/// Yen's algorithm over Algorithm 1 for one demand at one width.
+/// Yen's algorithm over Algorithm 1 for one demand at one width — the
+/// reference formulation with exhaustive per-query searches.
 fn k_best_paths(
     net: &QuantumNetwork,
     demand: &Demand,
@@ -408,6 +736,47 @@ mod tests {
         let wp = WidthedPath::uniform(nf[0].path.clone(), 1);
         assert_eq!(nf[0].metric, SwapMode::NFusion.score(&net, &wp));
         assert_eq!(cl[0].metric, SwapMode::Classic.score(&net, &wp));
+    }
+
+    #[test]
+    fn descent_matches_reference_on_random_networks() {
+        use crate::network::NetworkParams;
+        use fusion_topology::TopologyConfig;
+
+        for seed in [3, 17, 40] {
+            let topo = TopologyConfig {
+                num_switches: 24,
+                num_user_pairs: 5,
+                avg_degree: 5.0,
+                ..TopologyConfig::default()
+            }
+            .generate(seed);
+            let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+            let demands = Demand::from_topology(&topo);
+            let caps = net.capacities();
+            for mode in [SwapMode::NFusion, SwapMode::Classic] {
+                let descent = paths_selection(&net, &demands, &caps, 3, 5, mode);
+                let reference = paths_selection_reference(&net, &demands, &caps, 3, 5, mode);
+                assert_eq!(descent, reference, "seed {seed}, mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn descent_matches_reference_under_reduced_capacity() {
+        // B1 passes a running capacity remainder; the descent must honour
+        // the caller's vector, not the network's.
+        let (net, demand, n) = triple_route();
+        let mut caps = net.capacities();
+        caps[n[2].index()] = 1; // route A's switch can no longer relay
+        caps[n[3].index()] = 3; // route B limited to width 1
+        let demands = [demand];
+        for h in [1, 2, 4] {
+            let descent = paths_selection(&net, &demands, &caps, h, 4, SwapMode::NFusion);
+            let reference =
+                paths_selection_reference(&net, &demands, &caps, h, 4, SwapMode::NFusion);
+            assert_eq!(descent, reference, "h = {h}");
+        }
     }
 
     #[test]

@@ -18,8 +18,10 @@ pub mod alg4;
 pub mod pipeline;
 
 pub use alg1::{largest_rate_path, largest_rate_path_with, PathConstraints};
-pub use alg2::{paths_selection, paths_selection_parallel, CandidatePath};
+pub use alg2::{
+    paths_selection, paths_selection_parallel, paths_selection_reference, CandidatePath,
+};
 pub use alg3::{paths_merge, MergeOutcome};
 pub use alg3_greedy::{paths_merge_greedy, paths_merge_greedy_reference};
 pub use alg4::assign_remaining;
-pub use pipeline::{alg_n_fusion, route, route_parallel, MergeOrder, RoutingConfig};
+pub use pipeline::{alg_n_fusion, route, route_parallel, MergeOrder, PathSelection, RoutingConfig};

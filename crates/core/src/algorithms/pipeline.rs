@@ -26,6 +26,21 @@ pub enum MergeOrder {
     WidthMajor,
 }
 
+/// Algorithm 2 candidate-construction engine — the selection ablation
+/// knob (the Algorithm 2 counterpart of [`MergeOrder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathSelection {
+    /// One per-demand width descent reusing search state across widths
+    /// (default; [`alg2::paths_selection`]). Differentially tested
+    /// byte-identical to the per-width sweep
+    /// (`crates/core/tests/alg2_differential.rs`).
+    WidthDescent,
+    /// The original independent Yen/Dijkstra sweep per width, retained as
+    /// the differential oracle ([`alg2::paths_selection_reference`]).
+    /// Always serial.
+    PerWidthSweep,
+}
+
 /// Tuning knobs of the routing pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoutingConfig {
@@ -47,6 +62,8 @@ pub struct RoutingConfig {
     pub max_paths_per_demand: Option<usize>,
     /// Candidate consumption order for Algorithm 3.
     pub merge_order: MergeOrder,
+    /// Candidate-construction engine for Algorithm 2.
+    pub path_selection: PathSelection,
     /// Swapping technology.
     pub mode: SwapMode,
 }
@@ -60,6 +77,7 @@ impl Default for RoutingConfig {
             merge_paths: true,
             max_paths_per_demand: None,
             merge_order: MergeOrder::GainPerQubit,
+            path_selection: PathSelection::WidthDescent,
             mode: SwapMode::NFusion,
         }
     }
@@ -129,15 +147,25 @@ pub fn route_parallel(
 
     // Step I: candidate construction against the full capacity.
     let capacity = net.capacities();
-    let candidates = alg2::paths_selection_parallel(
-        net,
-        demands,
-        &capacity,
-        config.h,
-        max_width,
-        config.mode,
-        threads,
-    );
+    let candidates = match config.path_selection {
+        PathSelection::WidthDescent => alg2::paths_selection_parallel(
+            net,
+            demands,
+            &capacity,
+            config.h,
+            max_width,
+            config.mode,
+            threads,
+        ),
+        PathSelection::PerWidthSweep => alg2::paths_selection_reference(
+            net,
+            demands,
+            &capacity,
+            config.h,
+            max_width,
+            config.mode,
+        ),
+    };
 
     // Step II: capacity-aware merge.
     let alg3::MergeOutcome {

@@ -8,8 +8,10 @@
 //! * [`Metric`] — a totally ordered, non-NaN `f64` wrapper used for
 //!   probability-product routing metrics.
 //! * [`search`] — Dijkstra (min-sum and max-product flavours), BFS,
-//!   connected components.
+//!   connected components, and resumable goal-directed runs.
 //! * [`yen`] — Yen's k-shortest loopless paths.
+//! * [`feasibility`] — width-indexed capacity feasibility and the
+//!   incrementally-repaired reachability behind width-descent searches.
 //! * [`DisjointSets`] — union-find with path compression, used for
 //!   entanglement-group tracking and percolation connectivity.
 //! * [`Path`] — a validated simple path through a graph.
@@ -39,9 +41,11 @@ mod path;
 mod stamps;
 mod unionfind;
 
+pub mod feasibility;
 pub mod search;
 pub mod yen;
 
+pub use feasibility::{DescentReach, WidthFeasibility};
 pub use graph::{EdgeId, EdgeRef, NodeId, UnGraph};
 pub use metric::Metric;
 pub use path::{Path, PathError};

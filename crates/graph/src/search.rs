@@ -51,6 +51,7 @@ pub struct SearchScratch {
     dist: Vec<f64>,
     prev: Vec<usize>,
     stamps: crate::stamps::GenerationStamps,
+    settled: crate::stamps::StampedSet,
     min_heap: BinaryHeap<Reverse<(Metric, NodeId)>>,
     max_heap: BinaryHeap<(Metric, NodeId)>,
 }
@@ -65,13 +66,16 @@ impl SearchScratch {
     /// Creates a scratch pre-sized for graphs of up to `nodes` nodes.
     #[must_use]
     pub fn with_capacity(nodes: usize) -> Self {
-        SearchScratch {
+        let mut scratch = SearchScratch {
             dist: vec![0.0; nodes],
             prev: vec![NO_PREV; nodes],
             stamps: crate::stamps::GenerationStamps::with_capacity(nodes),
+            settled: crate::stamps::StampedSet::default(),
             min_heap: BinaryHeap::new(),
             max_heap: BinaryHeap::new(),
-        }
+        };
+        scratch.settled.clear(nodes);
+        scratch
     }
 
     /// Starts a new run over a graph with `n` nodes: grows buffers if
@@ -82,6 +86,7 @@ impl SearchScratch {
             self.prev.resize(n, NO_PREV);
         }
         self.stamps.advance(n);
+        self.settled.clear(n);
         self.min_heap.clear();
         self.max_heap.clear();
     }
@@ -90,6 +95,13 @@ impl SearchScratch {
     #[inline]
     fn is_set(&self, i: usize) -> bool {
         self.stamps.is_current(i)
+    }
+
+    /// `true` if `i` was popped with its final distance during the current
+    /// run — its `(dist, prev)` entry can no longer change.
+    #[inline]
+    fn is_settled(&self, i: usize) -> bool {
+        self.settled.contains(i)
     }
 
     /// Writes `(dist, prev)` for node `i` in the current generation.
@@ -254,31 +266,130 @@ pub fn dijkstra_with<'s, N, E>(
     scratch: &'s mut SearchScratch,
     graph: &UnGraph<N, E>,
     source: NodeId,
-    mut cost: impl FnMut(EdgeRef<'_, E>, &E) -> f64,
+    cost: impl FnMut(EdgeRef<'_, E>, &E) -> f64,
 ) -> MinSumRun<'s> {
+    dijkstra_resume(scratch, graph, source, cost).finish()
+}
+
+/// A paused, goal-directed min-sum Dijkstra run (see [`dijkstra_resume`]).
+#[derive(Debug)]
+pub struct MinSumResume<'s, 'g, N, E, F> {
+    scratch: &'s mut SearchScratch,
+    graph: &'g UnGraph<N, E>,
+    source: NodeId,
+    cost: F,
+}
+
+/// Starts a *resumable* min-sum Dijkstra run: the search settles nodes
+/// lazily, one [`MinSumResume::run_to`] target at a time, instead of
+/// exhausting the whole graph up front.
+///
+/// The settle order, tie-breaking, and relaxation arithmetic are exactly
+/// those of [`dijkstra_with`] — a paused run is the same computation
+/// stopped early, so `run_to(t)` returns byte-for-byte the path that
+/// `dijkstra_with(..).path_to(t)` would, while touching only the nodes
+/// whose distance does not exceed `t`'s. Hot goal-directed callers (Yen
+/// spur searches, Algorithm 2's width descent) use this to avoid settling
+/// the far side of a large graph they will never read.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_graph::{search, UnGraph};
+///
+/// let mut g: UnGraph<(), f64> = UnGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 3.0);
+///
+/// let mut scratch = search::SearchScratch::new();
+/// let mut run = search::dijkstra_resume(&mut scratch, &g, a, |_, w| *w);
+/// let to_b = run.run_to(b).expect("b is reachable");
+/// assert_eq!(to_b.nodes(), &[a, b]);
+/// // Resuming the same run reuses everything settled so far.
+/// let to_c = run.run_to(c).expect("c is reachable");
+/// assert_eq!(to_c.nodes(), &[a, b, c]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds; `run_to` panics if a cost is NaN.
+pub fn dijkstra_resume<'s, 'g, N, E, F>(
+    scratch: &'s mut SearchScratch,
+    graph: &'g UnGraph<N, E>,
+    source: NodeId,
+    cost: F,
+) -> MinSumResume<'s, 'g, N, E, F>
+where
+    F: FnMut(EdgeRef<'_, E>, &E) -> f64,
+{
     scratch.begin(graph.node_count());
     scratch.set(source.index(), 0.0, NO_PREV);
     scratch.min_heap.push(Reverse((Metric::ZERO, source)));
+    MinSumResume {
+        scratch,
+        graph,
+        source,
+        cost,
+    }
+}
 
-    while let Some(Reverse((d, u))) = scratch.min_heap.pop() {
-        if scratch.dist[u.index()] != d.value() {
-            continue; // stale entry
-        }
-        for e in graph.incident_edges(u) {
-            let w = cost(e, e.weight);
-            if w < 0.0 {
-                continue;
+impl<'s, N, E, F> MinSumResume<'s, '_, N, E, F>
+where
+    F: FnMut(EdgeRef<'_, E>, &E) -> f64,
+{
+    /// Pops and expands frontier nodes until `target` settles (when
+    /// `Some`) or the frontier is exhausted.
+    fn run_until(&mut self, target: Option<NodeId>) {
+        while let Some(Reverse((d, u))) = self.scratch.min_heap.pop() {
+            if self.scratch.dist[u.index()] != d.value() {
+                continue; // stale entry
             }
-            assert!(!w.is_nan(), "edge cost must not be NaN");
-            let v = e.other(u);
-            let nd = d.value() + w;
-            if !scratch.is_set(v.index()) || nd < scratch.dist[v.index()] {
-                scratch.set(v.index(), nd, u.index());
-                scratch.min_heap.push(Reverse((Metric::new(nd), v)));
+            self.scratch.settled.insert(u.index());
+            for e in self.graph.incident_edges(u) {
+                let w = (self.cost)(e, e.weight);
+                if w < 0.0 {
+                    continue;
+                }
+                assert!(!w.is_nan(), "edge cost must not be NaN");
+                let v = e.other(u);
+                let nd = d.value() + w;
+                if !self.scratch.is_set(v.index()) || nd < self.scratch.dist[v.index()] {
+                    self.scratch.set(v.index(), nd, u.index());
+                    self.scratch.min_heap.push(Reverse((Metric::new(nd), v)));
+                }
+            }
+            if target == Some(u) {
+                return;
             }
         }
     }
-    MinSumRun { source, scratch }
+
+    /// Settles nodes until `target` is final and returns its shortest
+    /// path, or `None` when it is unreachable. Already-settled targets
+    /// (from earlier `run_to` calls on this run) return without popping
+    /// anything.
+    pub fn run_to(&mut self, target: NodeId) -> Option<Path> {
+        if !self.scratch.is_settled(target.index()) {
+            self.run_until(Some(target));
+        }
+        if !self.scratch.is_settled(target.index()) {
+            return None; // frontier exhausted: unreachable
+        }
+        walk_back(self.source, target, &self.scratch.prev)
+    }
+
+    /// Runs the remainder of the search to exhaustion, yielding the same
+    /// borrowed result a plain [`dijkstra_with`] call produces.
+    pub fn finish(mut self) -> MinSumRun<'s> {
+        self.run_until(None);
+        MinSumRun {
+            source: self.source,
+            scratch: self.scratch,
+        }
+    }
 }
 
 /// Result of a max-product Dijkstra run from a single source.
@@ -370,48 +481,141 @@ pub fn max_product_dijkstra<N, E>(
 /// # Panics
 ///
 /// Panics if `source` is out of bounds or a factor is outside `(0, 1]`.
-pub fn max_product_dijkstra_with<'s, N, E>(
+pub fn max_product_dijkstra_with<'s, N, E, FE, FT>(
     scratch: &'s mut SearchScratch,
     graph: &UnGraph<N, E>,
     source: NodeId,
-    mut edge_factor: impl FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
-    mut transit_factor: impl FnMut(NodeId) -> Option<f64>,
-) -> MaxProductRun<'s> {
+    edge_factor: FE,
+    transit_factor: FT,
+) -> MaxProductRun<'s>
+where
+    FE: FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
+    FT: FnMut(NodeId) -> Option<f64>,
+{
+    max_product_resume(scratch, graph, source, edge_factor, transit_factor).finish()
+}
+
+/// A paused, goal-directed max-product Dijkstra run (see
+/// [`max_product_resume`]).
+#[derive(Debug)]
+pub struct MaxProductResume<'s, 'g, N, E, FE, FT> {
+    scratch: &'s mut SearchScratch,
+    graph: &'g UnGraph<N, E>,
+    source: NodeId,
+    edge_factor: FE,
+    transit_factor: FT,
+}
+
+/// Starts a *resumable* max-product Dijkstra run: the metric counterpart
+/// of [`dijkstra_resume`], settling nodes in non-increasing metric order
+/// only as far as each [`MaxProductResume::run_to`] target requires.
+///
+/// A paused run is [`max_product_dijkstra_with`] stopped early — same
+/// factor evaluations in the same order, same tie-breaking, same `f64`
+/// products — so the returned `(path, metric)` for a target is identical
+/// to the full run's `path_to`, at a fraction of the settle work when the
+/// target's metric is far above the graph's floor.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds; `run_to` panics if a factor is
+/// outside `(0, 1]`.
+pub fn max_product_resume<'s, 'g, N, E, FE, FT>(
+    scratch: &'s mut SearchScratch,
+    graph: &'g UnGraph<N, E>,
+    source: NodeId,
+    edge_factor: FE,
+    transit_factor: FT,
+) -> MaxProductResume<'s, 'g, N, E, FE, FT>
+where
+    FE: FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
+    FT: FnMut(NodeId) -> Option<f64>,
+{
     scratch.begin(graph.node_count());
     scratch.set(source.index(), 1.0, NO_PREV);
     scratch.max_heap.push((Metric::ONE, source));
+    MaxProductResume {
+        scratch,
+        graph,
+        source,
+        edge_factor,
+        transit_factor,
+    }
+}
 
-    while let Some((m, u)) = scratch.max_heap.pop() {
-        if scratch.dist[u.index()] != m.value() {
-            continue; // stale entry
-        }
-        // Transit factor applies when the path continues through u.
-        let through = if u == source {
-            1.0
-        } else {
-            match transit_factor(u) {
-                Some(t) => {
+impl<'s, N, E, FE, FT> MaxProductResume<'s, '_, N, E, FE, FT>
+where
+    FE: FnMut(NodeId, EdgeRef<'_, E>) -> Option<f64>,
+    FT: FnMut(NodeId) -> Option<f64>,
+{
+    /// Pops and expands frontier nodes until `target` settles (when
+    /// `Some`) or the frontier is exhausted.
+    fn run_until(&mut self, target: Option<NodeId>) {
+        while let Some((m, u)) = self.scratch.max_heap.pop() {
+            if self.scratch.dist[u.index()] != m.value() {
+                continue; // stale entry
+            }
+            self.scratch.settled.insert(u.index());
+            // Transit factor applies when the path continues through u;
+            // a forbidden transit settles u without expanding it.
+            let through = if u == self.source {
+                Some(1.0)
+            } else {
+                (self.transit_factor)(u).inspect(|&t| {
                     assert!(
                         t > 0.0 && t <= 1.0,
                         "transit factor must be in (0,1], got {t}"
                     );
-                    t
+                })
+            };
+            if let Some(through) = through {
+                for e in self.graph.incident_edges(u) {
+                    let Some(f) = (self.edge_factor)(u, e) else {
+                        continue;
+                    };
+                    assert!(f > 0.0 && f <= 1.0, "edge factor must be in (0,1], got {f}");
+                    let v = e.other(u);
+                    let nm = m.value() * through * f;
+                    if !self.scratch.is_set(v.index()) || nm > self.scratch.dist[v.index()] {
+                        self.scratch.set(v.index(), nm, u.index());
+                        self.scratch.max_heap.push((Metric::new(nm), v));
+                    }
                 }
-                None => continue,
             }
-        };
-        for e in graph.incident_edges(u) {
-            let Some(f) = edge_factor(u, e) else { continue };
-            assert!(f > 0.0 && f <= 1.0, "edge factor must be in (0,1], got {f}");
-            let v = e.other(u);
-            let nm = m.value() * through * f;
-            if !scratch.is_set(v.index()) || nm > scratch.dist[v.index()] {
-                scratch.set(v.index(), nm, u.index());
-                scratch.max_heap.push((Metric::new(nm), v));
+            if target == Some(u) {
+                return;
             }
         }
     }
-    MaxProductRun { source, scratch }
+
+    /// Settles nodes until `target` is final and returns its best path
+    /// and metric, or `None` when it is unreachable. Already-settled
+    /// targets return without popping anything.
+    pub fn run_to(&mut self, target: NodeId) -> Option<(Path, Metric)> {
+        if !self.scratch.is_settled(target.index()) {
+            self.run_until(Some(target));
+        }
+        if !self.scratch.is_settled(target.index()) {
+            return None; // frontier exhausted: unreachable
+        }
+        let m = Metric::new(self.scratch.dist[target.index()]);
+        if m <= Metric::ZERO && target != self.source {
+            return None;
+        }
+        let path = walk_back(self.source, target, &self.scratch.prev)?;
+        Some((path, m))
+    }
+
+    /// Runs the remainder of the search to exhaustion, yielding the same
+    /// borrowed result a plain [`max_product_dijkstra_with`] call
+    /// produces.
+    pub fn finish(mut self) -> MaxProductRun<'s> {
+        self.run_until(None);
+        MaxProductRun {
+            source: self.source,
+            scratch: self.scratch,
+        }
+    }
 }
 
 /// Hop distances from `source` by breadth-first search; `None` = unreachable.
@@ -655,6 +859,135 @@ mod tests {
                     prop_assert_eq!(run.distance(node), fresh.distance(node));
                     prop_assert_eq!(run.path_to(node), fresh.path_to(node));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn goal_directed_min_sum_matches_full_run() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut scratch = SearchScratch::new();
+        for (source, target) in [(a, d), (d, a), (b, c), (a, a)] {
+            let fresh = dijkstra(&g, source, |_, w| *w);
+            let mut run = dijkstra_resume(&mut scratch, &g, source, |_, w| *w);
+            assert_eq!(run.run_to(target), fresh.path_to(target));
+            // A second call for the same target is answered from the
+            // settled state.
+            assert_eq!(run.run_to(target), fresh.path_to(target));
+        }
+    }
+
+    #[test]
+    fn goal_directed_stops_before_far_nodes() {
+        // a --1-- b --1-- c --1-- d: running to b must not settle d.
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(c, d, 1.0);
+        let mut scratch = SearchScratch::new();
+        let mut run = dijkstra_resume(&mut scratch, &g, a, |_, w| *w);
+        assert!(run.run_to(b).is_some());
+        assert!(run.scratch.is_settled(b.index()));
+        assert!(
+            !run.scratch.is_settled(d.index()),
+            "running to b must leave d unsettled"
+        );
+        // Resuming to d settles the remainder and matches a fresh run.
+        assert_eq!(run.run_to(d), dijkstra(&g, a, |_, w| *w).path_to(d));
+    }
+
+    #[test]
+    fn goal_directed_unreachable_is_none_and_resumable() {
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        let mut scratch = SearchScratch::new();
+        let mut run = dijkstra_resume(&mut scratch, &g, a, |_, w| *w);
+        assert!(run.run_to(c).is_none(), "c is disconnected");
+        // The exhausted run still answers reachable targets.
+        assert_eq!(run.run_to(b).unwrap().nodes(), &[a, b]);
+    }
+
+    #[test]
+    fn goal_directed_max_product_matches_full_run() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut scratch = SearchScratch::new();
+        for (source, target) in [(a, d), (d, a), (b, c)] {
+            let fresh = max_product_dijkstra(&g, source, |_, _| Some(0.9), |_| Some(0.5));
+            let mut run =
+                max_product_resume(&mut scratch, &g, source, |_, _| Some(0.9), |_| Some(0.5));
+            assert_eq!(run.run_to(target), fresh.path_to(target));
+            assert_eq!(run.run_to(target), fresh.path_to(target));
+        }
+    }
+
+    #[test]
+    fn goal_directed_max_product_forbidden_transit_target() {
+        // The target itself may be transit-forbidden: it still settles and
+        // returns a path, exactly like the full run.
+        let mut g: UnGraph<(), f64> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 0.9);
+        g.add_edge(b, d, 0.9);
+        let fresh = max_product_dijkstra(&g, a, |_, _| Some(0.9), |_| None);
+        let mut scratch = SearchScratch::new();
+        let mut run = max_product_resume(&mut scratch, &g, a, |_, _| Some(0.9), |_| None);
+        assert_eq!(run.run_to(b), fresh.path_to(b));
+        assert_eq!(run.run_to(d), fresh.path_to(d));
+        assert!(run.run_to(d).is_none(), "b cannot be transited");
+    }
+
+    proptest! {
+        /// On random graphs, pausing at an arbitrary sequence of targets
+        /// and resuming must return exactly what a fresh exhaustive run
+        /// returns for every target — min-sum and max-product alike.
+        #[test]
+        fn resume_matches_exhaustive_on_random_graphs(
+            edges in proptest::collection::vec((0usize..9, 0usize..9, 1u32..9), 1..28),
+            source in 0usize..9,
+            targets in proptest::collection::vec(0usize..9, 1..5),
+        ) {
+            let mut g: UnGraph<(), f64> = UnGraph::new();
+            for _ in 0..9 {
+                g.add_node(());
+            }
+            for (u, v, w) in edges {
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), f64::from(w));
+                }
+            }
+            let source = NodeId::new(source);
+            let mut scratch = SearchScratch::new();
+
+            let fresh = dijkstra(&g, source, |_, w| *w);
+            let mut run = dijkstra_resume(&mut scratch, &g, source, |_, w| *w);
+            for &t in &targets {
+                prop_assert_eq!(run.run_to(NodeId::new(t)), fresh.path_to(NodeId::new(t)));
+            }
+
+            let fresh = max_product_dijkstra(
+                &g,
+                source,
+                |_, e| Some(*e.weight / 10.0),
+                |_| Some(0.7),
+            );
+            let mut run = max_product_resume(
+                &mut scratch,
+                &g,
+                source,
+                |_, e| Some(*e.weight / 10.0),
+                |_| Some(0.7),
+            );
+            for &t in &targets {
+                prop_assert_eq!(run.run_to(NodeId::new(t)), fresh.path_to(NodeId::new(t)));
             }
         }
     }

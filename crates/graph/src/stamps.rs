@@ -66,6 +66,54 @@ impl GenerationStamps {
     }
 }
 
+/// A set of `usize` keys with O(1) bulk clear, built on
+/// [`GenerationStamps`].
+///
+/// This is the "generational set" idiom used anywhere a hot loop needs a
+/// visited/settled/reached set that resets per run without an O(n) fill:
+/// [`SearchScratch`](crate::search::SearchScratch) tracks settled nodes
+/// with one, and [`DescentReach`](crate::feasibility::DescentReach) keeps
+/// its reached/expanded sets in them across per-demand resets.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StampedSet {
+    stamps: GenerationStamps,
+}
+
+impl StampedSet {
+    /// Empties the set and grows it to cover keys `0..n`, in O(1)
+    /// (amortized over the occasional buffer growth / counter wrap).
+    pub(crate) fn clear(&mut self, n: usize) {
+        self.stamps.advance(n);
+    }
+
+    /// Inserts `key`; returns `true` if it was not yet present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is outside the range covered by the last
+    /// [`clear`](StampedSet::clear).
+    #[inline]
+    pub(crate) fn insert(&mut self, key: usize) -> bool {
+        if self.stamps.is_current(key) {
+            false
+        } else {
+            self.stamps.mark(key);
+            true
+        }
+    }
+
+    /// `true` if `key` was inserted since the last clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is outside the range covered by the last
+    /// [`clear`](StampedSet::clear).
+    #[inline]
+    pub(crate) fn contains(&self, key: usize) -> bool {
+        self.stamps.is_current(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +140,21 @@ mod tests {
         for i in 0..5 {
             assert!(!s.is_current(i));
         }
+    }
+
+    #[test]
+    fn stamped_set_inserts_and_clears() {
+        let mut s = StampedSet::default();
+        s.clear(4);
+        assert!(!s.contains(2));
+        assert!(s.insert(2), "first insert reports new");
+        assert!(!s.insert(2), "second insert reports present");
+        assert!(s.contains(2));
+        s.clear(6);
+        for k in 0..6 {
+            assert!(!s.contains(k), "clear must empty the set");
+        }
+        assert!(s.insert(5));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::{BinaryHeap, HashSet};
 use crate::graph::{NodeId, UnGraph};
 use crate::metric::Metric;
 use crate::path::Path;
-use crate::search::{dijkstra_with, SearchScratch};
+use crate::search::{dijkstra_resume, SearchScratch};
 
 /// A path together with its total cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +38,9 @@ fn path_cost<N, E>(
 }
 
 /// Spur search with root-node and next-hop bans, reusing `scratch`; returns
-/// the shortest banned-aware path to `target`, if any.
+/// the shortest banned-aware path to `target`, if any. Goal-directed: the
+/// underlying Dijkstra run pauses as soon as `target` settles, which is
+/// byte-identical to an exhaustive run's `path_to(target)`.
 fn spur_path<N, E>(
     scratch: &mut SearchScratch,
     graph: &UnGraph<N, E>,
@@ -48,7 +50,7 @@ fn spur_path<N, E>(
     banned_hops: &HashSet<(NodeId, NodeId)>,
     cost: &mut impl FnMut(NodeId, NodeId, &E) -> f64,
 ) -> Option<Path> {
-    let run = dijkstra_with(scratch, graph, source, |e, w| {
+    dijkstra_resume(scratch, graph, source, |e, w| {
         let (u, v) = (e.source, e.target);
         if banned_nodes.contains(&u) || banned_nodes.contains(&v) {
             return -1.0;
@@ -57,8 +59,8 @@ fn spur_path<N, E>(
             return -1.0;
         }
         cost(u, v, w)
-    });
-    run.path_to(target)
+    })
+    .run_to(target)
 }
 
 /// Finds up to `k` loopless minimum-cost paths from `source` to `target`,
@@ -113,8 +115,9 @@ pub fn yen_k_shortest_with<N, E>(
         return accepted;
     }
 
-    let first = dijkstra_with(scratch, graph, source, |e, w| cost(e.source, e.target, w));
-    let Some(best) = first.path_to(target) else {
+    let first =
+        dijkstra_resume(scratch, graph, source, |e, w| cost(e.source, e.target, w)).run_to(target);
+    let Some(best) = first else {
         return accepted;
     };
     let best_cost = path_cost(graph, &best, &mut cost);
