@@ -55,7 +55,7 @@ pub const CALIBRATION: &str = "calibration";
 /// Stable workload names, in execution order. Must stay in sync with the
 /// committed `BENCH_BASELINE.json` — `workload_set_matches_baseline_keys`
 /// fails otherwise, so a new workload cannot silently escape the CI gate.
-pub const WORKLOADS: [&str; 8] = [
+pub const WORKLOADS: [&str; 9] = [
     CALIBRATION,
     "alg1_path_search",
     "alg2_selection",
@@ -64,6 +64,7 @@ pub const WORKLOADS: [&str; 8] = [
     "alg2_select",
     "alg3_merge",
     "scale_1k_route",
+    "serve_replay",
 ];
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -248,6 +249,34 @@ pub fn run_workload(name: &str, reps: usize) -> BenchResult {
                     fusion_sim::evaluate::estimate_plan(&net, &plan, config.mc_rounds, config.seed)
                         .total_rate(),
                 );
+            })
+        }
+        "serve_replay" => {
+            // The online engine: a fixed admit/depart/link-down trace
+            // replayed from a fresh service state each repetition.
+            // Network and trace generation are setup, not measured; the
+            // timed region is admission routing against the residual
+            // ledger plus ledger charge/release — the serve crate's hot
+            // path. Admissions are inherently single-threaded (one demand
+            // at a time), satisfying the single-core calibration rule.
+            let preset = fusion_serve::resolve_preset("quick").expect("quick serve preset");
+            let net = preset.network_instance(0);
+            let routing = preset.routing_config();
+            let trace_config = fusion_serve::TraceConfig {
+                events: 600,
+                link_down_rate: 0.05,
+                ..fusion_serve::TraceConfig::default()
+            };
+            let probe = fusion_serve::ServiceState::new(net.clone(), routing);
+            let trace = fusion_serve::generate(probe.network(), &trace_config);
+            time_workload(name, reps, || {
+                let mut state = fusion_serve::ServiceState::new(net.clone(), routing);
+                let report = fusion_serve::replay(
+                    &mut state,
+                    &trace,
+                    &fusion_serve::ReplayOptions::default(),
+                );
+                black_box(report.fingerprint());
             })
         }
         other => panic!("unknown workload {other}; known: {}", WORKLOADS.join(" ")),

@@ -1,0 +1,60 @@
+//! `fusion-serve` cannot depend on `fusion-bench` (perfbench's
+//! `serve_replay` workload depends on serve), so serve carries its own
+//! preset table mirroring the instance-shaping fields of this crate's
+//! `ExperimentConfig` presets. This test — in the one crate that links
+//! both — is what keeps the two tables identical.
+
+use fusion_bench::workloads::{preset_names, resolve_preset};
+
+#[test]
+fn serve_presets_mirror_bench() {
+    let serve_names: Vec<&str> = fusion_serve::presets().iter().map(|p| p.name).collect();
+    assert_eq!(
+        serve_names,
+        preset_names(),
+        "serve and bench must expose the same preset names in the same order"
+    );
+    for serve_preset in fusion_serve::presets() {
+        let bench_config = resolve_preset(serve_preset.name)
+            .unwrap_or_else(|| panic!("bench preset {} missing", serve_preset.name));
+        assert_eq!(
+            serve_preset.topology, bench_config.topology,
+            "{}: topology diverged",
+            serve_preset.name
+        );
+        assert_eq!(
+            serve_preset.network, bench_config.network,
+            "{}: network params diverged",
+            serve_preset.name
+        );
+        assert_eq!(
+            serve_preset.h, bench_config.h,
+            "{}: h diverged",
+            serve_preset.name
+        );
+        assert_eq!(
+            serve_preset.seed, bench_config.seed,
+            "{}: seed diverged",
+            serve_preset.name
+        );
+    }
+}
+
+#[test]
+fn serve_instances_match_bench_instances() {
+    // Same preset name, same instance index => the exact same network:
+    // replay results on a serve preset are directly comparable to the
+    // batch experiments of the same name.
+    let serve_preset = fusion_serve::resolve_preset("quick").unwrap();
+    let bench_config = resolve_preset("quick").unwrap();
+    for i in 0..2 {
+        let from_serve = serve_preset.network_instance(i);
+        let (from_bench, _) = bench_config.instance(i);
+        assert_eq!(from_serve.node_count(), from_bench.node_count());
+        assert_eq!(
+            from_serve.graph().edge_count(),
+            from_bench.graph().edge_count()
+        );
+        assert_eq!(from_serve.capacities(), from_bench.capacities());
+    }
+}

@@ -381,6 +381,41 @@ pub fn paths_merge_greedy(
     share_edges: bool,
     max_paths_per_demand: Option<usize>,
 ) -> MergeOutcome {
+    paths_merge_greedy_with_capacity(
+        net,
+        demands,
+        candidates,
+        mode,
+        share_edges,
+        max_paths_per_demand,
+        &net.capacities(),
+    )
+}
+
+/// [`paths_merge_greedy`] against an explicit starting qubit budget
+/// instead of the network's built-in capacities — the service layer merges
+/// new arrivals against the residual capacity left by live plans. The
+/// capacity vector only seeds `remaining`; scoring arithmetic is
+/// unchanged, so the outcome is byte-identical to running
+/// [`paths_merge_greedy`] on a network whose capacities equal `capacity`.
+///
+/// # Panics
+///
+/// Panics if `capacity` is shorter than the node count.
+#[must_use]
+pub fn paths_merge_greedy_with_capacity(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    candidates: &[CandidatePath],
+    mode: SwapMode,
+    share_edges: bool,
+    max_paths_per_demand: Option<usize>,
+    capacity: &[u32],
+) -> MergeOutcome {
+    assert!(
+        capacity.len() >= net.node_count(),
+        "capacity vector too short"
+    );
     let ctx = MergeCtx {
         net,
         candidates,
@@ -388,7 +423,7 @@ pub fn paths_merge_greedy(
         share_edges: share_edges && mode == SwapMode::NFusion,
         max_paths_per_demand,
     };
-    let mut remaining = net.capacities();
+    let mut remaining = capacity[..net.node_count()].to_vec();
     let mut plans: Vec<DemandPlan> = demands.iter().map(|&d| DemandPlan::empty(d)).collect();
     let index_of: HashMap<DemandId, usize> =
         demands.iter().enumerate().map(|(i, d)| (d.id, i)).collect();

@@ -22,6 +22,11 @@ pub use alg2::{
     paths_selection, paths_selection_parallel, paths_selection_reference, CandidatePath,
 };
 pub use alg3::{paths_merge, MergeOutcome};
-pub use alg3_greedy::{paths_merge_greedy, paths_merge_greedy_reference};
+pub use alg3_greedy::{
+    paths_merge_greedy, paths_merge_greedy_reference, paths_merge_greedy_with_capacity,
+};
 pub use alg4::assign_remaining;
-pub use pipeline::{alg_n_fusion, route, route_parallel, MergeOrder, PathSelection, RoutingConfig};
+pub use pipeline::{
+    alg_n_fusion, route, route_parallel, route_with_capacity, route_with_capacity_traced,
+    MergeOrder, PathSelection, RouteTrace, RoutingConfig,
+};

@@ -140,18 +140,76 @@ pub fn route_parallel(
     config: &RoutingConfig,
     threads: usize,
 ) -> NetworkPlan {
+    route_with_capacity(net, demands, config, &net.capacities(), threads)
+}
+
+/// [`route_parallel`] against an explicit per-node qubit budget instead of
+/// the network's built-in capacities — the service layer's admission path:
+/// a new demand is routed with the same pipeline, restricted to the
+/// residual capacity left by live plans.
+///
+/// The width bound resolves against `capacity` (the largest *residual*
+/// switch budget), and every stage threads `capacity` through, so the
+/// outcome — candidates, merge, leftover — is byte-identical to running
+/// [`route_parallel`] on [`QuantumNetwork::with_capacities`]`(capacity)`.
+/// That equivalence is the service-oracle contract locked down by
+/// `crates/serve/tests/service_oracle.rs`.
+///
+/// # Panics
+///
+/// Panics if `config.h == 0`, `threads == 0`, `capacity` is shorter than
+/// the node count, or the resolved width bound is zero (no switch has a
+/// free qubit — callers admitting against a saturated network must check
+/// first).
+#[must_use]
+pub fn route_with_capacity(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    config: &RoutingConfig,
+    capacity: &[u32],
+    threads: usize,
+) -> NetworkPlan {
+    route_with_capacity_traced(net, demands, config, capacity, threads).plan
+}
+
+/// The intermediate artifacts of one [`route_with_capacity`] run, kept for
+/// the service-layer equivalence oracles: byte-comparing `candidates` and
+/// `merge` (both `PartialEq`) against a batch run on a capacity-reduced
+/// network is how `crates/serve` proves residual-ledger admission exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTrace {
+    /// Algorithm 2's candidate set against the given capacity.
+    pub candidates: Vec<alg2::CandidatePath>,
+    /// Algorithm 3's outcome, snapshotted before Algorithm 4 widens it.
+    pub merge: alg3::MergeOutcome,
+    /// The finished plan (after Algorithm 4, when enabled).
+    pub plan: NetworkPlan,
+}
+
+/// [`route_with_capacity`], also returning the per-stage intermediates.
+///
+/// # Panics
+///
+/// As [`route_with_capacity`].
+#[must_use]
+pub fn route_with_capacity_traced(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    config: &RoutingConfig,
+    capacity: &[u32],
+    threads: usize,
+) -> RouteTrace {
     let max_width = config
         .max_width
-        .unwrap_or_else(|| net.max_switch_capacity());
+        .unwrap_or_else(|| net.max_switch_capacity_in(capacity));
     assert!(max_width > 0, "network has no switch qubits to route with");
 
-    // Step I: candidate construction against the full capacity.
-    let capacity = net.capacities();
+    // Step I: candidate construction against the given capacity.
     let candidates = match config.path_selection {
         PathSelection::WidthDescent => alg2::paths_selection_parallel(
             net,
             demands,
-            &capacity,
+            capacity,
             config.h,
             max_width,
             config.mode,
@@ -160,7 +218,7 @@ pub fn route_parallel(
         PathSelection::PerWidthSweep => alg2::paths_selection_reference(
             net,
             demands,
-            &capacity,
+            capacity,
             config.h,
             max_width,
             config.mode,
@@ -168,40 +226,47 @@ pub fn route_parallel(
     };
 
     // Step II: capacity-aware merge.
-    let alg3::MergeOutcome {
-        mut plans,
-        mut remaining,
-    } = match config.merge_order {
-        MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy(
+    let merge = match config.merge_order {
+        MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy_with_capacity(
             net,
             demands,
             &candidates,
             config.mode,
             config.merge_paths,
             config.max_paths_per_demand,
+            capacity,
         ),
-        MergeOrder::WidthMajor => alg3::paths_merge_bounded(
+        MergeOrder::WidthMajor => alg3::paths_merge_bounded_with_capacity(
             net,
             demands,
             &candidates,
             config.mode,
             config.merge_paths,
             config.max_paths_per_demand,
+            capacity,
         ),
     };
 
     // Step III: leftover qubits widen existing channels.
+    let alg3::MergeOutcome {
+        mut plans,
+        mut remaining,
+    } = merge.clone();
     let alg4_links = if config.use_alg4 {
         alg4::assign_remaining(net, &mut plans, &mut remaining, config.mode)
     } else {
         0
     };
 
-    NetworkPlan {
-        mode: config.mode,
-        plans,
-        leftover: remaining,
-        alg4_links,
+    RouteTrace {
+        candidates,
+        merge,
+        plan: NetworkPlan {
+            mode: config.mode,
+            plans,
+            leftover: remaining,
+            alg4_links,
+        },
     }
 }
 

@@ -62,4 +62,4 @@ pub use network::{
     NetworkBuilder, NetworkError, NetworkParams, NodeProps, PhysicsParams, QuantumNetwork,
     USER_CAPACITY,
 };
-pub use plan::{DemandPlan, NetworkPlan, SwapMode};
+pub use plan::{DemandPlan, NetworkPlan, ResourceUsage, SwapMode};

@@ -225,6 +225,63 @@ impl QuantumNetwork {
             .unwrap_or(0)
     }
 
+    /// The largest value of `capacity` over the switches — the `MAX_WIDTH`
+    /// bound when routing against a residual-capacity vector instead of
+    /// the built-in capacities. Equals [`max_switch_capacity`] when
+    /// `capacity` is the full [`capacities`] vector.
+    ///
+    /// [`max_switch_capacity`]: QuantumNetwork::max_switch_capacity
+    /// [`capacities`]: QuantumNetwork::capacities
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is shorter than the node count.
+    #[must_use]
+    pub fn max_switch_capacity_in(&self, capacity: &[u32]) -> u32 {
+        assert!(
+            capacity.len() >= self.node_count(),
+            "capacity vector too short"
+        );
+        self.graph
+            .node_ids()
+            .filter(|&v| self.graph.node(v).role == Role::Switch)
+            .map(|v| capacity[v.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Overwrites the qubit capacity of one node (service-layer capacity
+    /// views; the routing algorithms themselves take capacity vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn set_capacity(&mut self, node: NodeId, capacity: u32) {
+        self.graph.node_mut(node).capacity = capacity;
+    }
+
+    /// A copy of this network whose per-node capacities are replaced by
+    /// `capacity` — physics and wiring unchanged. This is the batch side
+    /// of the residual-capacity equivalence oracle: running the pipeline
+    /// on `with_capacities(residual)` must be byte-identical to running
+    /// it on the original network against the `residual` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is shorter than the node count.
+    #[must_use]
+    pub fn with_capacities(&self, capacity: &[u32]) -> QuantumNetwork {
+        assert!(
+            capacity.len() >= self.node_count(),
+            "capacity vector too short"
+        );
+        let mut out = self.clone();
+        for (v, &cap) in capacity.iter().enumerate().take(out.node_count()) {
+            out.graph.node_mut(NodeId::new(v)).capacity = cap;
+        }
+        out
+    }
+
     /// Physical parameters.
     #[must_use]
     pub fn physics(&self) -> &PhysicsParams {

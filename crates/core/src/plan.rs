@@ -1,4 +1,6 @@
-use fusion_graph::Metric;
+use std::collections::BTreeMap;
+
+use fusion_graph::{Metric, NodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::demand::Demand;
@@ -27,6 +29,43 @@ impl SwapMode {
             SwapMode::NFusion => metrics::widthed_path_rate(net, wp),
             SwapMode::Classic => Metric::new(metrics::classic::success_probability(net, wp)),
         }
+    }
+}
+
+/// Exact resources a routed plan pins, derived from its flow-like graph:
+/// per-node qubit totals (each channel end pins one qubit at its node) and
+/// per-edge channel totals (keyed by the canonical low–high node pair, so
+/// both flow orientations of the same fiber land on one entry).
+///
+/// This is the unit of account of the service-layer residual ledger:
+/// charging a plan's usage on admission and releasing the same value on
+/// departure must be the identity on the ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// `(node, qubits)` in ascending node order; zero entries omitted.
+    pub node_qubits: Vec<(NodeId, u32)>,
+    /// `((low, high), channels)` in ascending pair order; zero entries
+    /// omitted.
+    pub edge_channels: Vec<((NodeId, NodeId), u32)>,
+}
+
+impl ResourceUsage {
+    /// `true` when the plan pins nothing (an unserved demand).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_qubits.is_empty() && self.edge_channels.is_empty()
+    }
+
+    /// Total qubits pinned across all nodes.
+    #[must_use]
+    pub fn total_qubits(&self) -> u64 {
+        self.node_qubits.iter().map(|&(_, q)| u64::from(q)).sum()
+    }
+
+    /// Total channels pinned across all edges.
+    #[must_use]
+    pub fn total_channels(&self) -> u64 {
+        self.edge_channels.iter().map(|&(_, w)| u64::from(w)).sum()
     }
 }
 
@@ -61,6 +100,32 @@ impl DemandPlan {
         self.paths.is_empty()
     }
 
+    /// Exact per-node qubit and per-edge channel totals this plan pins.
+    ///
+    /// The flow-like graph is authoritative: Algorithm 3 merges
+    /// same-demand paths into it (shared hops are stored once, so shared
+    /// fusion-node qubits are counted once, not per path) and Algorithm 4
+    /// widens it in place. Each directed flow edge of width `w` pins `w`
+    /// channels on its fiber and `w` qubits at each endpoint — summing
+    /// incident widths per node is exactly [`FlowGraph::qubits_at`], and
+    /// the totals satisfy `capacity - usage == NetworkPlan::leftover`
+    /// contribution for every node.
+    #[must_use]
+    pub fn resource_usage(&self) -> ResourceUsage {
+        let mut nodes: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut edges: BTreeMap<(NodeId, NodeId), u32> = BTreeMap::new();
+        for (u, v, w) in self.flow.edges() {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            *edges.entry(key).or_insert(0) += w;
+            *nodes.entry(u).or_insert(0) += w;
+            *nodes.entry(v).or_insert(0) += w;
+        }
+        ResourceUsage {
+            node_qubits: nodes.into_iter().filter(|&(_, q)| q > 0).collect(),
+            edge_channels: edges.into_iter().filter(|&(_, w)| w > 0).collect(),
+        }
+    }
+
     /// Analytic success probability of this demand under `mode`.
     ///
     /// * n-fusion: Equation 1 on the merged flow-like graph.
@@ -83,7 +148,7 @@ impl DemandPlan {
 }
 
 /// The routing decision for every demanded state in the network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkPlan {
     /// Swapping technology the plan was built for.
     pub mode: SwapMode,
@@ -191,6 +256,59 @@ mod tests {
         assert_eq!(plan.served_demands(), 1);
         assert!((plan.total_rate(&net) - plan.demand_rate(&net, 0)).abs() < 1e-12);
         assert_eq!(plan.demand_rate(&net, 1), 0.0);
+    }
+
+    #[test]
+    fn resource_usage_counts_shared_hops_once() {
+        let (_net, s, v, d) = simple_net();
+        let demand = Demand::new(DemandId::new(0), s, d);
+        let mut plan = DemandPlan::empty(demand);
+        // Two merged paths share both hops: the flow stores each edge once,
+        // so shared fusion-node qubits must not be double-counted.
+        let path = Path::new(vec![s, v, d]);
+        plan.flow.add_path(&path, 2);
+        plan.flow.add_path(&path, 1); // fully shared, adds nothing
+        plan.paths.push(WidthedPath::uniform(path.clone(), 2));
+        plan.paths.push(WidthedPath::uniform(path, 1));
+        let usage = plan.resource_usage();
+        assert_eq!(
+            usage.node_qubits,
+            vec![(s, 2), (v, 4), (d, 2)],
+            "switch v relays two width-2 hops"
+        );
+        assert_eq!(usage.total_channels(), 4);
+        // The per-node totals are exactly the flow's own accounting.
+        for &(node, q) in &usage.node_qubits {
+            assert_eq!(q, plan.flow.qubits_at(node));
+        }
+    }
+
+    #[test]
+    fn resource_usage_empty_plan() {
+        let (_net, s, _v, d) = simple_net();
+        let plan = DemandPlan::empty(Demand::new(DemandId::new(0), s, d));
+        let usage = plan.resource_usage();
+        assert!(usage.is_empty());
+        assert_eq!(usage.total_qubits(), 0);
+    }
+
+    #[test]
+    fn resource_usage_canonicalizes_orientation() {
+        let (_net, s, v, d) = simple_net();
+        // Route the demand "backwards": flow edges run d -> v -> s, but the
+        // usage must be keyed by canonical low-high pairs regardless.
+        let demand = Demand::new(DemandId::new(0), d, s);
+        let mut plan = DemandPlan::empty(demand);
+        let path = Path::new(vec![d, v, s]);
+        plan.flow.add_path(&path, 3);
+        plan.paths.push(WidthedPath::uniform(path, 3));
+        let usage = plan.resource_usage();
+        let pairs: Vec<_> = usage.edge_channels.iter().map(|&(p, _)| p).collect();
+        for (lo, hi) in pairs {
+            assert!(lo <= hi, "edge keys must be canonical");
+        }
+        assert_eq!(usage.total_channels(), 6);
+        assert_eq!(usage.node_qubits, vec![(s, 3), (v, 6), (d, 3)]);
     }
 
     #[test]

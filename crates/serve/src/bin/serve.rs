@@ -1,0 +1,160 @@
+//! The online-service CLI: generate a trace and replay it against a
+//! preset world.
+//!
+//! ```text
+//! serve replay --preset NAME [--instance I] [--events N] [--seed S]
+//!              [--arrival-rate F] [--mean-holding F] [--link-down-rate F]
+//!              [--mc-rounds N] [--audit-every N] [--log FILE]
+//!     Builds the preset's network, generates a seeded trace, replays it,
+//!     and prints throughput (events/sec), admission statistics, and the
+//!     log fingerprint. Same preset + flags => byte-identical log.
+//!
+//! serve presets
+//!     Lists the preset names.
+//! ```
+//!
+//! The EXPERIMENTS.md replay-throughput entry is produced with:
+//! `cargo run --release -p fusion-serve --bin serve -- replay --preset large-1k --events 100000`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use fusion_serve::{
+    generate, presets, replay, resolve_preset, ReplayOptions, ServiceState, TraceConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("replay") => run_replay(&args[1..]),
+        Some("presets") => {
+            for p in presets() {
+                println!(
+                    "{}  ({} switches, {} user pairs, h={})",
+                    p.name, p.topology.num_switches, p.topology.num_user_pairs, p.h
+                );
+            }
+        }
+        Some("--help" | "-h") | None => {
+            println!("usage: serve replay --preset NAME [--instance I] [--events N] [--seed S]");
+            println!(
+                "                    [--arrival-rate F] [--mean-holding F] [--link-down-rate F]"
+            );
+            println!("                    [--mc-rounds N] [--audit-every N] [--log FILE]");
+            println!("       serve presets");
+        }
+        Some(other) => die(&format!(
+            "unknown subcommand {other}; try replay or presets"
+        )),
+    }
+}
+
+fn run_replay(args: &[String]) {
+    let mut preset_name = String::from("quick");
+    let mut instance = 0usize;
+    let mut trace_config = TraceConfig::default();
+    let mut options = ReplayOptions::default();
+    let mut log_path: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => preset_name = next_str(&mut it, "--preset"),
+            "--instance" => instance = next_parsed(&mut it, "--instance"),
+            "--events" => trace_config.events = next_parsed(&mut it, "--events"),
+            "--seed" => trace_config.seed = next_parsed(&mut it, "--seed"),
+            "--arrival-rate" => trace_config.arrival_rate = next_parsed(&mut it, "--arrival-rate"),
+            "--mean-holding" => trace_config.mean_holding = next_parsed(&mut it, "--mean-holding"),
+            "--link-down-rate" => {
+                trace_config.link_down_rate = next_parsed(&mut it, "--link-down-rate");
+            }
+            "--mc-rounds" => options.mc_rounds = next_parsed(&mut it, "--mc-rounds"),
+            "--audit-every" => options.audit_every = next_parsed(&mut it, "--audit-every"),
+            "--log" => log_path = Some(PathBuf::from(next_str(&mut it, "--log"))),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let Some(preset) = resolve_preset(&preset_name) else {
+        die(&format!(
+            "unknown preset {preset_name}; available: {}",
+            presets()
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    };
+
+    eprintln!("building {} instance {instance}...", preset.name);
+    let net = preset.network_instance(instance);
+    eprintln!(
+        "  {} nodes, {} edges",
+        net.node_count(),
+        net.graph().edge_count()
+    );
+    let mut state = ServiceState::new(net, preset.routing_config());
+    let trace = generate(state.network(), &trace_config);
+    eprintln!(
+        "replaying {} events (seed {:#x})...",
+        trace.events.len(),
+        trace_config.seed
+    );
+
+    let started = Instant::now();
+    let report = replay(&mut state, &trace, &options);
+    let elapsed = started.elapsed();
+    state
+        .audit()
+        .unwrap_or_else(|e| die(&format!("final audit failed: {e}")));
+
+    let stats = &report.stats;
+    let secs = elapsed.as_secs_f64();
+    println!("preset           {}", preset.name);
+    println!("events           {}", stats.events);
+    println!("elapsed          {secs:.3} s");
+    println!("events/sec       {:.1}", stats.events as f64 / secs);
+    println!(
+        "arrivals         {} ({} admitted, {} no-route, {} saturated)",
+        stats.arrivals, stats.admitted, stats.rejected_no_route, stats.rejected_saturated
+    );
+    println!("admit fraction   {:.4}", stats.admit_fraction());
+    println!(
+        "departures       {} ({} no-ops)",
+        stats.departures, stats.depart_noops
+    );
+    println!(
+        "link-downs       {} ({} plans evicted)",
+        stats.link_downs, stats.evicted
+    );
+    println!("final live       {}", stats.final_live);
+    println!("final epoch      {}", stats.final_epoch);
+    println!("rate sum         {:.6}", stats.admitted_rate_sum);
+    println!("log fingerprint  {:016x}", report.fingerprint());
+
+    if let Some(path) = log_path {
+        let mut text = report.log.join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            die(&format!("could not write {}: {e}", path.display()));
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn next_str(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .cloned()
+        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn next_parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    let raw = next_str(it, flag);
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("{flag} could not parse {raw}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,395 @@
+//! The residual-capacity ledger: exact per-node qubit and per-edge
+//! channel accounting for the live plan set.
+//!
+//! The ledger is the service layer's single source of truth for "what is
+//! free right now". Admission charges a plan's [`ResourceUsage`] against
+//! it, departure releases the identical value, and both operations are
+//! all-or-nothing: a charge that would overdraw any node leaves the
+//! ledger untouched. Everything is integral, so `release ∘ charge` is the
+//! identity *exactly* — the conservation oracle in
+//! `crates/serve/tests/service_oracle.rs` holds with `==`, not within an
+//! epsilon.
+
+use fusion_core::{QuantumNetwork, ResourceUsage};
+use fusion_graph::{EdgeId, NodeId};
+
+/// Why a ledger operation was refused. Refused operations are no-ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A charge asked for more qubits than a node has free.
+    NodeOverdraft {
+        /// The overdrawn node.
+        node: NodeId,
+        /// Qubits free at the node.
+        free: u32,
+        /// Qubits the charge asked for.
+        requested: u32,
+    },
+    /// A release returned more qubits than a node has outstanding.
+    NodeUnderflow {
+        /// The over-released node.
+        node: NodeId,
+        /// Qubits currently charged at the node.
+        used: u32,
+        /// Qubits the release tried to return.
+        returned: u32,
+    },
+    /// A release returned more channels than an edge has outstanding.
+    EdgeUnderflow {
+        /// The over-released edge.
+        edge: EdgeId,
+        /// Channels currently charged on the edge.
+        used: u32,
+        /// Channels the release tried to return.
+        returned: u32,
+    },
+    /// A usage entry referenced a node pair with no fiber between them.
+    UnknownEdge(NodeId, NodeId),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::NodeOverdraft {
+                node,
+                free,
+                requested,
+            } => write!(
+                f,
+                "node {node}: requested {requested} of {free} free qubits"
+            ),
+            LedgerError::NodeUnderflow {
+                node,
+                used,
+                returned,
+            } => write!(f, "node {node}: released {returned} of {used} used qubits"),
+            LedgerError::EdgeUnderflow {
+                edge,
+                used,
+                returned,
+            } => write!(
+                f,
+                "edge {edge}: released {returned} of {used} used channels"
+            ),
+            LedgerError::UnknownEdge(u, v) => write!(f, "no fiber between {u} and {v}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Exact residual-capacity accounting over one network: per-node free
+/// qubits and per-edge channels in use.
+///
+/// Node residuals constrain admission (the routing pipeline takes the
+/// [`residual`](ResidualLedger::residual) vector as its capacity budget);
+/// edge usage has no intrinsic bound — a fiber carries as many channels
+/// as its endpoints can pin — and is tracked so departures and the
+/// conservation oracle can audit channel totals exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidualLedger {
+    /// Built-in per-node capacities (the restore point).
+    capacity: Vec<u32>,
+    /// Free qubits per node; `free[v] <= capacity[v]` always.
+    free: Vec<u32>,
+    /// Channels in use per edge, indexed by `EdgeId`.
+    edge_used: Vec<u32>,
+}
+
+impl ResidualLedger {
+    /// A pristine ledger over `net`: everything free, nothing in use.
+    #[must_use]
+    pub fn new(net: &QuantumNetwork) -> Self {
+        let capacity = net.capacities();
+        ResidualLedger {
+            free: capacity.clone(),
+            capacity,
+            edge_used: vec![0; net.graph().edge_count()],
+        }
+    }
+
+    /// Residual qubits per node — the capacity budget admissions route
+    /// against.
+    #[must_use]
+    pub fn residual(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Built-in capacities (what [`residual`](ResidualLedger::residual)
+    /// returns on a pristine ledger).
+    #[must_use]
+    pub fn capacities(&self) -> &[u32] {
+        &self.capacity
+    }
+
+    /// Free qubits at one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[must_use]
+    pub fn node_free(&self, node: NodeId) -> u32 {
+        self.free[node.index()]
+    }
+
+    /// Channels in use on one edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    #[must_use]
+    pub fn edge_used(&self, edge: EdgeId) -> u32 {
+        self.edge_used[edge.index()]
+    }
+
+    /// Total channels in use across all edges.
+    #[must_use]
+    pub fn total_channels_used(&self) -> u64 {
+        self.edge_used.iter().map(|&w| u64::from(w)).sum()
+    }
+
+    /// `true` when nothing is charged: every node back at capacity and
+    /// every edge channel-free.
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        self.free == self.capacity && self.edge_used.iter().all(|&w| w == 0)
+    }
+
+    /// Resolves every edge entry of `usage` to its `EdgeId`, failing on
+    /// pairs the network has no fiber for.
+    fn resolve_edges(
+        &self,
+        net: &QuantumNetwork,
+        usage: &ResourceUsage,
+    ) -> Result<Vec<(EdgeId, u32)>, LedgerError> {
+        usage
+            .edge_channels
+            .iter()
+            .map(|&((u, v), w)| {
+                net.graph()
+                    .find_edge(u, v)
+                    .map(|e| (e, w))
+                    .ok_or(LedgerError::UnknownEdge(u, v))
+            })
+            .collect()
+    }
+
+    /// Charges a plan's usage: subtracts qubits from every listed node and
+    /// adds channels to every listed edge. All-or-nothing — on error the
+    /// ledger is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NodeOverdraft`] if any node lacks the free qubits,
+    /// [`LedgerError::UnknownEdge`] if a usage entry names a non-edge.
+    pub fn charge(
+        &mut self,
+        net: &QuantumNetwork,
+        usage: &ResourceUsage,
+    ) -> Result<(), LedgerError> {
+        let edges = self.resolve_edges(net, usage)?;
+        for &(node, q) in &usage.node_qubits {
+            let free = self.free[node.index()];
+            if free < q {
+                return Err(LedgerError::NodeOverdraft {
+                    node,
+                    free,
+                    requested: q,
+                });
+            }
+        }
+        for &(node, q) in &usage.node_qubits {
+            self.free[node.index()] -= q;
+        }
+        for (e, w) in edges {
+            self.edge_used[e.index()] += w;
+        }
+        Ok(())
+    }
+
+    /// Releases a plan's usage: the exact inverse of
+    /// [`charge`](ResidualLedger::charge). All-or-nothing — on error the
+    /// ledger is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NodeUnderflow`] / [`LedgerError::EdgeUnderflow`] if
+    /// the release exceeds what is outstanding (a double-release or a
+    /// foreign usage), [`LedgerError::UnknownEdge`] for non-edges.
+    pub fn release(
+        &mut self,
+        net: &QuantumNetwork,
+        usage: &ResourceUsage,
+    ) -> Result<(), LedgerError> {
+        let edges = self.resolve_edges(net, usage)?;
+        for &(node, q) in &usage.node_qubits {
+            let used = self.capacity[node.index()] - self.free[node.index()];
+            if used < q {
+                return Err(LedgerError::NodeUnderflow {
+                    node,
+                    used,
+                    returned: q,
+                });
+            }
+        }
+        for &(e, w) in &edges {
+            let used = self.edge_used[e.index()];
+            if used < w {
+                return Err(LedgerError::EdgeUnderflow {
+                    edge: e,
+                    used,
+                    returned: w,
+                });
+            }
+        }
+        for &(node, q) in &usage.node_qubits {
+            self.free[node.index()] += q;
+        }
+        for (e, w) in edges {
+            self.edge_used[e.index()] -= w;
+        }
+        Ok(())
+    }
+
+    /// Audits the ledger against a set of live usages: per node, charged
+    /// qubits must equal the sum of live usages; per edge, charged
+    /// channels likewise. Returns the first discrepancy as an error
+    /// message, `Ok(())` when the books balance.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    pub fn audit<'a>(
+        &self,
+        net: &QuantumNetwork,
+        live: impl Iterator<Item = &'a ResourceUsage>,
+    ) -> Result<(), String> {
+        let mut node_sum = vec![0u64; self.capacity.len()];
+        let mut edge_sum = vec![0u64; self.edge_used.len()];
+        for usage in live {
+            for &(node, q) in &usage.node_qubits {
+                node_sum[node.index()] += u64::from(q);
+            }
+            for &((u, v), w) in &usage.edge_channels {
+                let e = net
+                    .graph()
+                    .find_edge(u, v)
+                    .ok_or_else(|| format!("live usage references non-edge {u}-{v}"))?;
+                edge_sum[e.index()] += u64::from(w);
+            }
+        }
+        for (i, &sum) in node_sum.iter().enumerate() {
+            let charged = u64::from(self.capacity[i]) - u64::from(self.free[i]);
+            if charged != sum {
+                return Err(format!(
+                    "node n{i}: ledger holds {charged} charged qubits, live plans pin {sum}"
+                ));
+            }
+        }
+        for (i, &sum) in edge_sum.iter().enumerate() {
+            if u64::from(self.edge_used[i]) != sum {
+                return Err(format!(
+                    "edge e{i}: ledger holds {} channels, live plans pin {sum}",
+                    self.edge_used[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::{Demand, DemandId, DemandPlan, WidthedPath};
+    use fusion_graph::Path;
+
+    fn net3() -> (QuantumNetwork, NodeId, NodeId, NodeId) {
+        let mut b = QuantumNetwork::builder();
+        let s = b.user(0.0, 0.0);
+        let v = b.switch(1.0, 0.0, 10);
+        let d = b.user(2.0, 0.0);
+        b.link(s, v).unwrap();
+        b.link(v, d).unwrap();
+        (b.build(), s, v, d)
+    }
+
+    fn width2_plan(s: NodeId, v: NodeId, d: NodeId) -> DemandPlan {
+        let mut plan = DemandPlan::empty(Demand::new(DemandId::new(0), s, d));
+        let path = Path::new(vec![s, v, d]);
+        plan.flow.add_path(&path, 2);
+        plan.paths.push(WidthedPath::uniform(path, 2));
+        plan
+    }
+
+    #[test]
+    fn charge_release_is_identity() {
+        let (net, s, v, d) = net3();
+        let mut ledger = ResidualLedger::new(&net);
+        let pristine = ledger.clone();
+        let usage = width2_plan(s, v, d).resource_usage();
+        ledger.charge(&net, &usage).unwrap();
+        assert!(!ledger.is_pristine());
+        assert_eq!(ledger.node_free(v), 6); // 10 - 2 hops x width 2
+        assert_eq!(ledger.total_channels_used(), 4);
+        ledger.release(&net, &usage).unwrap();
+        assert_eq!(ledger, pristine);
+        assert!(ledger.is_pristine());
+    }
+
+    #[test]
+    fn overdraft_is_a_no_op() {
+        let (net, s, v, d) = net3();
+        let mut ledger = ResidualLedger::new(&net);
+        let usage = width2_plan(s, v, d).resource_usage();
+        ledger.charge(&net, &usage).unwrap();
+        ledger.charge(&net, &usage).unwrap(); // 8 of 10 at the switch
+        let before = ledger.clone();
+        let err = ledger.charge(&net, &usage).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::NodeOverdraft {
+                node: v,
+                free: 2,
+                requested: 4
+            }
+        );
+        assert_eq!(ledger, before, "failed charge must not move the ledger");
+    }
+
+    #[test]
+    fn release_underflow_is_a_no_op() {
+        let (net, s, v, d) = net3();
+        let mut ledger = ResidualLedger::new(&net);
+        let usage = width2_plan(s, v, d).resource_usage();
+        let err = ledger.release(&net, &usage).unwrap_err();
+        assert!(matches!(err, LedgerError::NodeUnderflow { .. }));
+        assert!(ledger.is_pristine());
+    }
+
+    #[test]
+    fn unknown_edge_rejected() {
+        let (net, s, _v, d) = net3();
+        let mut ledger = ResidualLedger::new(&net);
+        let usage = ResourceUsage {
+            node_qubits: vec![(s, 1), (d, 1)],
+            edge_channels: vec![((s, d), 1)],
+        };
+        assert_eq!(
+            ledger.charge(&net, &usage).unwrap_err(),
+            LedgerError::UnknownEdge(s, d)
+        );
+        assert!(ledger.is_pristine());
+    }
+
+    #[test]
+    fn audit_balances_live_plans() {
+        let (net, s, v, d) = net3();
+        let mut ledger = ResidualLedger::new(&net);
+        let usage = width2_plan(s, v, d).resource_usage();
+        ledger.charge(&net, &usage).unwrap();
+        ledger.audit(&net, std::iter::once(&usage)).unwrap();
+        // A missing live plan unbalances the books.
+        assert!(ledger.audit(&net, std::iter::empty()).is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! The epoch-versioned service state: network, live plans, residual
+//! ledger.
+//!
+//! [`ServiceState`] is the long-lived object the online engine mutates:
+//! [`admit`](ServiceState::admit) routes a new demand with the batch
+//! pipeline's width-descent engine restricted to the ledger's residual
+//! capacity, [`depart`](ServiceState::depart) tears a plan down and
+//! returns its capacity exactly, and [`fail_link`](ServiceState::fail_link)
+//! evicts every plan crossing a failed fiber. Every successful mutation
+//! bumps the epoch; rejected admissions are strict no-ops.
+//!
+//! The admission contract (locked down by `tests/service_oracle.rs`): the
+//! candidates, merge outcome, and finished plan of an admission against
+//! the residual ledger are byte-identical to running the batch pipeline
+//! on a network whose capacities are pre-reduced by the live plans
+//! ([`QuantumNetwork::with_capacities`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fusion_core::algorithms::{route_with_capacity_traced, RouteTrace, RoutingConfig};
+use fusion_core::{Demand, DemandId, DemandPlan, QuantumNetwork, ResourceUsage};
+use fusion_graph::{EdgeId, NodeId};
+
+use crate::ledger::ResidualLedger;
+
+/// Stable identifier of one live (or departed) plan. Ids are assigned in
+/// admission order and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlanId(u64);
+
+impl PlanId {
+    /// Raw index of this plan id.
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PlanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One admitted demand: its plan, its exact resource footprint, and its
+/// admission metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivePlan {
+    /// The plan's stable id.
+    pub id: PlanId,
+    /// The routed structure serving the demand.
+    pub plan: DemandPlan,
+    /// Exact resources charged on the ledger at admission; released
+    /// verbatim at departure.
+    pub usage: ResourceUsage,
+    /// Analytic success probability at admission time.
+    pub rate: f64,
+    /// Epoch at which the plan was admitted.
+    pub admitted_epoch: u64,
+}
+
+/// Why an admission was refused. Refusals leave the state untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No switch has a free qubit left — routing was not even attempted.
+    Saturated,
+    /// The pipeline ran but found no feasible route under the residual
+    /// capacity.
+    NoRoute,
+}
+
+/// Outcome of one [`ServiceState::admit`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitOutcome {
+    /// The demand was routed; its plan is now live.
+    Accepted {
+        /// Id of the new live plan.
+        id: PlanId,
+        /// Analytic success probability of the admitted plan.
+        rate: f64,
+    },
+    /// The demand could not be served; nothing changed.
+    Rejected(RejectReason),
+}
+
+impl AdmitOutcome {
+    /// The new plan's id, if admitted.
+    #[must_use]
+    pub fn id(&self) -> Option<PlanId> {
+        match self {
+            AdmitOutcome::Accepted { id, .. } => Some(*id),
+            AdmitOutcome::Rejected(_) => None,
+        }
+    }
+}
+
+/// A comparable snapshot of the full service state — what the no-op and
+/// determinism oracles assert equality over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDigest {
+    /// Mutation counter.
+    pub epoch: u64,
+    /// Next plan id to be assigned.
+    pub next_plan: u64,
+    /// The complete residual ledger.
+    pub ledger: ResidualLedger,
+    /// Every live plan's id and exact footprint, in id order.
+    pub live: Vec<(PlanId, ResourceUsage)>,
+}
+
+/// The online demand engine's state: the network, the live plan set, and
+/// the residual-capacity ledger, all versioned by a mutation epoch.
+#[derive(Debug, Clone)]
+pub struct ServiceState {
+    net: QuantumNetwork,
+    config: RoutingConfig,
+    epoch: u64,
+    next_plan: u64,
+    live: BTreeMap<PlanId, LivePlan>,
+    ledger: ResidualLedger,
+}
+
+impl ServiceState {
+    /// A fresh service over `net`: no live plans, everything free.
+    #[must_use]
+    pub fn new(net: QuantumNetwork, config: RoutingConfig) -> Self {
+        let ledger = ResidualLedger::new(&net);
+        ServiceState {
+            net,
+            config,
+            epoch: 0,
+            next_plan: 0,
+            live: BTreeMap::new(),
+            ledger,
+        }
+    }
+
+    /// The network being served.
+    #[must_use]
+    pub fn network(&self) -> &QuantumNetwork {
+        &self.net
+    }
+
+    /// The routing configuration admissions run under.
+    #[must_use]
+    pub fn config(&self) -> &RoutingConfig {
+        &self.config
+    }
+
+    /// The mutation epoch: bumped by every accepted admission, departure,
+    /// and eviction — never by rejections.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live plans.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Iterates the live plans in id order.
+    pub fn live_plans(&self) -> impl Iterator<Item = &LivePlan> + '_ {
+        self.live.values()
+    }
+
+    /// Looks up one live plan.
+    #[must_use]
+    pub fn get(&self, id: PlanId) -> Option<&LivePlan> {
+        self.live.get(&id)
+    }
+
+    /// The residual-capacity ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &ResidualLedger {
+        &self.ledger
+    }
+
+    /// Residual qubits per node — what the next admission routes against.
+    #[must_use]
+    pub fn residual(&self) -> &[u32] {
+        self.ledger.residual()
+    }
+
+    /// A copy of the network whose capacities equal the current residual —
+    /// the batch side of the equivalence oracle: the batch pipeline on
+    /// this network must produce byte-identical output to
+    /// [`admission_trace`](ServiceState::admission_trace).
+    #[must_use]
+    pub fn reduced_network(&self) -> QuantumNetwork {
+        self.net.with_capacities(self.ledger.residual())
+    }
+
+    /// The demand the next admission of `source -> dest` would route.
+    /// Demand ids are assigned from the plan-id counter, so the id (and
+    /// with it the whole routed plan) is reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == dest`.
+    #[must_use]
+    pub fn next_demand(&self, source: NodeId, dest: NodeId) -> Demand {
+        Demand::new(
+            DemandId::new(usize::try_from(self.next_plan).expect("plan counter fits usize")),
+            source,
+            dest,
+        )
+    }
+
+    /// Runs the admission pipeline for `source -> dest` against the
+    /// residual ledger *without mutating anything*, returning the full
+    /// per-stage trace. `None` when no switch has a free qubit (the
+    /// pipeline cannot run on a width bound of zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == dest`.
+    #[must_use]
+    pub fn admission_trace(&self, source: NodeId, dest: NodeId) -> Option<RouteTrace> {
+        let residual = self.ledger.residual();
+        if self.net.max_switch_capacity_in(residual) == 0 {
+            return None;
+        }
+        let demand = self.next_demand(source, dest);
+        Some(route_with_capacity_traced(
+            &self.net,
+            &[demand],
+            &self.config,
+            residual,
+            1,
+        ))
+    }
+
+    /// Routes a new demand against the residual capacity and, if a route
+    /// exists, charges it on the ledger and adds it to the live set.
+    /// Rejected admissions leave the state bit-for-bit unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == dest`.
+    pub fn admit(&mut self, source: NodeId, dest: NodeId) -> AdmitOutcome {
+        let Some(trace) = self.admission_trace(source, dest) else {
+            return AdmitOutcome::Rejected(RejectReason::Saturated);
+        };
+        let mut plans = trace.plan.plans;
+        let plan = plans.pop().expect("one demand in, one plan out");
+        if plan.is_unserved() {
+            return AdmitOutcome::Rejected(RejectReason::NoRoute);
+        }
+        let usage = plan.resource_usage();
+        let rate = plan.rate(&self.net, self.config.mode);
+        self.ledger
+            .charge(&self.net, &usage)
+            .expect("pipeline respects residual capacity");
+        let id = PlanId(self.next_plan);
+        self.next_plan += 1;
+        self.epoch += 1;
+        self.live.insert(
+            id,
+            LivePlan {
+                id,
+                plan,
+                usage,
+                rate,
+                admitted_epoch: self.epoch,
+            },
+        );
+        AdmitOutcome::Accepted { id, rate }
+    }
+
+    /// Tears a live plan down, returning its capacity to the ledger
+    /// exactly. `None` (and no state change) if `id` is not live.
+    pub fn depart(&mut self, id: PlanId) -> Option<LivePlan> {
+        let lp = self.live.remove(&id)?;
+        self.ledger
+            .release(&self.net, &lp.usage)
+            .expect("live usage was charged at admission");
+        self.epoch += 1;
+        Some(lp)
+    }
+
+    /// A transient fiber cut: every live plan whose flow crosses `edge` is
+    /// evicted and its capacity returned. Returns the evicted ids in id
+    /// order. The link itself recovers immediately — affected demands must
+    /// be re-admitted by the caller (the replay harness does not, matching
+    /// the "cut costs you your sessions" model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    pub fn fail_link(&mut self, edge: EdgeId) -> Vec<PlanId> {
+        let (u, v) = self.net.graph().endpoints(edge);
+        let key = if u <= v { (u, v) } else { (v, u) };
+        let victims: Vec<PlanId> = self
+            .live
+            .values()
+            .filter(|lp| lp.usage.edge_channels.iter().any(|&(pair, _)| pair == key))
+            .map(|lp| lp.id)
+            .collect();
+        for &id in &victims {
+            self.depart(id).expect("victim was live");
+        }
+        victims
+    }
+
+    /// Audits the ledger against the live plan set: every charged qubit
+    /// and channel must be pinned by exactly one live plan.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first imbalance.
+    pub fn audit(&self) -> Result<(), String> {
+        self.ledger
+            .audit(&self.net, self.live.values().map(|lp| &lp.usage))
+    }
+
+    /// A comparable snapshot of the full state.
+    #[must_use]
+    pub fn digest(&self) -> StateDigest {
+        StateDigest {
+            epoch: self.epoch,
+            next_plan: self.next_plan,
+            ledger: self.ledger.clone(),
+            live: self
+                .live
+                .values()
+                .map(|lp| (lp.id, lp.usage.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::NetworkParams;
+    use fusion_topology::TopologyConfig;
+
+    fn world() -> (ServiceState, Vec<Demand>) {
+        let topo = TopologyConfig {
+            num_switches: 25,
+            num_user_pairs: 4,
+            avg_degree: 6.0,
+            ..TopologyConfig::default()
+        }
+        .generate(7);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        (ServiceState::new(net, RoutingConfig::n_fusion()), demands)
+    }
+
+    #[test]
+    fn admit_then_depart_restores_everything() {
+        let (mut state, demands) = world();
+        let pristine = state.digest();
+        assert!(state.ledger().is_pristine());
+        let d = demands[0];
+        let AdmitOutcome::Accepted { id, rate } = state.admit(d.source, d.dest) else {
+            panic!("default small world must route its first demand");
+        };
+        assert!(rate > 0.0);
+        assert_eq!(state.live_count(), 1);
+        assert_eq!(state.epoch(), 1);
+        state.audit().unwrap();
+        let lp = state.depart(id).unwrap();
+        assert_eq!(lp.id, id);
+        assert!(state.ledger().is_pristine());
+        assert_eq!(state.epoch(), 2);
+        // Everything except the consumed id and epochs is restored.
+        let after = state.digest();
+        assert_eq!(after.ledger, pristine.ledger);
+        assert!(after.live.is_empty());
+    }
+
+    #[test]
+    fn depart_unknown_is_a_no_op() {
+        let (mut state, _) = world();
+        let before = state.digest();
+        assert!(state.depart(PlanId(42)).is_none());
+        assert_eq!(state.digest(), before);
+    }
+
+    #[test]
+    fn admissions_contend_for_capacity() {
+        let (mut state, demands) = world();
+        // Admitting the same user pair repeatedly must eventually exhaust
+        // the residual capacity around the pair and get rejected, without
+        // ever panicking or overdrawing.
+        let d = demands[0];
+        let mut accepted = 0;
+        for _ in 0..200 {
+            match state.admit(d.source, d.dest) {
+                AdmitOutcome::Accepted { .. } => accepted += 1,
+                AdmitOutcome::Rejected(_) => break,
+            }
+            state.audit().unwrap();
+        }
+        assert!(accepted > 0, "first admission must succeed");
+        assert!(
+            accepted < 200,
+            "finite switch capacity cannot serve 200 copies"
+        );
+    }
+
+    #[test]
+    fn rejection_is_bit_exact_no_op() {
+        let (mut state, demands) = world();
+        let d = demands[0];
+        // Saturate the pair.
+        while let AdmitOutcome::Accepted { .. } = state.admit(d.source, d.dest) {}
+        let before = state.digest();
+        assert_eq!(
+            state.admit(d.source, d.dest),
+            AdmitOutcome::Rejected(RejectReason::NoRoute)
+        );
+        assert_eq!(state.digest(), before);
+    }
+
+    #[test]
+    fn fail_link_evicts_crossing_plans_and_returns_capacity() {
+        let (mut state, demands) = world();
+        let d = demands[0];
+        let AdmitOutcome::Accepted { id, .. } = state.admit(d.source, d.dest) else {
+            panic!("first admission must succeed");
+        };
+        let lp = state.get(id).unwrap().clone();
+        let &((u, v), _) = lp.usage.edge_channels.first().expect("plan uses edges");
+        let edge = state.network().graph().find_edge(u, v).unwrap();
+        let evicted = state.fail_link(edge);
+        assert_eq!(evicted, vec![id]);
+        assert!(state.ledger().is_pristine(), "capacity fully returned");
+        state.audit().unwrap();
+        // A second cut on the same link evicts nothing.
+        assert!(state.fail_link(edge).is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 //! independent seeded RNGs, keeping results reproducible for a fixed
 //! `(seed, threads)` pair.
 
-use fusion_core::{NetworkPlan, QuantumNetwork};
+use fusion_core::{DemandPlan, NetworkPlan, QuantumNetwork, SwapMode};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +40,37 @@ impl PlanEstimate {
             .sum::<f64>()
             .sqrt()
     }
+}
+
+/// Estimates one demand plan's success probability over `rounds` Monte
+/// Carlo rounds — the service layer's per-admission check: an online
+/// engine evaluates each arrival's plan individually rather than
+/// re-simulating the whole plan set.
+///
+/// Seeding is per call: the same `(plan, seed, rounds)` triple always
+/// reproduces the same estimate, independent of what else was admitted.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn estimate_demand_plan(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    mode: SwapMode,
+    rounds: usize,
+    seed: u64,
+) -> RateEstimate {
+    assert!(rounds > 0, "need at least one round");
+    let mut sampler = PlanSampler::new(net, plan, mode);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..rounds {
+        if sampler.sample(&mut rng) {
+            hits += 1;
+        }
+    }
+    RateEstimate::from_successes(hits, rounds)
 }
 
 /// Estimates the plan's entanglement rate over `rounds` Monte Carlo rounds.

@@ -7,6 +7,8 @@
 //! link success.
 
 use fusion_core::QuantumNetwork;
+use fusion_graph::EdgeId;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// A degradation applied to a network before (re-)evaluation.
@@ -72,6 +74,21 @@ impl FailureModel {
         }
         out
     }
+}
+
+/// Draws one link to take down, uniformly over the network's edges — the
+/// mid-trace `LinkDown` event source of the service layer's replay
+/// harness (a transient fiber cut: plans crossing the link are evicted
+/// and must be re-admitted).
+///
+/// Deterministic for a given RNG state; returns `None` on an edgeless
+/// network.
+pub fn sample_link_outage<R: RngCore>(net: &QuantumNetwork, rng: &mut R) -> Option<EdgeId> {
+    let edges = net.graph().edge_count();
+    if edges == 0 {
+        return None;
+    }
+    Some(EdgeId::new(rng.gen_range(0..edges)))
 }
 
 /// Mean single-link success probability over all edges.

@@ -34,6 +34,6 @@ pub mod stats;
 pub mod timeline;
 
 pub use connectivity::{ClassicSampler, FlowSampler, PlanSampler};
-pub use evaluate::{estimate_plan, estimate_plan_parallel, PlanEstimate};
+pub use evaluate::{estimate_demand_plan, estimate_plan, estimate_plan_parallel, PlanEstimate};
 pub use protocol::{RoundOutcome, RoundSimulator};
 pub use stats::RateEstimate;

@@ -8,11 +8,14 @@
 //! * [`quantum`] — GHZ entanglement semantics and a stabilizer simulator.
 //! * [`core`] — the paper's routing model, metrics, and algorithms.
 //! * [`sim`] — Monte Carlo simulation of the entanglement process.
+//! * [`serve`] — the online demand engine (admit/depart over a residual
+//!   ledger) and its trace-replay harness.
 
 #![forbid(unsafe_code)]
 
 pub use fusion_core as core;
 pub use fusion_graph as graph;
 pub use fusion_quantum as quantum;
+pub use fusion_serve as serve;
 pub use fusion_sim as sim;
 pub use fusion_topology as topology;
