@@ -6,6 +6,10 @@
 //! formats the resulting series. The `figures` binary prints them; the
 //! Criterion benches measure the routing algorithms' compute cost on the
 //! same workloads.
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

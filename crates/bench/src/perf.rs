@@ -15,7 +15,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use fusion_core::algorithms::{alg1, alg2, alg3_greedy};
+use fusion_core::algorithms::{alg1, alg2, alg3_greedy, AdmitStrategy};
 use fusion_core::{metrics, SwapMode};
 use fusion_graph::SearchScratch;
 use fusion_sim::evaluate::estimate_plan;
@@ -55,7 +55,7 @@ pub const CALIBRATION: &str = "calibration";
 /// Stable workload names, in execution order. Must stay in sync with the
 /// committed `BENCH_BASELINE.json` — `workload_set_matches_baseline_keys`
 /// fails otherwise, so a new workload cannot silently escape the CI gate.
-pub const WORKLOADS: [&str; 9] = [
+pub const WORKLOADS: [&str; 10] = [
     CALIBRATION,
     "alg1_path_search",
     "alg2_selection",
@@ -65,6 +65,7 @@ pub const WORKLOADS: [&str; 9] = [
     "alg3_merge",
     "scale_1k_route",
     "serve_replay",
+    "serve_replay_incremental",
 ];
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -257,14 +258,53 @@ pub fn run_workload(name: &str, reps: usize) -> BenchResult {
             // Network and trace generation are setup, not measured; the
             // timed region is admission routing against the residual
             // ledger plus ledger charge/release — the serve crate's hot
-            // path. Admissions are inherently single-threaded (one demand
-            // at a time), satisfying the single-core calibration rule.
+            // path. Pinned to `FromScratch` so this gate keeps watching
+            // the reference admission path after the incremental cache
+            // became the default strategy (the cache has its own gate,
+            // `serve_replay_incremental`). Admissions are inherently
+            // single-threaded (one demand at a time), satisfying the
+            // single-core calibration rule.
             let preset = fusion_serve::resolve_preset("quick").expect("quick serve preset");
             let net = preset.network_instance(0);
-            let routing = preset.routing_config();
+            let mut routing = preset.routing_config();
+            routing.admit_strategy = AdmitStrategy::FromScratch;
             let trace_config = fusion_serve::TraceConfig {
                 events: 600,
                 link_down_rate: 0.05,
+                ..fusion_serve::TraceConfig::default()
+            };
+            let probe = fusion_serve::ServiceState::new(net.clone(), routing);
+            let trace = fusion_serve::generate(probe.network(), &trace_config);
+            time_workload(name, reps, || {
+                let mut state = fusion_serve::ServiceState::new(net.clone(), routing);
+                let report = fusion_serve::replay(
+                    &mut state,
+                    &trace,
+                    &fusion_serve::ReplayOptions::default(),
+                );
+                black_box(report.fingerprint());
+            })
+        }
+        "serve_replay_incremental" => {
+            // The incremental admission cache in its design regime:
+            // recurring demands (a small user pool) and long-held
+            // sessions, so most arrivals are full candidate-cache hits
+            // and the timed region is dominated by cache lookup + merge
+            // rather than width-descent searches. Same trace replayed
+            // from a fresh state (cold cache) each repetition; the
+            // speedup over `serve_replay`-style from-scratch admission
+            // on this regime is recorded in EXPERIMENTS.md. A regression
+            // here points at the cache (invalidation precision, lookup
+            // cost) rather than the reference pipeline.
+            let preset = fusion_serve::resolve_preset("quick").expect("quick serve preset");
+            let net = preset.network_instance(0);
+            let mut routing = preset.routing_config();
+            routing.admit_strategy = AdmitStrategy::Incremental;
+            let trace_config = fusion_serve::TraceConfig {
+                events: 600,
+                mean_holding: 400.0,
+                link_down_rate: 0.05,
+                user_pool: 4,
                 ..fusion_serve::TraceConfig::default()
             };
             let probe = fusion_serve::ServiceState::new(net.clone(), routing);

@@ -37,7 +37,9 @@
 use std::collections::HashSet;
 
 use fusion_graph::search::max_product_resume;
-use fusion_graph::{DescentReach, Metric, NodeId, Path, SearchScratch, WidthFeasibility};
+use fusion_graph::{
+    DescentReach, Metric, NodeId, Path, RecordedSet, SearchScratch, WidthFeasibility,
+};
 
 use crate::algorithms::alg1::{largest_rate_path_with, PathConstraints};
 use crate::demand::{Demand, DemandId};
@@ -45,6 +47,21 @@ use crate::flow::WidthedPath;
 use crate::metrics::path_rate;
 use crate::network::QuantumNetwork;
 use crate::plan::SwapMode;
+
+/// The paper's width-feasibility thresholds for one node at residual
+/// capacity `capacity`: `(largest relayable width, largest terminable
+/// width)`.
+///
+/// A switch of capacity `c` relays width `c / 2` (an intermediate pins
+/// `2w` qubits, paper line 9) and terminates width `c`; users never relay
+/// but terminate up to their capacity. Single-sourced here so the
+/// width-descent engine and the serve layer's cache invalidation agree
+/// exactly on when a residual-capacity change flips a feasibility answer.
+#[must_use]
+pub fn node_width_thresholds(net: &QuantumNetwork, node: NodeId, capacity: u32) -> (u32, u32) {
+    let relay = if net.is_switch(node) { capacity / 2 } else { 0 };
+    (relay, capacity)
+}
 
 /// One candidate route emitted by Algorithm 2.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,6 +188,7 @@ pub fn paths_selection_parallel(
 /// Read-only width-descent context shared by every demand (and every
 /// worker): the width-indexed feasibility view over the caller's capacity
 /// vector, and per-width channel-success tables.
+#[derive(Debug, Clone, Default)]
 struct DescentContext {
     feas: WidthFeasibility,
     /// `channel[w - 1][e] = net.channel_success(e, w)` — the same
@@ -181,30 +199,91 @@ struct DescentContext {
 
 impl DescentContext {
     fn new(net: &QuantumNetwork, capacity: &[u32], max_width: u32) -> Self {
-        let mut feas = WidthFeasibility::new(net.node_count());
+        let mut ctx = DescentContext::default();
+        ctx.refresh(net, capacity, max_width);
+        ctx
+    }
+
+    /// Rebuilds the feasibility view for `capacity` and extends the
+    /// channel tables to cover `max_width`. Channel success depends only
+    /// on the immutable network, so rows already built are kept — a
+    /// persistent [`SelectionEngine`] pays the table cost once, not once
+    /// per admission.
+    fn refresh(&mut self, net: &QuantumNetwork, capacity: &[u32], max_width: u32) {
+        if self.feas.len() != net.node_count() {
+            self.feas = WidthFeasibility::new(net.node_count());
+        }
         for v in net.graph().node_ids() {
-            let cap = capacity[v.index()];
             // Paper line 9: an intermediate switch pins 2w qubits, so it
             // relays width cap / 2; users never relay. Endpoints need w.
-            let relay = if net.is_switch(v) { cap / 2 } else { 0 };
-            feas.set_node(v, relay, cap);
+            let (relay, endpoint) = node_width_thresholds(net, v, capacity[v.index()]);
+            self.feas.set_node(v, relay, endpoint);
         }
-        let channel = (1..=max_width)
-            .map(|w| {
+        for w in (self.channel.len() as u32 + 1)..=max_width {
+            self.channel.push(
                 net.graph()
                     .edge_ids()
                     .map(|e| net.channel_success(e, w))
-                    .collect()
-            })
+                    .collect(),
+            );
+        }
+    }
+}
+
+/// Records every node whose feasibility is *read* while constructing one
+/// width's candidates — the width's exact dependency set: re-running the
+/// construction under a capacity vector with identical feasibility
+/// answers on the footprint reproduces the candidates byte-for-byte (see
+/// [`SelectionEngine`]).
+#[derive(Debug, Clone, Default)]
+struct FootprintRecorder {
+    reads: RecordedSet,
+    reach_folded: bool,
+}
+
+impl FootprintRecorder {
+    fn begin_width(&mut self, nodes: usize) {
+        self.reads.clear(nodes);
+        self.reach_folded = false;
+    }
+
+    #[inline]
+    fn read(&mut self, v: NodeId) {
+        self.reads.insert(v.index());
+    }
+
+    /// Folds in the reach view's dependency set (R ∪ ∂R) — needed once
+    /// per width the first time a negative reachability certificate
+    /// decides a search's outcome.
+    fn fold_reach(&mut self, reach: &DescentReach) {
+        if !self.reach_folded {
+            self.reach_folded = true;
+            for v in reach.reached_nodes() {
+                self.reads.insert(v.index());
+            }
+        }
+    }
+
+    fn drain(&mut self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .reads
+            .members()
+            .iter()
+            .map(|&i| NodeId::new(i))
             .collect();
-        DescentContext { feas, channel }
+        out.sort_unstable();
+        out
     }
 }
 
 /// Per-worker mutable width-descent state, reused across demands.
+#[derive(Debug, Clone, Default)]
 struct DescentState {
     scratch: SearchScratch,
     reach: DescentReach,
+    /// Installed only by [`SelectionEngine`]; the batch engines leave it
+    /// `None` and pay one predictable branch per probe.
+    recorder: Option<FootprintRecorder>,
 }
 
 impl DescentState {
@@ -212,6 +291,7 @@ impl DescentState {
         DescentState {
             scratch: SearchScratch::with_capacity(nodes),
             reach: DescentReach::new(),
+            recorder: None,
         }
     }
 }
@@ -236,23 +316,39 @@ fn demand_candidates(
             if width < max_width {
                 state.reach.descend(net.graph(), &ctx.feas, width);
             }
-            k_best_paths_descent(net, demand, h, width, ctx, state)
-                .into_iter()
-                .filter_map(|path| {
-                    let wp = WidthedPath::uniform(path, width);
-                    let metric = mode.score(net, &wp);
-                    if metric > Metric::ZERO {
-                        Some(CandidatePath {
-                            demand: demand.id,
-                            path: wp.path,
-                            width,
-                            metric,
-                        })
-                    } else {
-                        None
-                    }
+            width_candidates(net, demand, h, width, mode, ctx, state)
+        })
+        .collect()
+}
+
+/// One width's candidates under the descent state: Yen over Algorithm 1,
+/// filtered and scored with the caller's mode. Shared verbatim by the
+/// batch engines and [`SelectionEngine`], which is what makes cached
+/// engine output interchangeable with batch output.
+fn width_candidates(
+    net: &QuantumNetwork,
+    demand: &Demand,
+    h: usize,
+    width: u32,
+    mode: SwapMode,
+    ctx: &DescentContext,
+    state: &mut DescentState,
+) -> Vec<CandidatePath> {
+    k_best_paths_descent(net, demand, h, width, ctx, state)
+        .into_iter()
+        .filter_map(|path| {
+            let wp = WidthedPath::uniform(path, width);
+            let metric = mode.score(net, &wp);
+            if metric > Metric::ZERO {
+                Some(CandidatePath {
+                    demand: demand.id,
+                    path: wp.path,
+                    width,
+                    metric,
                 })
-                .collect()
+            } else {
+                None
+            }
         })
         .collect()
 }
@@ -294,6 +390,16 @@ fn descent_search(
     if source == dest {
         return None;
     }
+    let DescentState {
+        scratch,
+        reach,
+        recorder,
+    } = state;
+    if let Some(r) = recorder.as_mut() {
+        // The endpoint checks below read both endpoints' thresholds.
+        r.read(source);
+        r.read(dest);
+    }
     // Paper line 2: endpoints must hold at least `w` qubits.
     if !ctx.feas.endpoint_feasible(source, width) || !ctx.feas.endpoint_feasible(dest, width) {
         return None;
@@ -304,15 +410,22 @@ fn descent_search(
     // Monotone-feasibility certificate: banned nodes and hops only shrink
     // the graph, so an unreachable destination here is unreachable in the
     // constrained search too — skip it without exploring anything.
-    if !state.reach.can_reach(source) {
+    if !reach.can_reach(source) {
+        // The skip depends on the whole probed region R ∪ ∂R (any path
+        // into the unexplored side must cross the recorded boundary), so
+        // the certificate's dependency set is the reach set itself.
+        if let Some(r) = recorder.as_mut() {
+            r.fold_reach(reach);
+        }
         return None;
     }
 
     let q = net.swap_success();
     let feas = &ctx.feas;
     let channel = &ctx.channel[(width - 1) as usize];
+    let mut recorder = recorder.as_mut();
     max_product_resume(
-        &mut state.scratch,
+        scratch,
         net.graph(),
         source,
         |from, e| {
@@ -323,8 +436,13 @@ fn descent_search(
             // Entering `to` as an intermediate pins 2w qubits there; only
             // the destination gets away with w (paper line 9). Users other
             // than the destination cannot relay at all.
-            if to != dest && !feas.relay_feasible(to, width) {
-                return None;
+            if to != dest {
+                if let Some(r) = recorder.as_deref_mut() {
+                    r.read(to);
+                }
+                if !feas.relay_feasible(to, width) {
+                    return None;
+                }
             }
             Some(channel[e.id.index()])
         },
@@ -444,6 +562,146 @@ fn k_best_paths_descent(
         }
     }
     accepted.into_iter().map(|(p, _)| p).collect()
+}
+
+/// The per-call knobs of [`SelectionEngine::select_demand`]: the
+/// candidate budget, the width bound the descent starts from, and the
+/// swap mode scoring candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionQuery {
+    /// Candidate paths per (demand, width) — Algorithm 2's `h`.
+    pub h: usize,
+    /// Largest channel width the descent starts from.
+    pub max_width: u32,
+    /// Swap mode scoring the candidates.
+    pub mode: SwapMode,
+}
+
+/// One width's slice of a [`SelectionEngine::select_demand`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedWidth {
+    /// The channel width this slice was built for.
+    pub width: u32,
+    /// The width's candidates, in the engine's canonical order.
+    pub candidates: Vec<CandidatePath>,
+    /// For recomputed widths, the sorted set of nodes whose feasibility
+    /// was read while constructing `candidates` — the width's exact
+    /// dependency set: as long as no node in it changes its feasibility
+    /// answers at this width, re-running the construction yields the
+    /// same bytes. `None` when the candidates came from the caller's
+    /// reuse closure.
+    pub footprint: Option<Vec<NodeId>>,
+}
+
+/// A persistent width-descent engine for callers that route demands one
+/// at a time against changing capacity vectors — the serve layer's
+/// admission path.
+///
+/// Each width's candidate set is a pure function of the width's feasible
+/// subgraph (plus the immutable network and the demand endpoints), so a
+/// caller that caches per-(pair, width) candidate sets keyed by their
+/// recorded footprints can skip any width whose dependency set is
+/// untouched by intervening capacity deltas. The engine supplies both
+/// halves of that contract: it consults a reuse closure per width, and
+/// reports the footprint of every width it recomputes.
+///
+/// With reuse always declined, the concatenated output equals the
+/// single-demand [`paths_selection`] result exactly — same code path —
+/// which the serve-layer differential oracle
+/// (`crates/serve/tests/incremental_oracle.rs`) locks down end to end.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionEngine {
+    ctx: DescentContext,
+    state: DescentState,
+}
+
+impl SelectionEngine {
+    /// Creates an empty engine. An engine must only ever be used with
+    /// one network instance (channel-success tables are memoized), but
+    /// capacity vectors may change freely between calls.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the width descent for one demand against `capacity`,
+    /// consulting `reuse` per width: `reuse(w)` may return a
+    /// previously-computed candidate set for width `w`, valid iff no
+    /// node in that set's recorded footprint has changed a feasibility
+    /// answer at width `w` since — those widths are returned as-is
+    /// without searching. When every width hits, nothing is rebuilt at
+    /// all (no feasibility view, no reachability, no searches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.h == 0`, `query.max_width == 0`, or `capacity`
+    /// is shorter than the node count.
+    pub fn select_demand(
+        &mut self,
+        net: &QuantumNetwork,
+        demand: &Demand,
+        capacity: &[u32],
+        query: SelectionQuery,
+        mut reuse: impl FnMut(u32) -> Option<Vec<CandidatePath>>,
+    ) -> Vec<SelectedWidth> {
+        let SelectionQuery { h, max_width, mode } = query;
+        assert!(h > 0, "need at least one candidate per width");
+        assert!(max_width > 0, "max width must be positive");
+        assert!(
+            capacity.len() >= net.node_count(),
+            "capacity vector too short"
+        );
+        let slices: Vec<(u32, Option<Vec<CandidatePath>>)> =
+            (1..=max_width).rev().map(|w| (w, reuse(w))).collect();
+        if slices.iter().all(|(_, c)| c.is_some()) {
+            // Full hit: the admission costs only the merge downstream.
+            return slices
+                .into_iter()
+                .map(|(width, c)| SelectedWidth {
+                    width,
+                    candidates: c.expect("all slices checked present"),
+                    footprint: None,
+                })
+                .collect();
+        }
+        let SelectionEngine { ctx, state } = self;
+        ctx.refresh(net, capacity, max_width);
+        state
+            .reach
+            .begin(net.graph(), &ctx.feas, demand.dest, max_width);
+        slices
+            .into_iter()
+            .map(|(width, cached)| {
+                if width < max_width {
+                    state.reach.descend(net.graph(), &ctx.feas, width);
+                }
+                match cached {
+                    Some(candidates) => SelectedWidth {
+                        width,
+                        candidates,
+                        footprint: None,
+                    },
+                    None => {
+                        state
+                            .recorder
+                            .get_or_insert_with(FootprintRecorder::default)
+                            .begin_width(net.node_count());
+                        let candidates = width_candidates(net, demand, h, width, mode, ctx, state);
+                        let footprint = state
+                            .recorder
+                            .as_mut()
+                            .expect("recorder installed above")
+                            .drain();
+                        SelectedWidth {
+                            width,
+                            candidates,
+                            footprint: Some(footprint),
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
 }
 
 /// The original per-width sweep, retained verbatim as the differential
@@ -805,6 +1063,112 @@ mod tests {
                 assert_eq!(s.width, p.width, "threads={threads}");
                 assert_eq!(s.metric, p.metric, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn engine_without_reuse_matches_batch_selection() {
+        use crate::network::NetworkParams;
+        use fusion_topology::TopologyConfig;
+
+        let topo = TopologyConfig {
+            num_switches: 24,
+            num_user_pairs: 5,
+            avg_degree: 5.0,
+            ..TopologyConfig::default()
+        }
+        .generate(11);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        let caps = net.capacities();
+        let mut engine = SelectionEngine::new();
+        for demand in &demands {
+            let selected = engine.select_demand(
+                &net,
+                demand,
+                &caps,
+                SelectionQuery {
+                    h: 3,
+                    max_width: 5,
+                    mode: SwapMode::NFusion,
+                },
+                |_| None,
+            );
+            assert!(selected.iter().all(|s| s.footprint.is_some()));
+            let flat: Vec<CandidatePath> =
+                selected.into_iter().flat_map(|s| s.candidates).collect();
+            let batch = paths_selection(
+                &net,
+                std::slice::from_ref(demand),
+                &caps,
+                3,
+                5,
+                SwapMode::NFusion,
+            );
+            assert_eq!(flat, batch, "engine must equal batch for {:?}", demand.id);
+        }
+    }
+
+    #[test]
+    fn engine_reuse_round_trips_and_skips_searches() {
+        let (net, demand, n) = triple_route();
+        let caps = net.capacities();
+        let mut engine = SelectionEngine::new();
+        let q = SelectionQuery {
+            h: 2,
+            max_width: 3,
+            mode: SwapMode::NFusion,
+        };
+        let first = engine.select_demand(&net, &demand, &caps, q, |_| None);
+        // Footprints cover the endpoints and every path node of the width.
+        for sel in &first {
+            let fp = sel.footprint.as_ref().unwrap();
+            assert!(fp.contains(&demand.source) && fp.contains(&demand.dest));
+            for c in &sel.candidates {
+                for &v in c.path.nodes() {
+                    assert!(
+                        v == demand.dest || fp.contains(&v),
+                        "width {} footprint missing path node {v}",
+                        sel.width
+                    );
+                }
+            }
+        }
+        // Full reuse: identical candidates, no footprints, and it works
+        // even against a capacity vector the cached slices never saw
+        // (validity is the caller's contract).
+        let mut smaller = caps.clone();
+        smaller[n[5].index()] = 0;
+        let second = engine.select_demand(&net, &demand, &smaller, q, |w| {
+            first
+                .iter()
+                .find(|s| s.width == w)
+                .map(|s| s.candidates.clone())
+        });
+        assert!(second.iter().all(|s| s.footprint.is_none()));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.width, b.width);
+            assert_eq!(a.candidates, b.candidates);
+        }
+        // Partial reuse: only the declined width is recomputed.
+        let third = engine.select_demand(&net, &demand, &caps, q, |w| {
+            (w != 2).then(|| {
+                first
+                    .iter()
+                    .find(|s| s.width == w)
+                    .map(|s| s.candidates.clone())
+                    .unwrap()
+            })
+        });
+        for sel in &third {
+            assert_eq!(
+                sel.footprint.is_some(),
+                sel.width == 2,
+                "width {}",
+                sel.width
+            );
+            let fresh = first.iter().find(|s| s.width == sel.width).unwrap();
+            assert_eq!(sel.candidates, fresh.candidates);
         }
     }
 

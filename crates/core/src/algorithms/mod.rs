@@ -19,7 +19,8 @@ pub mod pipeline;
 
 pub use alg1::{largest_rate_path, largest_rate_path_with, PathConstraints};
 pub use alg2::{
-    paths_selection, paths_selection_parallel, paths_selection_reference, CandidatePath,
+    node_width_thresholds, paths_selection, paths_selection_parallel, paths_selection_reference,
+    CandidatePath, SelectedWidth, SelectionEngine, SelectionQuery,
 };
 pub use alg3::{paths_merge, MergeOutcome};
 pub use alg3_greedy::{
@@ -27,6 +28,7 @@ pub use alg3_greedy::{
 };
 pub use alg4::assign_remaining;
 pub use pipeline::{
-    alg_n_fusion, route, route_parallel, route_with_capacity, route_with_capacity_traced,
-    MergeOrder, PathSelection, RouteTrace, RoutingConfig,
+    alg_n_fusion, route, route_from_candidates_traced, route_parallel, route_with_capacity,
+    route_with_capacity_traced, AdmitStrategy, MergeOrder, PathSelection, RouteTrace,
+    RoutingConfig,
 };

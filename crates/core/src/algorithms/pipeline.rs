@@ -41,6 +41,24 @@ pub enum PathSelection {
     PerWidthSweep,
 }
 
+/// How the service layer (`fusion-serve`) routes each admission — the
+/// incremental-admission ablation knob (the service-layer counterpart of
+/// [`PathSelection`]). The batch entry points ignore it: they already
+/// amortize candidate construction across the whole demand set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmitStrategy {
+    /// Per-demand candidate caching with footprint-delta invalidation
+    /// (default): each admission reuses every cached width slice whose
+    /// recorded dependency set no intervening capacity delta touched, via
+    /// [`alg2::SelectionEngine`] and `fusion-serve`'s candidate cache.
+    /// Differentially tested byte-identical to from-scratch admission
+    /// (`crates/serve/tests/incremental_oracle.rs`).
+    Incremental,
+    /// Run the full width-descent pipeline from scratch per admission —
+    /// the retained reference engine.
+    FromScratch,
+}
+
 /// Tuning knobs of the routing pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoutingConfig {
@@ -64,6 +82,8 @@ pub struct RoutingConfig {
     pub merge_order: MergeOrder,
     /// Candidate-construction engine for Algorithm 2.
     pub path_selection: PathSelection,
+    /// Admission engine for the service layer (ignored by batch routing).
+    pub admit_strategy: AdmitStrategy,
     /// Swapping technology.
     pub mode: SwapMode,
 }
@@ -78,6 +98,7 @@ impl Default for RoutingConfig {
             max_paths_per_demand: None,
             merge_order: MergeOrder::GainPerQubit,
             path_selection: PathSelection::WidthDescent,
+            admit_strategy: AdmitStrategy::Incremental,
             mode: SwapMode::NFusion,
         }
     }
@@ -155,6 +176,43 @@ pub fn route_parallel(
 /// That equivalence is the service-oracle contract locked down by
 /// `crates/serve/tests/service_oracle.rs`.
 ///
+/// # Examples
+///
+/// Routing one demand against a *reduced* budget — every switch down to
+/// half its qubits, as if live sessions held the rest:
+///
+/// ```
+/// use fusion_core::algorithms::{route_with_capacity, RoutingConfig};
+/// use fusion_core::{Demand, NetworkParams, QuantumNetwork};
+/// use fusion_topology::TopologyConfig;
+///
+/// let topo = TopologyConfig {
+///     num_switches: 30,
+///     num_user_pairs: 2,
+///     ..TopologyConfig::default()
+/// }
+/// .generate(7);
+/// let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+/// let demands = Demand::from_topology(&topo);
+///
+/// let residual: Vec<u32> = net
+///     .graph()
+///     .node_ids()
+///     .map(|v| {
+///         let c = net.capacity(v);
+///         if net.is_switch(v) { c / 2 } else { c }
+///     })
+///     .collect();
+/// let plan = route_with_capacity(
+///     &net,
+///     &demands,
+///     &RoutingConfig::n_fusion(),
+///     &residual,
+///     1,
+/// );
+/// assert!(plan.total_rate(&net) >= 0.0);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `config.h == 0`, `threads == 0`, `capacity` is shorter than
@@ -225,6 +283,31 @@ pub fn route_with_capacity_traced(
         ),
     };
 
+    route_from_candidates_traced(net, demands, config, capacity, candidates)
+}
+
+/// Steps II and III of the pipeline on an externally-built candidate set:
+/// the capacity-aware merge, then leftover assignment.
+///
+/// This is the re-entry point for incremental admission: a caller that
+/// can prove its candidates equal what Step I would produce against
+/// `capacity` — the serve layer's footprint-invalidated candidate cache —
+/// skips Step I and still gets a [`RouteTrace`] byte-identical to
+/// [`route_with_capacity_traced`], because the merge and Algorithm 4 are
+/// deterministic functions of (network, demands, candidates, config,
+/// capacity) and run fresh here either way.
+///
+/// # Panics
+///
+/// Panics if `capacity` is shorter than the node count.
+#[must_use]
+pub fn route_from_candidates_traced(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    config: &RoutingConfig,
+    capacity: &[u32],
+    candidates: Vec<alg2::CandidatePath>,
+) -> RouteTrace {
     // Step II: capacity-aware merge.
     let merge = match config.merge_order {
         MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy_with_capacity(

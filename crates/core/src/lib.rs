@@ -42,6 +42,10 @@
 //! println!("network entanglement rate: {:.3}", plan.total_rate(&net));
 //! assert!(plan.total_rate(&net) >= 0.0);
 //! ```
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -31,6 +31,10 @@
 //! let dist = search::dijkstra(&g, a, |_, w| *w);
 //! assert_eq!(dist.distance(c), Some(3.0));
 //! ```
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,4 +54,5 @@ pub use graph::{EdgeId, EdgeRef, NodeId, UnGraph};
 pub use metric::Metric;
 pub use path::{Path, PathError};
 pub use search::SearchScratch;
+pub use stamps::RecordedSet;
 pub use unionfind::{DisjointSets, GenerationalDisjointSets};

@@ -26,6 +26,10 @@
 //! assert!(reg.are_entangled(a1, a2));
 //! # Ok::<(), fusion_quantum::RegistryError>(())
 //! ```
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

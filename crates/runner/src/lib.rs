@@ -28,6 +28,10 @@
 //! sweep list-presets
 //! sweep example-spec > campaign.toml
 //! ```
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,21 +4,28 @@
 //! ```text
 //! serve replay --preset NAME [--instance I] [--events N] [--seed S]
 //!              [--arrival-rate F] [--mean-holding F] [--link-down-rate F]
-//!              [--mc-rounds N] [--audit-every N] [--log FILE]
+//!              [--user-pool N] [--strategy incremental|from-scratch]
+//!              [--stats] [--mc-rounds N] [--audit-every N] [--log FILE]
 //!     Builds the preset's network, generates a seeded trace, replays it,
 //!     and prints throughput (events/sec), admission statistics, and the
-//!     log fingerprint. Same preset + flags => byte-identical log.
+//!     log fingerprint. Same preset + flags => byte-identical log, and
+//!     the log is strategy-independent: --strategy only changes speed.
+//!     --user-pool restricts demands to the first N users (recurring
+//!     demands, the cache's regime); --stats prints the candidate-cache
+//!     hit/invalidation counters after an incremental replay.
 //!
 //! serve presets
 //!     Lists the preset names.
 //! ```
 //!
-//! The EXPERIMENTS.md replay-throughput entry is produced with:
-//! `cargo run --release -p fusion-serve --bin serve -- replay --preset large-1k --events 100000`
+//! The EXPERIMENTS.md replay-throughput entries are produced with:
+//! `cargo run --release -p fusion-serve --bin serve -- replay --preset large-1k --events 100000 --user-pool 8 --stats --strategy incremental`
+//! (and `--strategy from-scratch` for the baseline).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use fusion_core::algorithms::AdmitStrategy;
 use fusion_serve::{
     generate, presets, replay, resolve_preset, ReplayOptions, ServiceState, TraceConfig,
 };
@@ -40,7 +47,10 @@ fn main() {
             println!(
                 "                    [--arrival-rate F] [--mean-holding F] [--link-down-rate F]"
             );
-            println!("                    [--mc-rounds N] [--audit-every N] [--log FILE]");
+            println!("                    [--user-pool N] [--strategy incremental|from-scratch]");
+            println!(
+                "                    [--stats] [--mc-rounds N] [--audit-every N] [--log FILE]"
+            );
             println!("       serve presets");
         }
         Some(other) => die(&format!(
@@ -55,6 +65,8 @@ fn run_replay(args: &[String]) {
     let mut trace_config = TraceConfig::default();
     let mut options = ReplayOptions::default();
     let mut log_path: Option<PathBuf> = None;
+    let mut strategy: Option<AdmitStrategy> = None;
+    let mut print_stats = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +80,17 @@ fn run_replay(args: &[String]) {
             "--link-down-rate" => {
                 trace_config.link_down_rate = next_parsed(&mut it, "--link-down-rate");
             }
+            "--user-pool" => trace_config.user_pool = next_parsed(&mut it, "--user-pool"),
+            "--strategy" => {
+                strategy = Some(match next_str(&mut it, "--strategy").as_str() {
+                    "incremental" => AdmitStrategy::Incremental,
+                    "from-scratch" => AdmitStrategy::FromScratch,
+                    other => die(&format!(
+                        "--strategy must be incremental or from-scratch, got {other}"
+                    )),
+                });
+            }
+            "--stats" => print_stats = true,
             "--mc-rounds" => options.mc_rounds = next_parsed(&mut it, "--mc-rounds"),
             "--audit-every" => options.audit_every = next_parsed(&mut it, "--audit-every"),
             "--log" => log_path = Some(PathBuf::from(next_str(&mut it, "--log"))),
@@ -93,7 +116,11 @@ fn run_replay(args: &[String]) {
         net.node_count(),
         net.graph().edge_count()
     );
-    let mut state = ServiceState::new(net, preset.routing_config());
+    let mut routing = preset.routing_config();
+    if let Some(s) = strategy {
+        routing.admit_strategy = s;
+    }
+    let mut state = ServiceState::new(net, routing);
     let trace = generate(state.network(), &trace_config);
     eprintln!(
         "replaying {} events (seed {:#x})...",
@@ -131,6 +158,29 @@ fn run_replay(args: &[String]) {
     println!("final epoch      {}", stats.final_epoch);
     println!("rate sum         {:.6}", stats.admitted_rate_sum);
     println!("log fingerprint  {:016x}", report.fingerprint());
+
+    if print_stats {
+        match state.cache_stats() {
+            Some(c) => {
+                println!("cache admissions {}", c.admissions);
+                println!(
+                    "cache hits       {} full, {} partial, {} miss",
+                    c.full_hits, c.partial_hits, c.misses
+                );
+                println!(
+                    "widths           {} reused, {} recomputed ({:.4} hit fraction)",
+                    c.widths_reused,
+                    c.widths_recomputed,
+                    c.width_hit_fraction()
+                );
+                println!(
+                    "invalidations    {} by node, {} by edge, {} entries evicted",
+                    c.invalidated_by_node, c.invalidated_by_edge, c.entries_evicted
+                );
+            }
+            None => println!("cache            (from-scratch strategy: no cache)"),
+        }
+    }
 
     if let Some(path) = log_path {
         let mut text = report.log.join("\n");

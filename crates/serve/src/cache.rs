@@ -1,0 +1,546 @@
+//! The per-demand candidate cache behind incremental admission.
+//!
+//! Admitting `source -> dest` runs a width descent whose per-width output
+//! is a pure function of the width's *feasible subgraph* — and the
+//! [`SelectionEngine`](fusion_core::algorithms::SelectionEngine) reports,
+//! for every width it computes, the exact set of nodes whose feasibility
+//! it read (the *footprint*). This module stores those per-(pair, width)
+//! slices and keeps two inverted indexes over them, the Algorithm 3
+//! `CandidateIndex` trick lifted to the service layer:
+//!
+//! * **node → slots** over footprints: when a residual capacity changes
+//!   `old -> new` at a node, only slots whose footprint contains the node
+//!   *at a width whose feasibility answer actually flips* are dropped
+//!   (the relay threshold moves through `(min/2, max/2]`, the endpoint
+//!   threshold through `(min, max]` — see
+//!   [`node_width_thresholds`]). Everything else provably reproduces the
+//!   same bytes, so it is kept.
+//! * **edge → slots** over cached candidate paths: a
+//!   [`fail_link`](crate::state::ServiceState::fail_link) drops every
+//!   slot whose cached candidates cross the cut fiber. This one is a
+//!   freshness policy, not a soundness requirement — the network model
+//!   never mutates on a transient cut — and it keeps cached routes from
+//!   silently outliving the fiber they were planned over.
+//!
+//! Stale-posting hygiene follows the repo's generation discipline (see
+//! `docs/ARCHITECTURE.md`): every stored slot gets a fresh generation
+//! number, postings carry the generation they indexed, and a posting
+//! whose generation no longer matches the live slot is dropped lazily
+//! whenever a scan touches it (plus an amortized global sweep, so dead
+//! postings cannot accumulate without bound).
+//!
+//! Over-invalidation is always *correct* here — recomputing a still-valid
+//! slot reproduces identical candidates — so every policy in this module
+//! errs on the side of dropping. Only a *missed* invalidation could break
+//! the byte-identity contract, and the footprint rule above is exactly
+//! the dependency set recorded by the engine. The differential oracle
+//! (`tests/incremental_oracle.rs`) enforces this end to end.
+
+use std::collections::BTreeMap;
+
+use fusion_core::algorithms::{node_width_thresholds, CandidatePath, SelectedWidth};
+use fusion_core::{DemandId, QuantumNetwork};
+use fusion_graph::{EdgeId, NodeId};
+
+/// Aggregate counters of the incremental admission cache, reported by
+/// `serve replay --stats` and
+/// [`ServiceState::cache_stats`](crate::state::ServiceState::cache_stats).
+///
+/// Deliberately *not* part of [`ReplayStats`](crate::replay::ReplayStats)
+/// or the state digest: the oracles byte-compare those across strategies,
+/// and cache behavior is exactly the thing that differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Incremental admissions that consulted the cache.
+    pub admissions: u64,
+    /// Admissions served entirely from cached widths (no search ran).
+    pub full_hits: u64,
+    /// Admissions that reused at least one width and recomputed at least
+    /// one.
+    pub partial_hits: u64,
+    /// Admissions that recomputed every width.
+    pub misses: u64,
+    /// Width slices served from cache, across all admissions.
+    pub widths_reused: u64,
+    /// Width slices recomputed by the engine, across all admissions.
+    pub widths_recomputed: u64,
+    /// Slots dropped because a residual delta flipped a feasibility
+    /// answer on their footprint.
+    pub invalidated_by_node: u64,
+    /// Slots dropped because a cached candidate crossed a failed link.
+    pub invalidated_by_edge: u64,
+    /// Whole pair entries evicted by the entry cap.
+    pub entries_evicted: u64,
+}
+
+impl CacheStats {
+    /// Fraction of consulted width slices served from cache, in `[0, 1]`
+    /// (`0` when nothing was consulted yet).
+    #[must_use]
+    pub fn width_hit_fraction(&self) -> f64 {
+        let total = self.widths_reused + self.widths_recomputed;
+        if total == 0 {
+            0.0
+        } else {
+            self.widths_reused as f64 / total as f64
+        }
+    }
+}
+
+/// One inverted-index posting: slot `(key, width)` stored at generation
+/// `gen` depends on (node index) / crosses (edge index) the list this
+/// posting lives in. Valid only while the live slot still has `gen`.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    key: (NodeId, NodeId),
+    width: u32,
+    gen: u64,
+}
+
+/// One cached width slice of a pair's descent.
+#[derive(Debug, Clone)]
+struct Slot {
+    gen: u64,
+    candidates: Vec<CandidatePath>,
+}
+
+/// All cached widths of one ordered `(source, dest)` pair.
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    /// `slots[w - 1]` holds width `w`.
+    slots: Vec<Option<Slot>>,
+    last_touch: u64,
+}
+
+/// The footprint-invalidated candidate cache (see the module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct CandidateCache {
+    entries: BTreeMap<(NodeId, NodeId), Entry>,
+    /// Footprint postings per node index.
+    node_postings: Vec<Vec<Posting>>,
+    /// Path-crossing postings per canonical edge index.
+    edge_postings: Vec<Vec<Posting>>,
+    next_gen: u64,
+    clock: u64,
+    max_entries: usize,
+    postings_since_sweep: usize,
+    sweep_threshold: usize,
+    stats: CacheStats,
+}
+
+impl CandidateCache {
+    /// An empty cache sized for `net`, keeping at most `max_entries`
+    /// pair entries (least-recently-stored evicted first).
+    pub(crate) fn new(net: &QuantumNetwork, max_entries: usize) -> Self {
+        assert!(max_entries > 0, "cache needs room for at least one pair");
+        let nodes = net.node_count();
+        let edges = net.graph().edge_count();
+        CandidateCache {
+            entries: BTreeMap::new(),
+            node_postings: vec![Vec::new(); nodes],
+            edge_postings: vec![Vec::new(); edges],
+            next_gen: 0,
+            clock: 0,
+            max_entries,
+            postings_since_sweep: 0,
+            sweep_threshold: (8 * (nodes + edges)).max(4096),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The cached candidates for `(key, width)`, re-stamped with the
+    /// current `demand` id (cached bytes carry the id they were computed
+    /// under; the id is the only demand-dependent field and every
+    /// admission gets a fresh one).
+    pub(crate) fn reuse(
+        &self,
+        key: (NodeId, NodeId),
+        width: u32,
+        demand: DemandId,
+    ) -> Option<Vec<CandidatePath>> {
+        let entry = self.entries.get(&key)?;
+        let slot = entry.slots.get(width as usize - 1)?.as_ref()?;
+        let mut candidates = slot.candidates.clone();
+        for c in &mut candidates {
+            c.demand = demand;
+        }
+        Some(candidates)
+    }
+
+    /// Records one admission's engine output: stores every recomputed
+    /// width slice with its footprint indexed, bumps the hit/miss
+    /// counters, and enforces the entry cap.
+    pub(crate) fn store(
+        &mut self,
+        net: &QuantumNetwork,
+        key: (NodeId, NodeId),
+        selected: &[SelectedWidth],
+    ) {
+        self.clock += 1;
+        self.stats.admissions += 1;
+        let reused = selected.iter().filter(|s| s.footprint.is_none()).count() as u64;
+        let recomputed = selected.len() as u64 - reused;
+        self.stats.widths_reused += reused;
+        self.stats.widths_recomputed += recomputed;
+        if recomputed == 0 {
+            self.stats.full_hits += 1;
+            // Nothing new to store; cached slots stay as they are.
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.last_touch = self.clock;
+            }
+            return;
+        } else if reused > 0 {
+            self.stats.partial_hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+
+        let clock = self.clock;
+        let mut added = 0usize;
+        let mut edge_scratch: Vec<EdgeId> = Vec::new();
+        let entry = self.entries.entry(key).or_default();
+        entry.last_touch = clock;
+        for sel in selected {
+            let Some(footprint) = &sel.footprint else {
+                continue;
+            };
+            let wi = sel.width as usize - 1;
+            if entry.slots.len() <= wi {
+                entry.slots.resize_with(wi + 1, || None);
+            }
+            self.next_gen += 1;
+            let gen = self.next_gen;
+            entry.slots[wi] = Some(Slot {
+                gen,
+                candidates: sel.candidates.clone(),
+            });
+            let posting = Posting {
+                key,
+                width: sel.width,
+                gen,
+            };
+            for &v in footprint {
+                self.node_postings[v.index()].push(posting);
+                added += 1;
+            }
+            // Edge postings: every link some cached candidate crosses,
+            // canonicalized through `find_edge` so parallel fibers share
+            // one bucket (fail_link victims are matched by endpoint pair
+            // for the same reason).
+            edge_scratch.clear();
+            for c in &sel.candidates {
+                for hop in c.path.nodes().windows(2) {
+                    if let Some(e) = net.graph().find_edge(hop[0], hop[1]) {
+                        edge_scratch.push(e);
+                    }
+                }
+            }
+            edge_scratch.sort_unstable();
+            edge_scratch.dedup();
+            for &e in &edge_scratch {
+                self.edge_postings[e.index()].push(posting);
+                added += 1;
+            }
+        }
+
+        if self.entries.len() > self.max_entries {
+            // Evict the least-recently-stored pair (never the one just
+            // written). Its postings die lazily via generation mismatch.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(k, _)| *k);
+            if let Some(k) = victim {
+                self.entries.remove(&k);
+                self.stats.entries_evicted += 1;
+            }
+        }
+
+        self.postings_since_sweep += added;
+        if self.postings_since_sweep >= self.sweep_threshold {
+            self.sweep();
+        }
+    }
+
+    /// Applies one residual-capacity delta `old -> new` at `node`:
+    /// drops every slot whose footprint contains the node at a width
+    /// where the delta flips a feasibility answer. Widths outside the
+    /// flip bands keep identical answers on their whole footprint, so
+    /// their cached bytes remain exact.
+    pub(crate) fn apply_node_delta(
+        &mut self,
+        net: &QuantumNetwork,
+        node: NodeId,
+        old: u32,
+        new: u32,
+    ) {
+        if old == new {
+            return;
+        }
+        let (relay_old, endpoint_old) = node_width_thresholds(net, node, old);
+        let (relay_new, endpoint_new) = node_width_thresholds(net, node, new);
+        let mut postings = std::mem::take(&mut self.node_postings[node.index()]);
+        postings.retain(|p| {
+            if self.slot_gen(p.key, p.width) != Some(p.gen) {
+                return false; // stale: slot replaced, dropped, or evicted
+            }
+            if flips(p.width, relay_old, relay_new) || flips(p.width, endpoint_old, endpoint_new) {
+                self.kill_slot(p.key, p.width);
+                self.stats.invalidated_by_node += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.node_postings[node.index()] = postings;
+    }
+
+    /// Drops every slot with a cached candidate crossing `edge` (see the
+    /// module docs for why this is a freshness policy).
+    pub(crate) fn fail_edge(&mut self, net: &QuantumNetwork, edge: EdgeId) {
+        let (u, v) = net.graph().endpoints(edge);
+        let canon = net.graph().find_edge(u, v).unwrap_or(edge);
+        let mut postings = std::mem::take(&mut self.edge_postings[canon.index()]);
+        for p in postings.drain(..) {
+            if self.slot_gen(p.key, p.width) == Some(p.gen) {
+                self.kill_slot(p.key, p.width);
+                self.stats.invalidated_by_edge += 1;
+            }
+        }
+        self.edge_postings[canon.index()] = postings;
+    }
+
+    /// The live generation of slot `(key, width)`, if present.
+    fn slot_gen(&self, key: (NodeId, NodeId), width: u32) -> Option<u64> {
+        self.entries
+            .get(&key)?
+            .slots
+            .get(width as usize - 1)?
+            .as_ref()
+            .map(|s| s.gen)
+    }
+
+    fn kill_slot(&mut self, key: (NodeId, NodeId), width: u32) {
+        if let Some(entry) = self.entries.get_mut(&key) {
+            if let Some(slot) = entry.slots.get_mut(width as usize - 1) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Drops every stale posting; runs once per ~`sweep_threshold` new
+    /// postings so hygiene cost stays amortized-constant per store.
+    fn sweep(&mut self) {
+        self.postings_since_sweep = 0;
+        for i in 0..self.node_postings.len() {
+            let mut list = std::mem::take(&mut self.node_postings[i]);
+            list.retain(|p| self.slot_gen(p.key, p.width) == Some(p.gen));
+            self.node_postings[i] = list;
+        }
+        for i in 0..self.edge_postings.len() {
+            let mut list = std::mem::take(&mut self.edge_postings[i]);
+            list.retain(|p| self.slot_gen(p.key, p.width) == Some(p.gen));
+            self.edge_postings[i] = list;
+        }
+    }
+}
+
+/// `true` if moving a feasibility threshold from `a` to `b` changes the
+/// answer `threshold >= width`: exactly the widths in `(min, max]`.
+#[inline]
+fn flips(width: u32, a: u32, b: u32) -> bool {
+    let (lo, hi) = (a.min(b), a.max(b));
+    lo < width && width <= hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::algorithms::{SelectionEngine, SelectionQuery};
+    use fusion_core::{Demand, NetworkParams, SwapMode};
+    use fusion_topology::TopologyConfig;
+
+    fn world() -> (QuantumNetwork, Vec<Demand>) {
+        let topo = TopologyConfig {
+            num_switches: 20,
+            num_user_pairs: 3,
+            avg_degree: 5.0,
+            ..TopologyConfig::default()
+        }
+        .generate(13);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        (net, demands)
+    }
+
+    fn select_and_store(
+        cache: &mut CandidateCache,
+        engine: &mut SelectionEngine,
+        net: &QuantumNetwork,
+        demand: &Demand,
+        caps: &[u32],
+        max_width: u32,
+    ) -> Vec<CandidatePath> {
+        let key = (demand.source, demand.dest);
+        let selected = engine.select_demand(
+            net,
+            demand,
+            caps,
+            SelectionQuery {
+                h: 3,
+                max_width,
+                mode: SwapMode::NFusion,
+            },
+            |w| cache.reuse(key, w, demand.id),
+        );
+        cache.store(net, key, &selected);
+        selected.into_iter().flat_map(|s| s.candidates).collect()
+    }
+
+    #[test]
+    fn unchanged_capacity_is_a_full_hit_with_identical_bytes() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 64);
+        let mut engine = SelectionEngine::new();
+        let first = select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 4);
+        let second = select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 4);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.admissions, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.full_hits, 1);
+        assert_eq!(stats.widths_reused, 4);
+    }
+
+    #[test]
+    fn flip_bands_are_exact() {
+        // relay threshold c/2: 10 -> 8 moves relay 5 -> 4 (flips width 5
+        // only) and endpoint 10 -> 8 (flips widths 9, 10).
+        assert!(flips(5, 5, 4));
+        assert!(!flips(4, 5, 4));
+        assert!(!flips(6, 5, 4));
+        assert!(flips(9, 10, 8) && flips(10, 10, 8));
+        assert!(!flips(8, 10, 8));
+        // Symmetric: capacity increases flip the same band.
+        assert!(flips(5, 4, 5));
+        assert!(!flips(5, 5, 5));
+    }
+
+    #[test]
+    fn node_delta_outside_band_keeps_slots() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 64);
+        let mut engine = SelectionEngine::new();
+        select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 2);
+        // A switch losing 2 of its 10 qubits flips relay 5 -> 4 and
+        // endpoint 10 -> 8: no width in 1..=2 is affected.
+        let sw = net
+            .graph()
+            .node_ids()
+            .find(|&v| net.is_switch(v) && caps[v.index()] == 10)
+            .expect("default params give switches 10 qubits");
+        cache.apply_node_delta(&net, sw, 10, 8);
+        assert_eq!(cache.stats().invalidated_by_node, 0);
+        select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 2);
+        assert_eq!(cache.stats().full_hits, 1, "slots must have survived");
+    }
+
+    #[test]
+    fn node_delta_in_band_drops_only_affected_widths() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 64);
+        let mut engine = SelectionEngine::new();
+        let d = &demands[0];
+        select_and_store(&mut cache, &mut engine, &net, d, &caps, 3);
+        // Dropping the source user's capacity to 0 flips its endpoint
+        // feasibility at every width; the source is in every footprint.
+        cache.apply_node_delta(&net, d.source, caps[d.source.index()], 0);
+        assert_eq!(cache.stats().invalidated_by_node, 3);
+        assert!(cache.reuse((d.source, d.dest), 1, d.id).is_none());
+    }
+
+    #[test]
+    fn fail_edge_drops_slots_whose_candidates_cross_it() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 64);
+        let mut engine = SelectionEngine::new();
+        let d = &demands[0];
+        let flat = select_and_store(&mut cache, &mut engine, &net, d, &caps, 2);
+        let crossed = flat
+            .iter()
+            .flat_map(|c| c.path.nodes().windows(2))
+            .next()
+            .map(|hop| net.graph().find_edge(hop[0], hop[1]).unwrap());
+        let Some(edge) = crossed else {
+            return; // nothing routed on this world; nothing to test
+        };
+        cache.fail_edge(&net, edge);
+        assert!(cache.stats().invalidated_by_edge > 0);
+        // An edge no candidate crosses must not invalidate anything.
+        let before = cache.stats().invalidated_by_edge;
+        let unused = net.graph().edge_ids().find(|&e| {
+            let (u, v) = net.graph().endpoints(e);
+            !flat.iter().any(|c| {
+                c.path
+                    .nodes()
+                    .windows(2)
+                    .any(|hop| (hop[0] == u && hop[1] == v) || (hop[0] == v && hop[1] == u))
+            })
+        });
+        if let Some(e) = unused {
+            cache.fail_edge(&net, e);
+            assert_eq!(cache.stats().invalidated_by_edge, before);
+        }
+    }
+
+    #[test]
+    fn entry_cap_evicts_oldest_pair() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 2);
+        let mut engine = SelectionEngine::new();
+        for d in demands.iter().take(3) {
+            select_and_store(&mut cache, &mut engine, &net, d, &caps, 2);
+        }
+        assert_eq!(cache.stats().entries_evicted, 1);
+        assert_eq!(cache.entries.len(), 2);
+        // The first-stored pair is gone; the last two remain.
+        let d0 = &demands[0];
+        assert!(cache.reuse((d0.source, d0.dest), 1, d0.id).is_none());
+    }
+
+    #[test]
+    fn sweep_discards_stale_postings() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 64);
+        cache.sweep_threshold = 1; // sweep after every store
+        let mut engine = SelectionEngine::new();
+        let d = &demands[0];
+        select_and_store(&mut cache, &mut engine, &net, d, &caps, 2);
+        // Invalidate everything, then store again: the sweep after the
+        // second store must leave only live-generation postings.
+        cache.apply_node_delta(&net, d.source, caps[d.source.index()], 0);
+        select_and_store(&mut cache, &mut engine, &net, d, &caps, 2);
+        for (i, list) in cache.node_postings.iter().enumerate() {
+            for p in list {
+                assert_eq!(
+                    cache.slot_gen(p.key, p.width),
+                    Some(p.gen),
+                    "stale posting survived sweep at node {i}"
+                );
+            }
+        }
+    }
+}

@@ -15,26 +15,44 @@
 //!   [`depart`](ServiceState::depart) returns capacity exactly, and
 //!   [`fail_link`](ServiceState::fail_link) evicts plans crossing a cut
 //!   fiber.
+//! * [`cache`] — the per-demand candidate cache behind
+//!   `AdmitStrategy::Incremental` (the default): Algorithm 2 candidate
+//!   sets keyed by (pair, width), invalidated by read footprint ×
+//!   feasibility flip-band as ledger deltas stream through.
+//!   `AdmitStrategy::FromScratch` keeps the uncached admission path as
+//!   the reference.
 //! * [`trace`] — seeded deterministic trace generation (Poisson
-//!   arrivals, exponential holding times, optional link-downs).
+//!   arrivals, exponential holding times, optional link-downs, optional
+//!   recurring-demand user pool).
 //! * [`mod@replay`] — the replay loop, producing a byte-stable event log
 //!   and aggregate statistics.
 //! * [`mod@presets`] — named world presets mirroring the batch
 //!   experiments.
 //!
-//! The correctness story is the *residual-capacity equivalence oracle*
-//! (`tests/service_oracle.rs`): admitting against the ledger is proved
-//! byte-identical — candidates, merge outcome, and finished plan — to
-//! running the batch pipeline on a network whose capacities were
-//! pre-reduced by the live plans, and depart ∘ admit is proved to restore
-//! the ledger exactly.
+//! The correctness story is two equivalence oracles
+//! (see `docs/ARCHITECTURE.md` at the repo root for the discipline):
+//!
+//! 1. *Residual-capacity equivalence* (`tests/service_oracle.rs`):
+//!    admitting against the ledger is proved byte-identical —
+//!    candidates, merge outcome, and finished plan — to running the
+//!    batch pipeline on a network whose capacities were pre-reduced by
+//!    the live plans, and depart ∘ admit is proved to restore the
+//!    ledger exactly.
+//! 2. *Incremental equivalence* (`tests/incremental_oracle.rs`): the
+//!    cached admission path is proved byte-identical to from-scratch
+//!    admission at every event of random admit/depart/link-down traces.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
 pub mod ledger;
 pub mod presets;
 pub mod replay;
 pub mod state;
 pub mod trace;
 
+pub use cache::CacheStats;
 pub use ledger::{LedgerError, ResidualLedger};
 pub use presets::{presets, resolve_preset, ServePreset};
 pub use replay::{replay, ReplayOptions, ReplayReport, ReplayStats};

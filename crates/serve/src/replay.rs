@@ -5,6 +5,13 @@
 //! `(network, routing config, trace)`, with floating-point rates rendered
 //! as their IEEE-754 bit patterns so two replays can be compared
 //! byte-for-byte (see [`ReplayReport::fingerprint`]).
+//!
+//! The admission strategy is deliberately *not* part of that artifact:
+//! `AdmitStrategy::Incremental` (the candidate cache) and
+//! `AdmitStrategy::FromScratch` must produce the same log and the same
+//! [`ReplayStats`] on every trace — only wall-clock differs. Cache
+//! behaviour is observable separately through
+//! [`ServiceState::cache_stats`](crate::ServiceState::cache_stats).
 
 use std::collections::BTreeMap;
 

@@ -18,11 +18,28 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use fusion_core::algorithms::{route_with_capacity_traced, RouteTrace, RoutingConfig};
+use fusion_core::algorithms::{
+    route_from_candidates_traced, route_with_capacity_traced, AdmitStrategy, CandidatePath,
+    RouteTrace, RoutingConfig, SelectionEngine, SelectionQuery,
+};
 use fusion_core::{Demand, DemandId, DemandPlan, QuantumNetwork, ResourceUsage};
 use fusion_graph::{EdgeId, NodeId};
 
+use crate::cache::{CacheStats, CandidateCache};
 use crate::ledger::ResidualLedger;
+
+/// Upper bound on cached `(source, dest)` pair entries. Far above any
+/// realistic recurring-demand population, far below what an adversarial
+/// all-pairs trace could otherwise pin in memory.
+const MAX_CACHED_PAIRS: usize = 1024;
+
+/// The incremental admission machinery: the persistent width-descent
+/// engine and the footprint-invalidated candidate cache it feeds.
+#[derive(Debug, Clone)]
+struct IncrementalAdmission {
+    engine: SelectionEngine,
+    cache: CandidateCache,
+}
 
 /// Stable identifier of one live (or departed) plan. Ids are assigned in
 /// admission order and never reused.
@@ -119,6 +136,10 @@ pub struct ServiceState {
     next_plan: u64,
     live: BTreeMap<PlanId, LivePlan>,
     ledger: ResidualLedger,
+    /// Present iff `config.admit_strategy` is
+    /// [`AdmitStrategy::Incremental`]. Not part of the digest: the cache
+    /// only ever changes *when* work happens, never *what* is computed.
+    incremental: Option<Box<IncrementalAdmission>>,
 }
 
 impl ServiceState {
@@ -126,6 +147,13 @@ impl ServiceState {
     #[must_use]
     pub fn new(net: QuantumNetwork, config: RoutingConfig) -> Self {
         let ledger = ResidualLedger::new(&net);
+        let incremental = match config.admit_strategy {
+            AdmitStrategy::Incremental => Some(Box::new(IncrementalAdmission {
+                engine: SelectionEngine::new(),
+                cache: CandidateCache::new(&net, MAX_CACHED_PAIRS),
+            })),
+            AdmitStrategy::FromScratch => None,
+        };
         ServiceState {
             net,
             config,
@@ -133,6 +161,7 @@ impl ServiceState {
             next_plan: 0,
             live: BTreeMap::new(),
             ledger,
+            incremental,
         }
     }
 
@@ -209,10 +238,17 @@ impl ServiceState {
         )
     }
 
-    /// Runs the admission pipeline for `source -> dest` against the
-    /// residual ledger *without mutating anything*, returning the full
-    /// per-stage trace. `None` when no switch has a free qubit (the
-    /// pipeline cannot run on a width bound of zero).
+    /// Runs the *from-scratch* admission pipeline for `source -> dest`
+    /// against the residual ledger — always
+    /// [`route_with_capacity_traced`] end to end, regardless of
+    /// `config.admit_strategy` — *without mutating anything*, returning
+    /// the full per-stage trace. `None` when no switch has a free qubit
+    /// (the pipeline cannot run on a width bound of zero).
+    ///
+    /// This is the reference side of both equivalence oracles: the
+    /// residual-capacity oracle compares it against the batch pipeline on
+    /// [`reduced_network`](ServiceState::reduced_network), and the
+    /// incremental oracle compares cached admissions against it.
     ///
     /// # Panics
     ///
@@ -233,24 +269,136 @@ impl ServiceState {
         ))
     }
 
+    /// The incremental admission path: candidate construction through the
+    /// persistent [`SelectionEngine`], reusing every cached width slice
+    /// the cache still vouches for, then the ordinary merge + Algorithm 4
+    /// on the assembled candidates. Byte-identical to
+    /// [`admission_trace`](ServiceState::admission_trace) by the
+    /// footprint-invalidation contract (see `cache.rs`), which
+    /// `tests/incremental_oracle.rs` enforces.
+    fn incremental_trace(&mut self, source: NodeId, dest: NodeId) -> Option<RouteTrace> {
+        let ServiceState {
+            net,
+            config,
+            next_plan,
+            ledger,
+            incremental,
+            ..
+        } = self;
+        let residual = ledger.residual();
+        if net.max_switch_capacity_in(residual) == 0 {
+            return None;
+        }
+        let max_width = config
+            .max_width
+            .unwrap_or_else(|| net.max_switch_capacity_in(residual));
+        let demand = Demand::new(
+            DemandId::new(usize::try_from(*next_plan).expect("plan counter fits usize")),
+            source,
+            dest,
+        );
+        let key = (source, dest);
+        let IncrementalAdmission { engine, cache } = incremental
+            .as_mut()
+            .expect("incremental_trace requires the incremental strategy")
+            .as_mut();
+        let selected = engine.select_demand(
+            net,
+            &demand,
+            residual,
+            SelectionQuery {
+                h: config.h,
+                max_width,
+                mode: config.mode,
+            },
+            |w| cache.reuse(key, w, demand.id),
+        );
+        cache.store(net, key, &selected);
+        let candidates: Vec<CandidatePath> =
+            selected.into_iter().flat_map(|s| s.candidates).collect();
+        Some(route_from_candidates_traced(
+            net,
+            &[demand],
+            config,
+            residual,
+            candidates,
+        ))
+    }
+
     /// Routes a new demand against the residual capacity and, if a route
     /// exists, charges it on the ledger and adds it to the live set.
-    /// Rejected admissions leave the state bit-for-bit unchanged.
+    /// Rejected admissions leave the state (and its digest) bit-for-bit
+    /// unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fusion_core::algorithms::RoutingConfig;
+    /// use fusion_core::{NetworkParams, QuantumNetwork};
+    /// use fusion_serve::{AdmitOutcome, ServiceState};
+    /// use fusion_topology::TopologyConfig;
+    ///
+    /// let topo = TopologyConfig::default().generate(7);
+    /// let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+    /// let users: Vec<_> = net
+    ///     .graph()
+    ///     .node_ids()
+    ///     .filter(|&v| !net.is_switch(v))
+    ///     .collect();
+    /// let mut state = ServiceState::new(net, RoutingConfig::n_fusion());
+    ///
+    /// match state.admit(users[0], users[1]) {
+    ///     AdmitOutcome::Accepted { id, rate } => {
+    ///         assert!(rate > 0.0);
+    ///         state.depart(id); // capacity returns exactly
+    ///     }
+    ///     AdmitOutcome::Rejected(reason) => println!("rejected: {reason:?}"),
+    /// }
+    /// ```
     ///
     /// # Panics
     ///
     /// Panics if `source == dest`.
     pub fn admit(&mut self, source: NodeId, dest: NodeId) -> AdmitOutcome {
-        let Some(trace) = self.admission_trace(source, dest) else {
-            return AdmitOutcome::Rejected(RejectReason::Saturated);
+        self.admit_traced(source, dest).0
+    }
+
+    /// [`admit`](ServiceState::admit), also returning the admission's
+    /// full pipeline trace (`None` when the network was saturated and the
+    /// pipeline never ran) — the hook the incremental-vs-from-scratch
+    /// differential oracle compares per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == dest`.
+    pub fn admit_traced(
+        &mut self,
+        source: NodeId,
+        dest: NodeId,
+    ) -> (AdmitOutcome, Option<RouteTrace>) {
+        let trace = if self.incremental.is_some() {
+            self.incremental_trace(source, dest)
+        } else {
+            self.admission_trace(source, dest)
         };
-        let mut plans = trace.plan.plans;
-        let plan = plans.pop().expect("one demand in, one plan out");
+        let Some(trace) = trace else {
+            return (AdmitOutcome::Rejected(RejectReason::Saturated), None);
+        };
+        let plan = trace
+            .plan
+            .plans
+            .last()
+            .expect("one demand in, one plan out")
+            .clone();
         if plan.is_unserved() {
-            return AdmitOutcome::Rejected(RejectReason::NoRoute);
+            return (AdmitOutcome::Rejected(RejectReason::NoRoute), Some(trace));
         }
         let usage = plan.resource_usage();
         let rate = plan.rate(&self.net, self.config.mode);
+        // The charge below changes residuals at every node the plan
+        // touches; tell the cache before the ledger moves so the deltas
+        // see the pre-charge values.
+        self.note_usage_delta(&usage, true);
         self.ledger
             .charge(&self.net, &usage)
             .expect("pipeline respects residual capacity");
@@ -267,13 +415,44 @@ impl ServiceState {
                 admitted_epoch: self.epoch,
             },
         );
-        AdmitOutcome::Accepted { id, rate }
+        (AdmitOutcome::Accepted { id, rate }, Some(trace))
+    }
+
+    /// Feeds one about-to-be-applied residual change into the candidate
+    /// cache: `charge` true when `usage` is being charged (residual
+    /// drops), false when released. Must run *before* the ledger mutates
+    /// so `old` reads the pre-change residuals. No-op under the
+    /// from-scratch strategy.
+    fn note_usage_delta(&mut self, usage: &ResourceUsage, charge: bool) {
+        let ServiceState {
+            net,
+            ledger,
+            incremental,
+            ..
+        } = self;
+        let Some(inc) = incremental.as_mut() else {
+            return;
+        };
+        let residual = ledger.residual();
+        for &(node, qubits) in &usage.node_qubits {
+            let old = residual[node.index()];
+            let new = if charge { old - qubits } else { old + qubits };
+            inc.cache.apply_node_delta(net, node, old, new);
+        }
+    }
+
+    /// Counters of the incremental admission cache; `None` under
+    /// [`AdmitStrategy::FromScratch`].
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.incremental.as_ref().map(|inc| inc.cache.stats())
     }
 
     /// Tears a live plan down, returning its capacity to the ledger
     /// exactly. `None` (and no state change) if `id` is not live.
     pub fn depart(&mut self, id: PlanId) -> Option<LivePlan> {
         let lp = self.live.remove(&id)?;
+        self.note_usage_delta(&lp.usage, false);
         self.ledger
             .release(&self.net, &lp.usage)
             .expect("live usage was charged at admission");
@@ -291,6 +470,14 @@ impl ServiceState {
     ///
     /// Panics if `edge` is out of bounds.
     pub fn fail_link(&mut self, edge: EdgeId) -> Vec<PlanId> {
+        // Freshness policy: cached candidates that cross the cut fiber
+        // are dropped even though the network model never mutates —
+        // routing bytes are unaffected (the ledger deltas below handle
+        // that), but routes planned over a fiber that just failed should
+        // not be replayed from cache indefinitely.
+        if let Some(inc) = self.incremental.as_mut() {
+            inc.cache.fail_edge(&self.net, edge);
+        }
         let (u, v) = self.net.graph().endpoints(edge);
         let key = if u <= v { (u, v) } else { (v, u) };
         let victims: Vec<PlanId> = self

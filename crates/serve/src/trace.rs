@@ -27,6 +27,11 @@ pub struct TraceConfig {
     pub mean_holding: f64,
     /// Poisson rate of transient link failures; `0.0` disables them.
     pub link_down_rate: f64,
+    /// Restrict demands to the first `user_pool` users of the network
+    /// (`0` = every user). A small pool makes demands *recur*, which is
+    /// the regime the incremental admission cache is built for; the
+    /// default of `0` leaves the generator's RNG stream untouched.
+    pub user_pool: usize,
     /// Seed of the generator's RNG.
     pub seed: u64,
 }
@@ -38,6 +43,7 @@ impl Default for TraceConfig {
             arrival_rate: 1.0,
             mean_holding: 25.0,
             link_down_rate: 0.0,
+            user_pool: 0,
             seed: 0xCAFE,
         }
     }
@@ -108,7 +114,8 @@ fn exp_sample<R: RngCore>(rng: &mut R, rate: f64) -> f64 {
 /// Generates a trace of exactly `config.events` events over `net`.
 ///
 /// Arrivals form a Poisson process of rate `arrival_rate` between
-/// uniformly random *distinct* user pairs; each arrival schedules its own
+/// uniformly random *distinct* user pairs (drawn from the first
+/// [`TraceConfig::user_pool`] users when that knob is set); each arrival schedules its own
 /// departure an `Exp(1/mean_holding)` holding time later; link-downs form
 /// an independent Poisson process of rate `link_down_rate` over uniformly
 /// random links. Scheduled departures falling beyond the event budget are
@@ -121,11 +128,14 @@ fn exp_sample<R: RngCore>(rng: &mut R, rate: f64) -> f64 {
 /// `link_down_rate > 0` on an edgeless network.
 #[must_use]
 pub fn generate(net: &QuantumNetwork, config: &TraceConfig) -> Trace {
-    let users: Vec<NodeId> = net
+    let mut users: Vec<NodeId> = net
         .graph()
         .node_ids()
         .filter(|&v| !net.is_switch(v))
         .collect();
+    if config.user_pool > 0 {
+        users.truncate(config.user_pool);
+    }
     assert!(users.len() >= 2, "need at least two users to form demands");
     assert!(config.arrival_rate > 0.0, "arrival rate must be positive");
     assert!(config.mean_holding > 0.0, "mean holding must be positive");

@@ -1,0 +1,364 @@
+//! The incremental-admission differential oracle.
+//!
+//! [`AdmitStrategy::Incremental`] must be **byte-identical** to
+//! [`AdmitStrategy::FromScratch`] — not statistically close, not
+//! rate-equal: the same `RouteTrace` (Algorithm 2 candidates, Algorithm 3
+//! `MergeOutcome`, finished plan) at every admission, the same
+//! `StateDigest` after every event, and the same `ReplayReport`
+//! (byte-stable log + stats) over whole traces. Two states driven in
+//! lockstep through random admit/depart/link-down traces check exactly
+//! that, which makes the candidate cache's invalidation rule (footprint ×
+//! flip-band, see `src/cache.rs`) falsifiable: one missed invalidation
+//! anywhere and a later admission reuses stale candidates and diverges.
+//!
+//! The reduced grid runs in tier-1 CI on every push; the wide grid
+//! (`--ignored`) covers larger networks and harsher p/q corners in the
+//! scheduled `wide-differential` workflow:
+//!
+//! ```text
+//! cargo test --release -p fusion-serve --test incremental_oracle -- --ignored
+//! ```
+
+use std::collections::BTreeMap;
+
+use fusion_core::algorithms::{AdmitStrategy, RoutingConfig};
+use fusion_core::{NetworkParams, QuantumNetwork};
+use fusion_serve::{
+    replay, AdmitOutcome, ReplayOptions, ServiceState, TraceConfig, TraceEventKind,
+};
+use fusion_topology::{GeneratorKind, TopologyConfig};
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+#[allow(clippy::too_many_arguments)]
+fn build_state(
+    switches: usize,
+    pairs: usize,
+    grid: bool,
+    seed: u64,
+    p: f64,
+    q: f64,
+    h: usize,
+    classic: bool,
+    strategy: AdmitStrategy,
+) -> ServiceState {
+    let topo = TopologyConfig {
+        num_switches: switches,
+        num_user_pairs: pairs,
+        avg_degree: 6.0,
+        kind: if grid {
+            GeneratorKind::Grid
+        } else {
+            GeneratorKind::default() // Waxman, the paper's family
+        },
+        ..TopologyConfig::default()
+    }
+    .generate(seed);
+    let mut net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+    net.set_uniform_link_success(Some(p));
+    net.set_swap_success(q);
+    let base = if classic {
+        RoutingConfig::classic()
+    } else {
+        RoutingConfig::n_fusion()
+    };
+    ServiceState::new(
+        net,
+        RoutingConfig {
+            h,
+            admit_strategy: strategy,
+            ..base
+        },
+    )
+}
+
+/// Drives an incremental and a from-scratch state through the same trace
+/// in lockstep, asserting byte-identity of every admission trace and
+/// every post-event digest, then replays the whole trace through the
+/// replay harness on fresh states and compares the reports.
+#[allow(clippy::too_many_arguments)]
+fn check_incremental_case(
+    switches: usize,
+    pairs: usize,
+    grid: bool,
+    seed: u64,
+    p: f64,
+    q: f64,
+    h: usize,
+    classic: bool,
+    events: usize,
+    trace_seed: u64,
+    link_down_rate: f64,
+    mean_holding: f64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut inc = build_state(
+        switches,
+        pairs,
+        grid,
+        seed,
+        p,
+        q,
+        h,
+        classic,
+        AdmitStrategy::Incremental,
+    );
+    let mut scratch = build_state(
+        switches,
+        pairs,
+        grid,
+        seed,
+        p,
+        q,
+        h,
+        classic,
+        AdmitStrategy::FromScratch,
+    );
+    let trace = fusion_serve::generate(
+        inc.network(),
+        &TraceConfig {
+            events,
+            arrival_rate: 1.0,
+            mean_holding,
+            link_down_rate,
+            user_pool: 0,
+            seed: trace_seed,
+        },
+    );
+
+    // Outcomes are asserted identical at every step, so one id map
+    // serves both states.
+    let mut by_arrival = BTreeMap::new();
+    for (i, event) in trace.events.iter().enumerate() {
+        match event.kind {
+            TraceEventKind::Arrival {
+                arrival,
+                source,
+                dest,
+            } => {
+                let (outcome_inc, trace_inc) = inc.admit_traced(source, dest);
+                let (outcome_scr, trace_scr) = scratch.admit_traced(source, dest);
+                prop_assert_eq!(
+                    &outcome_inc,
+                    &outcome_scr,
+                    "outcome diverged at arrival {} (event {})",
+                    arrival,
+                    i
+                );
+                prop_assert_eq!(
+                    trace_inc == trace_scr,
+                    true,
+                    "RouteTrace diverged at arrival {} (event {})",
+                    arrival,
+                    i
+                );
+                if let AdmitOutcome::Accepted { id, .. } = outcome_inc {
+                    by_arrival.insert(arrival, id);
+                }
+            }
+            TraceEventKind::Departure { arrival } => {
+                if let Some(id) = by_arrival.remove(&arrival) {
+                    let a = inc.depart(id);
+                    let b = scratch.depart(id);
+                    prop_assert_eq!(a.is_some(), b.is_some(), "departure {} diverged", arrival);
+                }
+            }
+            TraceEventKind::LinkDown { edge } => {
+                let va = inc.fail_link(edge);
+                let vb = scratch.fail_link(edge);
+                prop_assert_eq!(&va, &vb, "eviction set diverged at event {}", i);
+                for id in va {
+                    by_arrival.retain(|_, v| *v != id);
+                }
+            }
+        }
+        prop_assert_eq!(
+            inc.digest() == scratch.digest(),
+            true,
+            "digest diverged after event {}",
+            i
+        );
+    }
+    inc.audit().map_err(TestCaseError::fail)?;
+
+    // Whole-trace replay through the harness: reports and final digests
+    // byte-identical on fresh states.
+    let mut fresh_inc = build_state(
+        switches,
+        pairs,
+        grid,
+        seed,
+        p,
+        q,
+        h,
+        classic,
+        AdmitStrategy::Incremental,
+    );
+    let mut fresh_scr = build_state(
+        switches,
+        pairs,
+        grid,
+        seed,
+        p,
+        q,
+        h,
+        classic,
+        AdmitStrategy::FromScratch,
+    );
+    let options = ReplayOptions::default();
+    let report_inc = replay(&mut fresh_inc, &trace, &options);
+    let report_scr = replay(&mut fresh_scr, &trace, &options);
+    prop_assert_eq!(
+        report_inc.fingerprint(),
+        report_scr.fingerprint(),
+        "replay logs diverged"
+    );
+    prop_assert_eq!(report_inc == report_scr, true, "replay reports diverged");
+    prop_assert_eq!(
+        fresh_inc.digest() == fresh_scr.digest(),
+        true,
+        "replay digests diverged"
+    );
+    // The incremental run must actually have exercised the cache.
+    let stats = fresh_inc
+        .cache_stats()
+        .expect("incremental state has a cache");
+    prop_assert_eq!(stats.admissions > 0, events > 0);
+    prop_assert!(fresh_scr.cache_stats().is_none());
+    Ok(())
+}
+
+/// The hardest invalidation case, pinned deterministically for tier-1:
+/// `fail_link` returns capacity (residuals *increase*, so stale cached
+/// candidates would under-route), after which re-admitting the evicted
+/// pair must be byte-identical between strategies.
+#[test]
+fn fail_link_then_readmission_is_byte_identical() {
+    let mut inc = build_state(
+        22,
+        3,
+        false,
+        9,
+        0.9,
+        0.9,
+        3,
+        false,
+        AdmitStrategy::Incremental,
+    );
+    let mut scratch = build_state(
+        22,
+        3,
+        false,
+        9,
+        0.9,
+        0.9,
+        3,
+        false,
+        AdmitStrategy::FromScratch,
+    );
+    let users: Vec<_> = {
+        let net = inc.network();
+        net.graph()
+            .node_ids()
+            .filter(|&v| !net.is_switch(v))
+            .collect()
+    };
+    let (s, d) = (users[0], users[1]);
+
+    // Warm the cache: admit the pair repeatedly until saturation.
+    let mut live = Vec::new();
+    loop {
+        let (a, ta) = inc.admit_traced(s, d);
+        let (b, tb) = scratch.admit_traced(s, d);
+        assert_eq!(a, b);
+        assert!(ta == tb, "warmup traces diverged");
+        match a {
+            AdmitOutcome::Accepted { id, .. } => live.push(id),
+            AdmitOutcome::Rejected(_) => break,
+        }
+    }
+    assert!(!live.is_empty(), "small world must admit at least one plan");
+
+    // Cut a fiber one live plan crosses: its capacity comes back.
+    let lp = inc.get(live[0]).expect("plan is live").clone();
+    let &((u, v), _) = lp.usage.edge_channels.first().expect("plan uses edges");
+    let edge = inc.network().graph().find_edge(u, v).expect("edge exists");
+    let evicted_inc = inc.fail_link(edge);
+    let evicted_scr = scratch.fail_link(edge);
+    assert_eq!(evicted_inc, evicted_scr);
+    assert!(!evicted_inc.is_empty());
+    assert!(
+        inc.digest() == scratch.digest(),
+        "digest diverged after cut"
+    );
+
+    // Re-admission of the same pair against the *restored* capacity: any
+    // cached width slice that missed its invalidation would reuse
+    // candidates computed for the saturated network and diverge here.
+    let (a, ta) = inc.admit_traced(s, d);
+    let (b, tb) = scratch.admit_traced(s, d);
+    assert_eq!(a, b, "re-admission outcome diverged");
+    assert!(ta == tb, "re-admission trace diverged");
+    assert!(
+        matches!(a, AdmitOutcome::Accepted { .. }),
+        "restored capacity must readmit the evicted pair"
+    );
+    assert!(inc.digest() == scratch.digest());
+    inc.audit().unwrap();
+    scratch.audit().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Reduced tier-1 grid: small worlds, short traces, every event
+    /// byte-compared between strategies.
+    #[test]
+    fn incremental_matches_from_scratch_reduced(
+        switches in 10usize..28,
+        pairs in 2usize..6,
+        grid in proptest::bool::ANY,
+        seed in 0u64..1_000,
+        p in 0.55f64..0.95,
+        q in 0.7f64..1.0,
+        h in 1usize..4,
+        classic in proptest::bool::ANY,
+        events in 30usize..80,
+        trace_seed in 0u64..1_000,
+        link_down_rate in 0.0f64..0.15,
+        mean_holding in 4.0f64..40.0,
+    ) {
+        check_incremental_case(
+            switches, pairs, grid, seed, p, q, h, classic,
+            events, trace_seed, link_down_rate, mean_holding,
+        )?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wide grid for the scheduled `wide-differential` workflow: larger
+    /// networks, longer traces, harsher failure rates.
+    #[test]
+    #[ignore = "wide incremental-oracle grid; minutes of runtime, run with -- --ignored"]
+    fn incremental_matches_from_scratch_wide(
+        switches in 10usize..80,
+        pairs in 2usize..8,
+        grid in proptest::bool::ANY,
+        seed in 0u64..10_000,
+        p in 0.4f64..1.0,
+        q in 0.5f64..1.0,
+        h in 1usize..5,
+        classic in proptest::bool::ANY,
+        events in 60usize..240,
+        trace_seed in 0u64..10_000,
+        link_down_rate in 0.0f64..0.25,
+        mean_holding in 2.0f64..60.0,
+    ) {
+        check_incremental_case(
+            switches, pairs, grid, seed, p, q, h, classic,
+            events, trace_seed, link_down_rate, mean_holding,
+        )?;
+    }
+}

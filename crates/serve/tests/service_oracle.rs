@@ -98,6 +98,7 @@ fn check_service_case(
             arrival_rate: 1.0,
             mean_holding,
             link_down_rate,
+            user_pool: 0,
             seed: trace_seed,
         },
     );

@@ -20,6 +20,10 @@
 //! * [`timeline`] — time-slotted operation with arrivals, re-planning,
 //!   and latency metrics.
 //! * [`stats`] — mean / standard-error / confidence-interval helpers.
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

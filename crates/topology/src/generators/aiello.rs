@@ -6,7 +6,7 @@ use crate::config::TopologyConfig;
 use crate::model::{Link, Site};
 
 /// Generates the switch layer with an Aiello-style power-law random graph
-/// [33], realized through Chung-Lu weighted sampling.
+/// \[33\], realized through Chung-Lu weighted sampling.
 ///
 /// Expected node degrees follow a Pareto distribution with exponent `gamma`
 /// whose mean equals the configured average degree; pairs `(u, v)` connect

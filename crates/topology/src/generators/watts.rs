@@ -5,7 +5,7 @@ use super::{place_switches, span};
 use crate::config::TopologyConfig;
 use crate::model::{Link, Site};
 
-/// Generates the switch layer with the Watts-Strogatz small-world model [32].
+/// Generates the switch layer with the Watts-Strogatz small-world model \[32\].
 ///
 /// Switches are placed uniformly in the area and ordered by angle around the
 /// centroid so the initial ring lattice connects geometric neighbours; each

@@ -5,7 +5,7 @@ use super::{place_switches, span};
 use crate::config::TopologyConfig;
 use crate::model::{Link, Site};
 
-/// Generates the switch layer with the Waxman model [31].
+/// Generates the switch layer with the Waxman model \[31\].
 ///
 /// Pairs closer than the configured maximum edge length are connected with
 /// probability `β·exp(-d / (alpha·L_max))`. The scale `β` is calibrated

@@ -27,6 +27,10 @@
 //! assert_eq!(topo.demands.len(), 4);
 //! assert_eq!(topo.user_ids().count(), 8);
 //! ```
+//!
+//! This crate is one layer of the stack mapped in `docs/ARCHITECTURE.md`
+//! at the repo root (dependency graph, algorithm-to-module map, and the
+//! equivalence-oracle and generation-stamp disciplines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
