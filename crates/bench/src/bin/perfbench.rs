@@ -1,9 +1,15 @@
 //! Machine-readable perf harness for the CI bench gate.
 //!
 //! ```text
-//! perfbench run [--out FILE] [--reps N] [--filter SUBSTR]
+//! perfbench run [--out FILE] [--reps N] [--filter SUBSTR] [--metrics DIR]
 //!     Runs the fixed workloads (fusion_bench::perf) and writes a flat
 //!     JSON map {"workload": median_ns, ...} to FILE (default: stdout).
+//!     With --metrics DIR, each workload runs with an enabled telemetry
+//!     registry and its deterministic counter snapshot is written to
+//!     DIR/<workload>.metrics.json. The timings in the result map then
+//!     measure the *instrumented* paths — which is exactly what the CI
+//!     bench job wants to gate: it proves enabled-registry overhead
+//!     stays under the same threshold as any other code change.
 //!
 //! perfbench compare --baseline FILE --current FILE
 //!                   [--threshold FRAC] [--report FILE]
@@ -18,6 +24,7 @@
 use std::path::PathBuf;
 
 use fusion_bench::perf;
+use fusion_telemetry::Registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +32,9 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("--help" | "-h") | None => {
-            println!("usage: perfbench run [--out FILE] [--reps N] [--filter SUBSTR]");
+            println!(
+                "usage: perfbench run [--out FILE] [--reps N] [--filter SUBSTR] [--metrics DIR]"
+            );
             println!("       perfbench compare --baseline FILE --current FILE [--threshold FRAC] [--report FILE]");
             println!("workloads: {}", perf::WORKLOADS.join(" "));
         }
@@ -35,12 +44,14 @@ fn main() {
 
 fn run(args: &[String]) {
     let mut out: Option<PathBuf> = None;
+    let mut metrics_dir: Option<PathBuf> = None;
     let mut reps = 7usize;
     let mut filter = String::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = Some(next_path(&mut it, "--out")),
+            "--metrics" => metrics_dir = Some(next_path(&mut it, "--metrics")),
             "--reps" => {
                 reps = next_value(&mut it, "--reps");
                 if reps == 0 {
@@ -56,14 +67,30 @@ fn run(args: &[String]) {
             other => die(&format!("unknown flag {other}")),
         }
     }
+    if let Some(dir) = &metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("could not create {}: {e}", dir.display()));
+        }
+    }
     let mut results = Vec::new();
     for name in perf::WORKLOADS {
         if !filter.is_empty() && !name.contains(&filter) && name != perf::CALIBRATION {
             continue;
         }
         eprintln!("running {name} ({reps} reps)...");
-        let r = perf::run_workload(name, reps);
+        let registry = if metrics_dir.is_some() {
+            Registry::enabled()
+        } else {
+            Registry::disabled()
+        };
+        let r = perf::run_workload_with(name, reps, &registry);
         eprintln!("  {name}: {:.0} us median", r.median_ns / 1_000.0);
+        if let Some(dir) = &metrics_dir {
+            let path = dir.join(format!("{name}.metrics.json"));
+            if let Err(e) = std::fs::write(&path, registry.snapshot().to_json()) {
+                die(&format!("could not write {}: {e}", path.display()));
+            }
+        }
         results.push(r);
     }
     let json = perf::to_json(&results);

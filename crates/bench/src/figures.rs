@@ -574,26 +574,60 @@ pub fn scale_row(
     algorithm: Algorithm,
     instance: usize,
 ) -> crate::report::Row {
+    scale_row_with(
+        config,
+        preset,
+        algorithm,
+        instance,
+        &fusion_telemetry::Registry::disabled(),
+    )
+}
+
+/// [`scale_row`] with routing/MC telemetry recorded into `registry` and
+/// appended to the row as `m_<counter>` integer columns (sorted by
+/// counter name, after the fixed measurement columns). With a disabled
+/// registry the row is byte-identical to the historical schema. Counter
+/// columns hold only deterministic-plane values, so they are
+/// byte-identical across `--threads` settings that divide `mc_rounds`
+/// and across kill/resume boundaries — wall-time stays confined to the
+/// `route_ms`/`mc_ms` columns. Callers wanting per-row metrics must pass
+/// a fresh registry per call; a reused one accumulates across rows.
+#[must_use]
+pub fn scale_row_with(
+    config: &ExperimentConfig,
+    preset: &str,
+    algorithm: Algorithm,
+    instance: usize,
+    registry: &fusion_telemetry::Registry,
+) -> crate::report::Row {
     use std::time::Instant;
     let threads = config.resolved_threads();
     let (net, demands) = config.instance(instance);
     let t0 = Instant::now();
-    let plan = algorithm.route_threads(&net, &demands, config.h, threads);
+    let plan = algorithm.route_threads_counted(&net, &demands, config.h, threads, registry);
     let route_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
     let (rate, stderr) = if config.mc_rounds == 0 {
         (plan.total_rate(&net), 0.0)
     } else {
+        let mc = fusion_sim::evaluate::McCounters::from_registry(registry);
         let est = if threads > 1 {
-            fusion_sim::evaluate::estimate_plan_parallel(
+            fusion_sim::evaluate::estimate_plan_parallel_counted(
                 &net,
                 &plan,
                 config.mc_rounds,
                 config.seed,
                 threads,
+                &mc,
             )
         } else {
-            estimate_plan(&net, &plan, config.mc_rounds, config.seed)
+            fusion_sim::evaluate::estimate_plan_counted(
+                &net,
+                &plan,
+                config.mc_rounds,
+                config.seed,
+                &mc,
+            )
         };
         (est.total_rate(), est.total_stderr())
     };
@@ -614,6 +648,15 @@ pub fn scale_row(
         .push_int("edges", net.graph().edge_count() as i64)
         .push_num("route_ms", route_ms)
         .push_num("mc_ms", mc_ms);
+    if registry.is_enabled() {
+        for (name, value) in registry.snapshot().iter() {
+            if name == fusion_telemetry::VERSION_KEY {
+                continue;
+            }
+            #[allow(clippy::cast_possible_wrap)]
+            row.push_int(&format!("m_{name}"), value as i64);
+        }
+    }
     row
 }
 

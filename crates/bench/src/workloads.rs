@@ -1,9 +1,10 @@
 //! Default experiment configuration (paper §V-A) and algorithm runners.
 
-use fusion_core::algorithms::{route_parallel, RoutingConfig};
+use fusion_core::algorithms::{route_with_capacity_counted, RoutingConfig};
 use fusion_core::baselines::{route_b1, route_qcast, route_qcast_n, DEFAULT_REGION_PATHS};
 use fusion_core::{Demand, NetworkParams, NetworkPlan, PhysicsParams, QuantumNetwork};
-use fusion_sim::evaluate::estimate_plan;
+use fusion_sim::evaluate::{estimate_plan_counted, McCounters};
+use fusion_telemetry::Registry;
 use fusion_topology::{GeneratorKind, TopologyConfig};
 
 /// One experiment instance: everything needed to generate networks and
@@ -233,28 +234,53 @@ impl Algorithm {
         h: usize,
         threads: usize,
     ) -> NetworkPlan {
+        self.route_threads_counted(net, demands, h, threads, &Registry::disabled())
+    }
+
+    /// [`Algorithm::route_threads`] with routing counters recorded into
+    /// `registry` for the pipeline-based algorithms. The baselines have no
+    /// instrumented variants and route uncounted regardless of `registry`.
+    #[must_use]
+    pub fn route_threads_counted(
+        self,
+        net: &QuantumNetwork,
+        demands: &[Demand],
+        h: usize,
+        threads: usize,
+        registry: &Registry,
+    ) -> NetworkPlan {
         match self {
-            Algorithm::AlgNFusion => route_parallel(
-                net,
-                demands,
-                &RoutingConfig {
-                    h,
-                    ..RoutingConfig::n_fusion()
-                },
-                threads,
-            ),
+            Algorithm::AlgNFusion => {
+                route_with_capacity_counted(
+                    net,
+                    demands,
+                    &RoutingConfig {
+                        h,
+                        ..RoutingConfig::n_fusion()
+                    },
+                    &net.capacities(),
+                    threads,
+                    registry,
+                )
+                .plan
+            }
             Algorithm::QCast => route_qcast(net, demands, h),
             Algorithm::QCastN => route_qcast_n(net, demands, h),
             Algorithm::B1 => route_b1(net, demands, DEFAULT_REGION_PATHS),
-            Algorithm::Alg3Only => route_parallel(
-                net,
-                demands,
-                &RoutingConfig {
-                    h,
-                    ..RoutingConfig::n_fusion_without_alg4()
-                },
-                threads,
-            ),
+            Algorithm::Alg3Only => {
+                route_with_capacity_counted(
+                    net,
+                    demands,
+                    &RoutingConfig {
+                        h,
+                        ..RoutingConfig::n_fusion_without_alg4()
+                    },
+                    &net.capacities(),
+                    threads,
+                    registry,
+                )
+                .plan
+            }
         }
     }
 }
@@ -269,21 +295,43 @@ pub fn measure_rate(
     net: &QuantumNetwork,
     demands: &[Demand],
 ) -> f64 {
+    measure_rate_counted(config, algorithm, net, demands, &Registry::disabled())
+}
+
+/// [`measure_rate`] with routing and Monte Carlo counters recorded into
+/// `registry`. Counter totals are identical for any `threads` setting that
+/// divides `config.mc_rounds` (see `estimate_plan_parallel_counted`).
+#[must_use]
+pub fn measure_rate_counted(
+    config: &ExperimentConfig,
+    algorithm: Algorithm,
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    registry: &Registry,
+) -> f64 {
     let threads = config.resolved_threads();
-    let plan = algorithm.route_threads(net, demands, config.h, threads);
+    let plan = algorithm.route_threads_counted(net, demands, config.h, threads, registry);
     if config.mc_rounds == 0 {
         plan.total_rate(net)
     } else if threads > 1 {
-        fusion_sim::evaluate::estimate_plan_parallel(
+        fusion_sim::evaluate::estimate_plan_parallel_counted(
             net,
             &plan,
             config.mc_rounds,
             config.seed,
             threads,
+            &McCounters::from_registry(registry),
         )
         .total_rate()
     } else {
-        estimate_plan(net, &plan, config.mc_rounds, config.seed).total_rate()
+        estimate_plan_counted(
+            net,
+            &plan,
+            config.mc_rounds,
+            config.seed,
+            &McCounters::from_registry(registry),
+        )
+        .total_rate()
     }
 }
 

@@ -38,8 +38,10 @@ use std::collections::HashSet;
 
 use fusion_graph::search::max_product_resume;
 use fusion_graph::{
-    DescentReach, Metric, NodeId, Path, RecordedSet, SearchScratch, WidthFeasibility,
+    DescentReach, Metric, NodeId, Path, RecordedSet, SearchCounters, SearchScratch,
+    WidthFeasibility,
 };
+use fusion_telemetry::{Counter, Registry};
 
 use crate::algorithms::alg1::{largest_rate_path_with, PathConstraints};
 use crate::demand::{Demand, DemandId};
@@ -100,6 +102,34 @@ pub fn paths_selection(
     max_width: u32,
     mode: SwapMode,
 ) -> Vec<CandidatePath> {
+    paths_selection_counted(
+        net,
+        demands,
+        capacity,
+        h,
+        max_width,
+        mode,
+        &Registry::disabled(),
+    )
+}
+
+/// [`paths_selection`] with search/selection counters recording into
+/// `registry`. Counters never influence the output — it stays
+/// byte-identical to the uncounted run.
+///
+/// # Panics
+///
+/// As [`paths_selection`].
+#[must_use]
+pub fn paths_selection_counted(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    capacity: &[u32],
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+    registry: &Registry,
+) -> Vec<CandidatePath> {
     assert!(h > 0, "need at least one candidate per width");
     assert!(max_width > 0, "max width must be positive");
     assert!(
@@ -107,7 +137,7 @@ pub fn paths_selection(
         "capacity vector too short"
     );
     let ctx = DescentContext::new(net, capacity, max_width);
-    let mut state = DescentState::new(net.node_count());
+    let mut state = DescentState::with_registry(net.node_count(), registry);
     let per_demand: Vec<Vec<Vec<CandidatePath>>> = demands
         .iter()
         .map(|d| demand_candidates(net, d, h, max_width, mode, &ctx, &mut state))
@@ -137,9 +167,41 @@ pub fn paths_selection_parallel(
     mode: SwapMode,
     threads: usize,
 ) -> Vec<CandidatePath> {
+    paths_selection_parallel_counted(
+        net,
+        demands,
+        capacity,
+        h,
+        max_width,
+        mode,
+        threads,
+        &Registry::disabled(),
+    )
+}
+
+/// [`paths_selection_parallel`] with counters recording into `registry`.
+/// Counter totals are independent of the worker sharding: each demand's
+/// counts are a pure function of that demand's search, and atomic adds
+/// commute, so any thread count yields the same snapshot.
+///
+/// # Panics
+///
+/// As [`paths_selection_parallel`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn paths_selection_parallel_counted(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    capacity: &[u32],
+    h: usize,
+    max_width: u32,
+    mode: SwapMode,
+    threads: usize,
+    registry: &Registry,
+) -> Vec<CandidatePath> {
     assert!(threads > 0, "need at least one worker");
     if threads == 1 || demands.len() <= 1 {
-        return paths_selection(net, demands, capacity, h, max_width, mode);
+        return paths_selection_counted(net, demands, capacity, h, max_width, mode, registry);
     }
     assert!(h > 0, "need at least one candidate per width");
     assert!(max_width > 0, "max width must be positive");
@@ -155,7 +217,7 @@ pub fn paths_selection_parallel(
         let handles: Vec<_> = (0..threads.min(demands.len()))
             .map(|t| {
                 scope.spawn(move |_| {
-                    let mut state = DescentState::new(net.node_count());
+                    let mut state = DescentState::with_registry(net.node_count(), registry);
                     demands
                         .iter()
                         .enumerate()
@@ -276,6 +338,36 @@ impl FootprintRecorder {
     }
 }
 
+/// Counter handles for the width-descent engine's decision points.
+/// Default handles are no-ops; wire real ones with
+/// [`SelectionCounters::from_registry`]. Every count is a deterministic
+/// function of the selection inputs, independent of worker sharding.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionCounters {
+    /// Searches skipped outright by the reachability certificate.
+    pub reach_skips: Counter,
+    /// Yen spur searches launched from deviation points.
+    pub spur_searches: Counter,
+    /// Width slices actually searched (vs served from a cache).
+    pub widths_searched: Counter,
+}
+
+impl SelectionCounters {
+    /// Creates handles named `alg2.reach_skips`, `alg2.spur_searches`,
+    /// and `alg2.widths_searched` in `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return SelectionCounters::default();
+        }
+        SelectionCounters {
+            reach_skips: registry.counter("alg2.reach_skips"),
+            spur_searches: registry.counter("alg2.spur_searches"),
+            widths_searched: registry.counter("alg2.widths_searched"),
+        }
+    }
+}
+
 /// Per-worker mutable width-descent state, reused across demands.
 #[derive(Debug, Clone, Default)]
 struct DescentState {
@@ -284,14 +376,22 @@ struct DescentState {
     /// Installed only by [`SelectionEngine`]; the batch engines leave it
     /// `None` and pay one predictable branch per probe.
     recorder: Option<FootprintRecorder>,
+    counters: SelectionCounters,
 }
 
 impl DescentState {
-    fn new(nodes: usize) -> Self {
+    /// A state whose search and selection counters record into
+    /// `registry`. Counter handles are shared atomics, so states cloned
+    /// or rebuilt from the same registry accumulate into the same cells
+    /// regardless of worker sharding.
+    fn with_registry(nodes: usize, registry: &Registry) -> Self {
+        let mut scratch = SearchScratch::with_capacity(nodes);
+        scratch.counters = SearchCounters::from_registry(registry, "alg2.search");
         DescentState {
-            scratch: SearchScratch::with_capacity(nodes),
+            scratch,
             reach: DescentReach::new(),
             recorder: None,
+            counters: SelectionCounters::from_registry(registry),
         }
     }
 }
@@ -334,6 +434,7 @@ fn width_candidates(
     ctx: &DescentContext,
     state: &mut DescentState,
 ) -> Vec<CandidatePath> {
+    state.counters.widths_searched.inc();
     k_best_paths_descent(net, demand, h, width, ctx, state)
         .into_iter()
         .filter_map(|path| {
@@ -394,6 +495,7 @@ fn descent_search(
         scratch,
         reach,
         recorder,
+        counters,
     } = state;
     if let Some(r) = recorder.as_mut() {
         // The endpoint checks below read both endpoints' thresholds.
@@ -411,6 +513,7 @@ fn descent_search(
     // the graph, so an unreachable destination here is unreachable in the
     // constrained search too — skip it without exploring anything.
     if !reach.can_reach(source) {
+        counters.reach_skips.inc();
         // The skip depends on the whole probed region R ∪ ∂R (any path
         // into the unexplored side must cross the recorded boundary), so
         // the certificate's dependency set is the reach set itself.
@@ -528,6 +631,7 @@ fn k_best_paths_descent(
                 cons.ban_node(n);
             }
 
+            state.counters.spur_searches.inc();
             let Some((spur, _)) =
                 descent_search(net, spur_node, demand.dest, width, &cons, ctx, state)
             else {
@@ -622,6 +726,14 @@ impl SelectionEngine {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Routes this engine's search and selection counters into
+    /// `registry` (under `alg2.*`). Call once after construction; a
+    /// disabled registry restores free no-op handles.
+    pub fn set_registry(&mut self, registry: &Registry) {
+        self.state.scratch.counters = SearchCounters::from_registry(registry, "alg2.search");
+        self.state.counters = SelectionCounters::from_registry(registry);
     }
 
     /// Runs the width descent for one demand against `capacity`,

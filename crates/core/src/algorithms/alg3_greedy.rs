@@ -66,6 +66,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use fusion_graph::NodeId;
+use fusion_telemetry::{Counter, Registry};
 
 use crate::algorithms::alg1::PathConstraints;
 use crate::algorithms::alg2::CandidatePath;
@@ -79,6 +80,39 @@ use crate::plan::{DemandPlan, SwapMode};
 /// Gains below this threshold are treated as saturation and not worth
 /// qubits.
 const MIN_GAIN: f64 = 1e-9;
+
+/// Counter handles for the incremental gain queue. Default handles are
+/// no-ops; wire real ones with [`MergeCounters::from_registry`]. All
+/// counts are deterministic functions of the merge inputs.
+#[derive(Debug, Clone, Default)]
+pub struct MergeCounters {
+    /// Entries pushed into the gain heap (initial scores + rescores).
+    pub heap_pushes: Counter,
+    /// Candidates invalidated by acceptances (same-demand rescores plus
+    /// capacity-stale flags on node-overlapping candidates).
+    pub invalidations: Counter,
+    /// Popped entries skipped as superseded, killed, or capacity-stale.
+    pub stale_pops: Counter,
+    /// Candidates accepted into a plan.
+    pub accepts: Counter,
+}
+
+impl MergeCounters {
+    /// Creates handles named `alg3.heap_pushes`, `alg3.invalidations`,
+    /// `alg3.stale_pops`, and `alg3.accepts` in `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return MergeCounters::default();
+        }
+        MergeCounters {
+            heap_pushes: registry.counter("alg3.heap_pushes"),
+            invalidations: registry.counter("alg3.invalidations"),
+            stale_pops: registry.counter("alg3.stale_pops"),
+            accepts: registry.counter("alg3.accepts"),
+        }
+    }
+}
 
 /// The total acceptance order of the gain-per-qubit merge, shared by the
 /// queue and the reference re-scan so equal-score ties break identically:
@@ -301,16 +335,18 @@ struct GainQueue {
     /// sharing, awaiting a same-demand rescore).
     eval: Vec<Option<(MergeKey, BTreeMap<NodeId, u32>)>>,
     heap: BinaryHeap<Entry>,
+    counters: MergeCounters,
 }
 
 impl GainQueue {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, counters: &MergeCounters) -> Self {
         GainQueue {
             alive: vec![true; n],
             version: vec![0; n],
             capacity_stale: vec![false; n],
             eval: vec![None; n],
             heap: BinaryHeap::with_capacity(n),
+            counters: counters.clone(),
         }
     }
 
@@ -361,6 +397,7 @@ impl GainQueue {
         let key = MergeKey::new(gain, cost, ci);
         self.eval[ci] = Some((key, need));
         self.capacity_stale[ci] = false;
+        self.counters.heap_pushes.inc();
         self.heap.push(Entry {
             key,
             version: self.version[ci],
@@ -412,6 +449,37 @@ pub fn paths_merge_greedy_with_capacity(
     max_paths_per_demand: Option<usize>,
     capacity: &[u32],
 ) -> MergeOutcome {
+    paths_merge_greedy_counted(
+        net,
+        demands,
+        candidates,
+        mode,
+        share_edges,
+        max_paths_per_demand,
+        capacity,
+        &MergeCounters::default(),
+    )
+}
+
+/// [`paths_merge_greedy_with_capacity`] with queue counters recording
+/// into `counters`. Counters never influence the outcome — it stays
+/// byte-identical to the uncounted run.
+///
+/// # Panics
+///
+/// As [`paths_merge_greedy_with_capacity`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn paths_merge_greedy_counted(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    candidates: &[CandidatePath],
+    mode: SwapMode,
+    share_edges: bool,
+    max_paths_per_demand: Option<usize>,
+    capacity: &[u32],
+    counters: &MergeCounters,
+) -> MergeOutcome {
     assert!(
         capacity.len() >= net.node_count(),
         "capacity vector too short"
@@ -429,7 +497,7 @@ pub fn paths_merge_greedy_with_capacity(
         demands.iter().enumerate().map(|(i, d)| (d.id, i)).collect();
     let mut assigned: HashSet<(DemandId, (NodeId, NodeId))> = HashSet::new();
     let index = CandidateIndex::build(candidates);
-    let mut queue = GainQueue::new(candidates.len());
+    let mut queue = GainQueue::new(candidates.len(), counters);
 
     // Initial build: score every candidate against the empty plans.
     for (ci, cand) in candidates.iter().enumerate() {
@@ -445,6 +513,7 @@ pub fn paths_merge_greedy_with_capacity(
     while let Some(entry) = queue.heap.pop() {
         let ci = entry.key.index;
         if !queue.alive[ci] || entry.version != queue.version[ci] {
+            queue.counters.stale_pops.inc();
             continue; // superseded by a rescore, or killed
         }
         if queue.capacity_stale[ci] {
@@ -457,6 +526,7 @@ pub fn paths_merge_greedy_with_capacity(
                 .iter()
                 .any(|(&node, &amount)| remaining[node.index()] < amount)
             {
+                queue.counters.stale_pops.inc();
                 if ctx.share_edges {
                     // Park: a same-demand acceptance may shrink its need
                     // and revive it via the eager rescore.
@@ -470,6 +540,7 @@ pub fn paths_merge_greedy_with_capacity(
         }
 
         // Accept: highest current MergeKey among all feasible candidates.
+        queue.counters.accepts.inc();
         let (_, need) = queue.eval[ci].take().expect("live entry has an evaluation");
         let cand = &candidates[ci];
         let plan_idx = index_of[&cand.demand];
@@ -500,6 +571,7 @@ pub fn paths_merge_greedy_with_capacity(
             if !queue.alive[cj] {
                 continue;
             }
+            queue.counters.invalidations.inc();
             if candidates[cj].demand == cand.demand {
                 queue.rescore(&ctx, cj, plan, base, &assigned, &remaining);
             } else {

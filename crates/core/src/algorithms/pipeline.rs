@@ -4,6 +4,7 @@
 //! under [`SwapMode::NFusion`]; the paper's Q-CAST baseline is the same
 //! pipeline under [`SwapMode::Classic`].
 
+use fusion_telemetry::Registry;
 use serde::{Deserialize, Serialize};
 
 use crate::algorithms::{alg2, alg3, alg3_greedy, alg4};
@@ -257,6 +258,33 @@ pub fn route_with_capacity_traced(
     capacity: &[u32],
     threads: usize,
 ) -> RouteTrace {
+    route_with_capacity_counted(
+        net,
+        demands,
+        config,
+        capacity,
+        threads,
+        &Registry::disabled(),
+    )
+}
+
+/// [`route_with_capacity_traced`] with telemetry counters recording into
+/// `registry` (the `alg2.*`/`alg3.*` names). Counters never influence
+/// routing: the trace is byte-identical to the uncounted run, for any
+/// thread count.
+///
+/// # Panics
+///
+/// As [`route_with_capacity`].
+#[must_use]
+pub fn route_with_capacity_counted(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    config: &RoutingConfig,
+    capacity: &[u32],
+    threads: usize,
+    registry: &Registry,
+) -> RouteTrace {
     let max_width = config
         .max_width
         .unwrap_or_else(|| net.max_switch_capacity_in(capacity));
@@ -264,7 +292,7 @@ pub fn route_with_capacity_traced(
 
     // Step I: candidate construction against the given capacity.
     let candidates = match config.path_selection {
-        PathSelection::WidthDescent => alg2::paths_selection_parallel(
+        PathSelection::WidthDescent => alg2::paths_selection_parallel_counted(
             net,
             demands,
             capacity,
@@ -272,6 +300,7 @@ pub fn route_with_capacity_traced(
             max_width,
             config.mode,
             threads,
+            registry,
         ),
         PathSelection::PerWidthSweep => alg2::paths_selection_reference(
             net,
@@ -283,7 +312,7 @@ pub fn route_with_capacity_traced(
         ),
     };
 
-    route_from_candidates_traced(net, demands, config, capacity, candidates)
+    route_from_candidates_counted(net, demands, config, capacity, candidates, registry)
 }
 
 /// Steps II and III of the pipeline on an externally-built candidate set:
@@ -308,9 +337,34 @@ pub fn route_from_candidates_traced(
     capacity: &[u32],
     candidates: Vec<alg2::CandidatePath>,
 ) -> RouteTrace {
+    route_from_candidates_counted(
+        net,
+        demands,
+        config,
+        capacity,
+        candidates,
+        &Registry::disabled(),
+    )
+}
+
+/// [`route_from_candidates_traced`] with merge counters recording into
+/// `registry`. Counters never influence the outcome.
+///
+/// # Panics
+///
+/// As [`route_from_candidates_traced`].
+#[must_use]
+pub fn route_from_candidates_counted(
+    net: &QuantumNetwork,
+    demands: &[Demand],
+    config: &RoutingConfig,
+    capacity: &[u32],
+    candidates: Vec<alg2::CandidatePath>,
+    registry: &Registry,
+) -> RouteTrace {
     // Step II: capacity-aware merge.
     let merge = match config.merge_order {
-        MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy_with_capacity(
+        MergeOrder::GainPerQubit => alg3_greedy::paths_merge_greedy_counted(
             net,
             demands,
             &candidates,
@@ -318,6 +372,7 @@ pub fn route_from_candidates_traced(
             config.merge_paths,
             config.max_paths_per_demand,
             capacity,
+            &alg3_greedy::MergeCounters::from_registry(registry),
         ),
         MergeOrder::WidthMajor => alg3::paths_merge_bounded_with_capacity(
             net,

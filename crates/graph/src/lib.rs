@@ -53,6 +53,6 @@ pub use feasibility::{DescentReach, WidthFeasibility};
 pub use graph::{EdgeId, EdgeRef, NodeId, UnGraph};
 pub use metric::Metric;
 pub use path::{Path, PathError};
-pub use search::SearchScratch;
+pub use search::{SearchCounters, SearchScratch};
 pub use stamps::RecordedSet;
 pub use unionfind::{DisjointSets, GenerationalDisjointSets};

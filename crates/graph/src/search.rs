@@ -10,11 +10,44 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use fusion_telemetry::{Counter, Registry};
+
 use crate::graph::{EdgeRef, NodeId, UnGraph};
 use crate::metric::Metric;
 use crate::path::Path;
 
 const NO_PREV: usize = usize::MAX;
+
+/// Counter handles for the Dijkstra hot paths. Default handles are
+/// no-ops; wire real ones with [`SearchCounters::from_registry`] and
+/// assign to [`SearchScratch::counters`]. Counts are a pure function of
+/// the searches performed, so they live in the deterministic plane.
+#[derive(Debug, Clone, Default)]
+pub struct SearchCounters {
+    /// Heap pops that settled a node (stale entries excluded).
+    pub pops: Counter,
+    /// Distance-label writes: initial labels plus relaxations.
+    pub relaxations: Counter,
+    /// `run_to` calls that exhausted the frontier without settling the
+    /// target — the searches that prove unreachability.
+    pub exhaustions: Counter,
+}
+
+impl SearchCounters {
+    /// Creates handles named `<prefix>.pops`, `<prefix>.relaxations`,
+    /// and `<prefix>.exhaustions` in `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &Registry, prefix: &str) -> Self {
+        if !registry.is_enabled() {
+            return SearchCounters::default();
+        }
+        SearchCounters {
+            pops: registry.counter(&format!("{prefix}.pops")),
+            relaxations: registry.counter(&format!("{prefix}.relaxations")),
+            exhaustions: registry.counter(&format!("{prefix}.exhaustions")),
+        }
+    }
+}
 
 /// Reusable scratch arenas for [`dijkstra_with`] and
 /// [`max_product_dijkstra_with`].
@@ -54,6 +87,8 @@ pub struct SearchScratch {
     settled: crate::stamps::StampedSet,
     min_heap: BinaryHeap<Reverse<(Metric, NodeId)>>,
     max_heap: BinaryHeap<(Metric, NodeId)>,
+    /// Telemetry handles; disabled (free) by default.
+    pub counters: SearchCounters,
 }
 
 impl SearchScratch {
@@ -73,6 +108,7 @@ impl SearchScratch {
             settled: crate::stamps::StampedSet::default(),
             min_heap: BinaryHeap::new(),
             max_heap: BinaryHeap::new(),
+            counters: SearchCounters::default(),
         };
         scratch.settled.clear(nodes);
         scratch
@@ -107,6 +143,7 @@ impl SearchScratch {
     /// Writes `(dist, prev)` for node `i` in the current generation.
     #[inline]
     fn set(&mut self, i: usize, dist: f64, prev: usize) {
+        self.counters.relaxations.inc();
         self.dist[i] = dist;
         self.prev[i] = prev;
         self.stamps.mark(i);
@@ -347,6 +384,7 @@ where
             if self.scratch.dist[u.index()] != d.value() {
                 continue; // stale entry
             }
+            self.scratch.counters.pops.inc();
             self.scratch.settled.insert(u.index());
             for e in self.graph.incident_edges(u) {
                 let w = (self.cost)(e, e.weight);
@@ -376,6 +414,7 @@ where
             self.run_until(Some(target));
         }
         if !self.scratch.is_settled(target.index()) {
+            self.scratch.counters.exhaustions.inc();
             return None; // frontier exhausted: unreachable
         }
         walk_back(self.source, target, &self.scratch.prev)
@@ -555,6 +594,7 @@ where
             if self.scratch.dist[u.index()] != m.value() {
                 continue; // stale entry
             }
+            self.scratch.counters.pops.inc();
             self.scratch.settled.insert(u.index());
             // Transit factor applies when the path continues through u;
             // a forbidden transit settles u without expanding it.
@@ -596,6 +636,7 @@ where
             self.run_until(Some(target));
         }
         if !self.scratch.is_settled(target.index()) {
+            self.scratch.counters.exhaustions.inc();
             return None; // frontier exhausted: unreachable
         }
         let m = Metric::new(self.scratch.dist[target.index()]);

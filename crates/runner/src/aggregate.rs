@@ -35,6 +35,11 @@ pub struct GroupSummary {
     pub stddev: f64,
     /// Half-width of the ~95% confidence interval of the mean.
     pub ci95: f64,
+    /// Mean of each telemetry metric column (`m_<counter>`) across the
+    /// rows that carry it, sorted by column name. Empty for campaigns
+    /// recorded before the telemetry layer (or with it disabled), which
+    /// keeps their summaries byte-identical to what they were.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl GroupSummary {
@@ -51,6 +56,11 @@ impl GroupSummary {
             .push_num("mean_rate", self.mean_rate)
             .push_num("stddev", self.stddev)
             .push_num("ci95", self.ci95);
+        // Metric columns come last, after the pinned base schema, in
+        // sorted-name order (`summary_schema_is_pinned` enforces this).
+        for (name, mean) in &self.metrics {
+            row.push_num(&format!("mean_{name}"), *mean);
+        }
         row
     }
 }
@@ -92,6 +102,8 @@ pub fn aggregate_rows(rows: &[Row]) -> Vec<GroupSummary> {
 
     let mut groups: Vec<GroupSummary> = Vec::new();
     let mut acc = Welford::new();
+    let mut metric_acc: std::collections::BTreeMap<String, Welford> =
+        std::collections::BTreeMap::new();
     for row in sorted {
         let preset = row.str_field("preset").unwrap_or("").to_string();
         let switches = row.int_field("switches").unwrap_or(-1);
@@ -105,6 +117,7 @@ pub fn aggregate_rows(rows: &[Row]) -> Vec<GroupSummary> {
         });
         if !same_group {
             acc = Welford::new();
+            metric_acc.clear();
             groups.push(GroupSummary {
                 preset,
                 switches,
@@ -114,14 +127,31 @@ pub fn aggregate_rows(rows: &[Row]) -> Vec<GroupSummary> {
                 mean_rate: 0.0,
                 stddev: 0.0,
                 ci95: 0.0,
+                metrics: Vec::new(),
             });
         }
         acc.push(row.num_field("rate").expect("filtered above"));
+        // Telemetry columns fold through their own per-metric Welford
+        // streams, in the same canonical row order as `rate` (the means
+        // are exact over integers anyway, but the discipline keeps the
+        // serialization byte-stable if histogram-derived floats appear).
+        for (key, _) in row.fields() {
+            if !key.starts_with("m_") {
+                continue;
+            }
+            if let Some(value) = row.num_field(key) {
+                metric_acc.entry(key.clone()).or_default().push(value);
+            }
+        }
         let group = groups.last_mut().expect("pushed above");
         group.seeds = acc.count();
         group.mean_rate = acc.mean();
         group.stddev = acc.stddev();
         group.ci95 = acc.ci95_half();
+        group.metrics = metric_acc
+            .iter()
+            .map(|(name, w)| (name.clone(), w.mean()))
+            .collect();
     }
     groups
 }
@@ -160,6 +190,14 @@ pub fn parse_summary_json(text: &str) -> Result<Vec<GroupSummary>, String> {
             continue;
         }
         let row = Row::parse_json(line)?;
+        let metrics = row
+            .fields()
+            .iter()
+            .filter_map(|(key, _)| {
+                let name = key.strip_prefix("mean_m_")?;
+                Some((format!("m_{name}"), row.num_field(key)?))
+            })
+            .collect();
         out.push(GroupSummary {
             preset: row.str_field("preset").unwrap_or("").to_string(),
             switches: row.int_field("switches").unwrap_or(-1),
@@ -170,6 +208,7 @@ pub fn parse_summary_json(text: &str) -> Result<Vec<GroupSummary>, String> {
             mean_rate: row.num_field("mean_rate").unwrap_or(0.0),
             stddev: row.num_field("stddev").unwrap_or(0.0),
             ci95: row.num_field("ci95").unwrap_or(0.0),
+            metrics,
         });
     }
     Ok(out)
@@ -278,6 +317,61 @@ mod tests {
         let summaries = aggregate_rows(&rows);
         assert_eq!(summaries.len(), 1);
         assert_eq!(summaries[0].seeds, 1);
+    }
+
+    #[test]
+    fn metric_columns_aggregate_to_means() {
+        let mut r0 = result_row("a", 100, "ALG-N-FUSION", 0, 1.0);
+        r0.push_int("m_alg2.search.pops", 10)
+            .push_int("m_mc.rounds", 400);
+        let mut r1 = result_row("a", 100, "ALG-N-FUSION", 1, 2.0);
+        r1.push_int("m_alg2.search.pops", 30)
+            .push_int("m_mc.rounds", 400);
+        let summaries = aggregate_rows(&[r0, r1]);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(
+            summaries[0].metrics,
+            vec![
+                ("m_alg2.search.pops".to_string(), 20.0),
+                ("m_mc.rounds".to_string(), 400.0),
+            ]
+        );
+        let text = summary_json(&summaries);
+        assert!(text.contains("\"mean_m_alg2.search.pops\""));
+        assert_eq!(parse_summary_json(&text).unwrap(), summaries);
+    }
+
+    #[test]
+    fn summary_schema_is_pinned() {
+        // The serialized column order is part of the summary.json
+        // contract: the base statistics columns in this exact order,
+        // then every telemetry metric column (`mean_m_<counter>`)
+        // strictly after them in sorted-name order. A new metric column
+        // must extend the tail, never reorder the base schema.
+        let mut row = result_row("a", 100, "ALG-N-FUSION", 0, 1.0);
+        row.push_int("m_zz.last", 1).push_int("m_aa.first", 2);
+        let summaries = aggregate_rows(&[row]);
+        let keys: Vec<String> = summaries[0]
+            .to_row()
+            .fields()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                "preset",
+                "switches",
+                "load",
+                "algorithm",
+                "seeds",
+                "mean_rate",
+                "stddev",
+                "ci95",
+                "mean_m_aa.first",
+                "mean_m_zz.last",
+            ]
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use fusion_bench::figures::scale_row;
+use fusion_bench::figures::scale_row_with;
 use fusion_bench::report::Row;
+use fusion_telemetry::Registry;
 use parking_lot::Mutex;
 
 use crate::aggregate::{aggregate_rows, render_table, summary_json, GroupSummary};
@@ -61,10 +62,14 @@ pub struct CampaignOutcome {
 
 /// Executes one cell into its result row. Deterministic fields come from
 /// the cell's derived seed; wall-clock fields (`*_ms`, `over_budget`) are
-/// informational and excluded from aggregation.
+/// informational and excluded from aggregation. Each cell gets a fresh
+/// enabled telemetry registry, so the `m_<counter>` metric columns are a
+/// pure function of that cell's work — independent of which worker ran
+/// it, of `--threads`, and of kill/resume boundaries.
 fn execute_cell(cell: &Cell, budget_seconds: Option<f64>) -> Row {
     let start = Instant::now();
-    let measured = scale_row(&cell.config, &cell.preset, cell.algorithm, 0);
+    let registry = Registry::enabled();
+    let measured = scale_row_with(&cell.config, &cell.preset, cell.algorithm, 0, &registry);
     let wall = start.elapsed().as_secs_f64();
     let mut row = Row::new();
     #[allow(clippy::cast_possible_wrap)]

@@ -97,6 +97,12 @@ mc_rounds = 25
         assert_eq!(row.str_field("preset"), Some("quick"));
         assert!(row.num_field("rate").is_some_and(|r| r >= 0.0));
         assert!(row.num_field("wall_ms").is_some());
+        // Every cell runs under an enabled registry: its deterministic
+        // counters land in the row as `m_<counter>` columns.
+        assert!(
+            row.int_field("m_mc.rounds").is_some_and(|r| r > 0),
+            "cell row is missing telemetry columns"
+        );
     }
     let manifest = store.load_manifest().unwrap().unwrap();
     assert!(manifest.done);
@@ -168,5 +174,12 @@ proptest! {
         prop_assert_eq!(&serial, &threaded, "threads must not change results");
         let resumed = summary_bytes(&spec, "resumed", 4, Some(kill_after));
         prop_assert_eq!(&serial, &resumed, "kill+resume must not change results");
+        // The byte-comparison above now includes the telemetry metric
+        // columns; make sure they are actually there to be compared.
+        prop_assert!(
+            serial.contains("\"mean_m_mc.rounds\""),
+            "summary is missing telemetry metric columns: {}",
+            serial
+        );
     }
 }

@@ -5,14 +5,17 @@
 //! serve replay --preset NAME [--instance I] [--events N] [--seed S]
 //!              [--arrival-rate F] [--mean-holding F] [--link-down-rate F]
 //!              [--user-pool N] [--strategy incremental|from-scratch]
-//!              [--stats] [--mc-rounds N] [--audit-every N] [--log FILE]
+//!              [--stats] [--metrics FILE] [--mc-rounds N]
+//!              [--audit-every N] [--log FILE]
 //!     Builds the preset's network, generates a seeded trace, replays it,
 //!     and prints throughput (events/sec), admission statistics, and the
 //!     log fingerprint. Same preset + flags => byte-identical log, and
 //!     the log is strategy-independent: --strategy only changes speed.
 //!     --user-pool restricts demands to the first N users (recurring
 //!     demands, the cache's regime); --stats prints the candidate-cache
-//!     hit/invalidation counters after an incremental replay.
+//!     hit/invalidation counters from the telemetry registry after an
+//!     incremental replay; --metrics writes the full deterministic-plane
+//!     snapshot (every counter and histogram) as versioned flat JSON.
 //!
 //! serve presets
 //!     Lists the preset names.
@@ -29,11 +32,15 @@ use fusion_core::algorithms::AdmitStrategy;
 use fusion_serve::{
     generate, presets, replay, resolve_preset, ReplayOptions, ServiceState, TraceConfig,
 };
+use fusion_telemetry::Registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("replay") => run_replay(&args[1..]),
+        Some("replay") => match parse_replay_args(&args[1..]) {
+            Ok(parsed) => run_replay(&parsed),
+            Err(e) => die(&e),
+        },
         Some("presets") => {
             for p in presets() {
                 println!(
@@ -48,9 +55,8 @@ fn main() {
                 "                    [--arrival-rate F] [--mean-holding F] [--link-down-rate F]"
             );
             println!("                    [--user-pool N] [--strategy incremental|from-scratch]");
-            println!(
-                "                    [--stats] [--mc-rounds N] [--audit-every N] [--log FILE]"
-            );
+            println!("                    [--stats] [--metrics FILE] [--mc-rounds N]");
+            println!("                    [--audit-every N] [--log FILE]");
             println!("       serve presets");
         }
         Some(other) => die(&format!(
@@ -59,48 +65,86 @@ fn main() {
     }
 }
 
-fn run_replay(args: &[String]) {
-    let mut preset_name = String::from("quick");
-    let mut instance = 0usize;
-    let mut trace_config = TraceConfig::default();
-    let mut options = ReplayOptions::default();
-    let mut log_path: Option<PathBuf> = None;
-    let mut strategy: Option<AdmitStrategy> = None;
-    let mut print_stats = false;
+/// Everything `serve replay` accepts, parsed and validated.
+#[derive(Debug, Clone, PartialEq)]
+struct ReplayArgs {
+    preset_name: String,
+    instance: usize,
+    trace_config: TraceConfig,
+    options: ReplayOptions,
+    log_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    strategy: Option<AdmitStrategy>,
+    print_stats: bool,
+}
 
+impl Default for ReplayArgs {
+    fn default() -> Self {
+        ReplayArgs {
+            preset_name: String::from("quick"),
+            instance: 0,
+            trace_config: TraceConfig::default(),
+            options: ReplayOptions::default(),
+            log_path: None,
+            metrics_path: None,
+            strategy: None,
+            print_stats: false,
+        }
+    }
+}
+
+/// Parses `serve replay` flags. Kept free of `exit` calls so the unit
+/// tests below can cover the rejection paths: unknown flags, missing
+/// values, and a `--flag` token where a value was expected are all hard
+/// errors rather than being silently consumed.
+fn parse_replay_args(args: &[String]) -> Result<ReplayArgs, String> {
+    let mut parsed = ReplayArgs::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--preset" => preset_name = next_str(&mut it, "--preset"),
-            "--instance" => instance = next_parsed(&mut it, "--instance"),
-            "--events" => trace_config.events = next_parsed(&mut it, "--events"),
-            "--seed" => trace_config.seed = next_parsed(&mut it, "--seed"),
-            "--arrival-rate" => trace_config.arrival_rate = next_parsed(&mut it, "--arrival-rate"),
-            "--mean-holding" => trace_config.mean_holding = next_parsed(&mut it, "--mean-holding"),
-            "--link-down-rate" => {
-                trace_config.link_down_rate = next_parsed(&mut it, "--link-down-rate");
+            "--preset" => parsed.preset_name = next_str(&mut it, "--preset")?,
+            "--instance" => parsed.instance = next_parsed(&mut it, "--instance")?,
+            "--events" => parsed.trace_config.events = next_parsed(&mut it, "--events")?,
+            "--seed" => parsed.trace_config.seed = next_parsed(&mut it, "--seed")?,
+            "--arrival-rate" => {
+                parsed.trace_config.arrival_rate = next_parsed(&mut it, "--arrival-rate")?;
             }
-            "--user-pool" => trace_config.user_pool = next_parsed(&mut it, "--user-pool"),
+            "--mean-holding" => {
+                parsed.trace_config.mean_holding = next_parsed(&mut it, "--mean-holding")?;
+            }
+            "--link-down-rate" => {
+                parsed.trace_config.link_down_rate = next_parsed(&mut it, "--link-down-rate")?;
+            }
+            "--user-pool" => parsed.trace_config.user_pool = next_parsed(&mut it, "--user-pool")?,
             "--strategy" => {
-                strategy = Some(match next_str(&mut it, "--strategy").as_str() {
+                parsed.strategy = Some(match next_str(&mut it, "--strategy")?.as_str() {
                     "incremental" => AdmitStrategy::Incremental,
                     "from-scratch" => AdmitStrategy::FromScratch,
-                    other => die(&format!(
-                        "--strategy must be incremental or from-scratch, got {other}"
-                    )),
+                    other => {
+                        return Err(format!(
+                            "--strategy must be incremental or from-scratch, got {other}"
+                        ));
+                    }
                 });
             }
-            "--stats" => print_stats = true,
-            "--mc-rounds" => options.mc_rounds = next_parsed(&mut it, "--mc-rounds"),
-            "--audit-every" => options.audit_every = next_parsed(&mut it, "--audit-every"),
-            "--log" => log_path = Some(PathBuf::from(next_str(&mut it, "--log"))),
-            other => die(&format!("unknown flag {other}")),
+            "--stats" => parsed.print_stats = true,
+            "--metrics" => {
+                parsed.metrics_path = Some(PathBuf::from(next_str(&mut it, "--metrics")?))
+            }
+            "--mc-rounds" => parsed.options.mc_rounds = next_parsed(&mut it, "--mc-rounds")?,
+            "--audit-every" => parsed.options.audit_every = next_parsed(&mut it, "--audit-every")?,
+            "--log" => parsed.log_path = Some(PathBuf::from(next_str(&mut it, "--log")?)),
+            other => return Err(format!("unknown flag {other}")),
         }
     }
+    Ok(parsed)
+}
 
-    let Some(preset) = resolve_preset(&preset_name) else {
+fn run_replay(args: &ReplayArgs) {
+    let Some(preset) = resolve_preset(&args.preset_name) else {
         die(&format!(
-            "unknown preset {preset_name}; available: {}",
+            "unknown preset {}; available: {}",
+            args.preset_name,
             presets()
                 .iter()
                 .map(|p| p.name)
@@ -109,27 +153,35 @@ fn run_replay(args: &[String]) {
         ));
     };
 
-    eprintln!("building {} instance {instance}...", preset.name);
-    let net = preset.network_instance(instance);
+    eprintln!("building {} instance {}...", preset.name, args.instance);
+    let net = preset.network_instance(args.instance);
     eprintln!(
         "  {} nodes, {} edges",
         net.node_count(),
         net.graph().edge_count()
     );
     let mut routing = preset.routing_config();
-    if let Some(s) = strategy {
+    if let Some(s) = args.strategy {
         routing.admit_strategy = s;
     }
-    let mut state = ServiceState::new(net, routing);
-    let trace = generate(state.network(), &trace_config);
+    // Telemetry is observational only — logs and digests are identical
+    // either way — so the registry is enabled exactly when some output
+    // reads it.
+    let registry = if args.print_stats || args.metrics_path.is_some() {
+        Registry::enabled()
+    } else {
+        Registry::disabled()
+    };
+    let mut state = ServiceState::with_telemetry(net, routing, registry);
+    let trace = generate(state.network(), &args.trace_config);
     eprintln!(
         "replaying {} events (seed {:#x})...",
         trace.events.len(),
-        trace_config.seed
+        args.trace_config.seed
     );
 
     let started = Instant::now();
-    let report = replay(&mut state, &trace, &options);
+    let report = replay(&mut state, &trace, &args.options);
     let elapsed = started.elapsed();
     state
         .audit()
@@ -159,52 +211,150 @@ fn run_replay(args: &[String]) {
     println!("rate sum         {:.6}", stats.admitted_rate_sum);
     println!("log fingerprint  {:016x}", report.fingerprint());
 
-    if print_stats {
-        match state.cache_stats() {
-            Some(c) => {
-                println!("cache admissions {}", c.admissions);
-                println!(
-                    "cache hits       {} full, {} partial, {} miss",
-                    c.full_hits, c.partial_hits, c.misses
-                );
-                println!(
-                    "widths           {} reused, {} recomputed ({:.4} hit fraction)",
-                    c.widths_reused,
-                    c.widths_recomputed,
-                    c.width_hit_fraction()
-                );
-                println!(
-                    "invalidations    {} by node, {} by edge, {} entries evicted",
-                    c.invalidated_by_node, c.invalidated_by_edge, c.entries_evicted
-                );
-            }
-            None => println!("cache            (from-scratch strategy: no cache)"),
+    if args.print_stats {
+        let snap = state.registry().snapshot();
+        if snap.get("serve.cache.admissions").is_some() {
+            let v = |name: &str| snap.value(name);
+            println!("cache admissions {}", v("serve.cache.admissions"));
+            println!(
+                "cache hits       {} full, {} partial, {} miss",
+                v("serve.cache.full_hits"),
+                v("serve.cache.partial_hits"),
+                v("serve.cache.misses")
+            );
+            let reused = v("serve.cache.widths_reused");
+            let recomputed = v("serve.cache.widths_recomputed");
+            let consulted = reused + recomputed;
+            let hit_fraction = if consulted == 0 {
+                0.0
+            } else {
+                reused as f64 / consulted as f64
+            };
+            println!(
+                "widths           {reused} reused, {recomputed} recomputed ({hit_fraction:.4} hit fraction)",
+            );
+            println!(
+                "invalidations    {} by node, {} by edge, {} entries evicted",
+                v("serve.cache.invalidated_by_node"),
+                v("serve.cache.invalidated_by_edge"),
+                v("serve.cache.entries_evicted")
+            );
+        } else {
+            println!("cache            (from-scratch strategy: no cache)");
         }
+        println!("metrics digest   {:016x}", snap.digest());
     }
 
-    if let Some(path) = log_path {
+    if let Some(path) = &args.metrics_path {
+        let snap = state.registry().snapshot();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            die(&format!("could not write {}: {e}", path.display()));
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &args.log_path {
         let mut text = report.log.join("\n");
         text.push('\n');
-        if let Err(e) = std::fs::write(&path, text) {
+        if let Err(e) = std::fs::write(path, text) {
             die(&format!("could not write {}: {e}", path.display()));
         }
         eprintln!("wrote {}", path.display());
     }
 }
 
-fn next_str(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
-    it.next()
-        .cloned()
-        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+/// The next token as a flag value. A missing token or one that is itself
+/// a `--flag` is an error — `serve replay --log --stats` means a
+/// forgotten value, not a file named `--stats`.
+fn next_str(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    match it.next() {
+        Some(v) if v.starts_with("--") => {
+            Err(format!("{flag} needs a value, found flag {v} instead"))
+        }
+        Some(v) => Ok(v.clone()),
+        None => Err(format!("{flag} needs a value")),
+    }
 }
 
-fn next_parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
-    let raw = next_str(it, flag);
+fn next_parsed<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = next_str(it, flag)?;
     raw.parse()
-        .unwrap_or_else(|_| die(&format!("{flag} could not parse {raw}")))
+        .map_err(|_| format!("{flag} could not parse {raw}"))
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("serve: {msg}");
     std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_flag_set() {
+        let parsed = parse_replay_args(&strs(&[
+            "--preset",
+            "large-1k",
+            "--events",
+            "5000",
+            "--seed",
+            "7",
+            "--user-pool",
+            "8",
+            "--strategy",
+            "from-scratch",
+            "--stats",
+            "--metrics",
+            "out.json",
+            "--mc-rounds",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.preset_name, "large-1k");
+        assert_eq!(parsed.trace_config.events, 5000);
+        assert_eq!(parsed.trace_config.seed, 7);
+        assert_eq!(parsed.trace_config.user_pool, 8);
+        assert_eq!(parsed.strategy, Some(AdmitStrategy::FromScratch));
+        assert!(parsed.print_stats);
+        assert_eq!(parsed.metrics_path, Some(PathBuf::from("out.json")));
+        assert_eq!(parsed.options.mc_rounds, 16);
+    }
+
+    #[test]
+    fn defaults_match_an_empty_invocation() {
+        assert_eq!(parse_replay_args(&[]).unwrap(), ReplayArgs::default());
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        let err = parse_replay_args(&strs(&["--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        // Bare positional words are equally unknown.
+        assert!(parse_replay_args(&strs(&["surprise"])).is_err());
+    }
+
+    #[test]
+    fn a_flag_is_not_a_value() {
+        // `--log --stats` is a forgotten value, not a file named --stats.
+        let err = parse_replay_args(&strs(&["--log", "--stats"])).unwrap_err();
+        assert!(err.contains("--log needs a value"), "{err}");
+        let err = parse_replay_args(&strs(&["--events"])).unwrap_err();
+        assert!(err.contains("--events needs a value"), "{err}");
+    }
+
+    #[test]
+    fn bad_values_are_reported_with_their_flag() {
+        let err = parse_replay_args(&strs(&["--events", "many"])).unwrap_err();
+        assert!(err.contains("--events could not parse many"), "{err}");
+        let err = parse_replay_args(&strs(&["--strategy", "psychic"])).unwrap_err();
+        assert!(err.contains("incremental or from-scratch"), "{err}");
+    }
 }

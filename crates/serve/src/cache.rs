@@ -41,48 +41,70 @@ use std::collections::BTreeMap;
 use fusion_core::algorithms::{node_width_thresholds, CandidatePath, SelectedWidth};
 use fusion_core::{DemandId, QuantumNetwork};
 use fusion_graph::{EdgeId, NodeId};
+use fusion_telemetry::{Counter, Histogram, Registry};
 
-/// Aggregate counters of the incremental admission cache, reported by
-/// `serve replay --stats` and
-/// [`ServiceState::cache_stats`](crate::state::ServiceState::cache_stats).
+/// Telemetry handles of the incremental admission cache, registered under
+/// `serve.cache.*`; `serve replay --stats` reports them from the
+/// registry snapshot.
 ///
 /// Deliberately *not* part of [`ReplayStats`](crate::replay::ReplayStats)
 /// or the state digest: the oracles byte-compare those across strategies,
 /// and cache behavior is exactly the thing that differs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Incremental admissions that consulted the cache.
-    pub admissions: u64,
-    /// Admissions served entirely from cached widths (no search ran).
-    pub full_hits: u64,
+#[derive(Debug, Clone, Default)]
+pub struct CacheCounters {
+    /// Incremental admissions that consulted the cache
+    /// (`serve.cache.admissions`).
+    pub admissions: Counter,
+    /// Admissions served entirely from cached widths — no search ran
+    /// (`serve.cache.full_hits`).
+    pub full_hits: Counter,
     /// Admissions that reused at least one width and recomputed at least
-    /// one.
-    pub partial_hits: u64,
-    /// Admissions that recomputed every width.
-    pub misses: u64,
-    /// Width slices served from cache, across all admissions.
-    pub widths_reused: u64,
-    /// Width slices recomputed by the engine, across all admissions.
-    pub widths_recomputed: u64,
+    /// one (`serve.cache.partial_hits`).
+    pub partial_hits: Counter,
+    /// Admissions that recomputed every width (`serve.cache.misses`).
+    pub misses: Counter,
+    /// Width slices served from cache, across all admissions
+    /// (`serve.cache.widths_reused`).
+    pub widths_reused: Counter,
+    /// Width slices recomputed by the engine, across all admissions
+    /// (`serve.cache.widths_recomputed`).
+    pub widths_recomputed: Counter,
     /// Slots dropped because a residual delta flipped a feasibility
-    /// answer on their footprint.
-    pub invalidated_by_node: u64,
-    /// Slots dropped because a cached candidate crossed a failed link.
-    pub invalidated_by_edge: u64,
-    /// Whole pair entries evicted by the entry cap.
-    pub entries_evicted: u64,
+    /// answer on their footprint (`serve.cache.invalidated_by_node`).
+    pub invalidated_by_node: Counter,
+    /// Slots dropped because a cached candidate crossed a failed link
+    /// (`serve.cache.invalidated_by_edge`).
+    pub invalidated_by_edge: Counter,
+    /// Whole pair entries evicted by the entry cap
+    /// (`serve.cache.entries_evicted`).
+    pub entries_evicted: Counter,
+    /// Distribution of stored footprint sizes, in nodes
+    /// (`serve.cache.footprint_nodes`).
+    pub footprint_nodes: Histogram,
+    /// Distribution of slots killed per applied ledger delta
+    /// (`serve.cache.killed_per_delta`).
+    pub killed_per_delta: Histogram,
 }
 
-impl CacheStats {
-    /// Fraction of consulted width slices served from cache, in `[0, 1]`
-    /// (`0` when nothing was consulted yet).
+impl CacheCounters {
+    /// Creates the `serve.cache.*` handles in `registry`.
     #[must_use]
-    pub fn width_hit_fraction(&self) -> f64 {
-        let total = self.widths_reused + self.widths_recomputed;
-        if total == 0 {
-            0.0
-        } else {
-            self.widths_reused as f64 / total as f64
+    pub fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return CacheCounters::default();
+        }
+        CacheCounters {
+            admissions: registry.counter("serve.cache.admissions"),
+            full_hits: registry.counter("serve.cache.full_hits"),
+            partial_hits: registry.counter("serve.cache.partial_hits"),
+            misses: registry.counter("serve.cache.misses"),
+            widths_reused: registry.counter("serve.cache.widths_reused"),
+            widths_recomputed: registry.counter("serve.cache.widths_recomputed"),
+            invalidated_by_node: registry.counter("serve.cache.invalidated_by_node"),
+            invalidated_by_edge: registry.counter("serve.cache.invalidated_by_edge"),
+            entries_evicted: registry.counter("serve.cache.entries_evicted"),
+            footprint_nodes: registry.histogram("serve.cache.footprint_nodes"),
+            killed_per_delta: registry.histogram("serve.cache.killed_per_delta"),
         }
     }
 }
@@ -125,13 +147,14 @@ pub(crate) struct CandidateCache {
     max_entries: usize,
     postings_since_sweep: usize,
     sweep_threshold: usize,
-    stats: CacheStats,
+    counters: CacheCounters,
 }
 
 impl CandidateCache {
     /// An empty cache sized for `net`, keeping at most `max_entries`
-    /// pair entries (least-recently-stored evicted first).
-    pub(crate) fn new(net: &QuantumNetwork, max_entries: usize) -> Self {
+    /// pair entries (least-recently-stored evicted first), recording its
+    /// `serve.cache.*` telemetry into `registry`.
+    pub(crate) fn new(net: &QuantumNetwork, max_entries: usize, registry: &Registry) -> Self {
         assert!(max_entries > 0, "cache needs room for at least one pair");
         let nodes = net.node_count();
         let edges = net.graph().edge_count();
@@ -144,13 +167,8 @@ impl CandidateCache {
             max_entries,
             postings_since_sweep: 0,
             sweep_threshold: (8 * (nodes + edges)).max(4096),
-            stats: CacheStats::default(),
+            counters: CacheCounters::from_registry(registry),
         }
-    }
-
-    /// Counters so far.
-    pub(crate) fn stats(&self) -> CacheStats {
-        self.stats
     }
 
     /// The cached candidates for `(key, width)`, re-stamped with the
@@ -182,22 +200,22 @@ impl CandidateCache {
         selected: &[SelectedWidth],
     ) {
         self.clock += 1;
-        self.stats.admissions += 1;
+        self.counters.admissions.inc();
         let reused = selected.iter().filter(|s| s.footprint.is_none()).count() as u64;
         let recomputed = selected.len() as u64 - reused;
-        self.stats.widths_reused += reused;
-        self.stats.widths_recomputed += recomputed;
+        self.counters.widths_reused.add(reused);
+        self.counters.widths_recomputed.add(recomputed);
         if recomputed == 0 {
-            self.stats.full_hits += 1;
+            self.counters.full_hits.inc();
             // Nothing new to store; cached slots stay as they are.
             if let Some(entry) = self.entries.get_mut(&key) {
                 entry.last_touch = self.clock;
             }
             return;
         } else if reused > 0 {
-            self.stats.partial_hits += 1;
+            self.counters.partial_hits.inc();
         } else {
-            self.stats.misses += 1;
+            self.counters.misses.inc();
         }
 
         let clock = self.clock;
@@ -209,6 +227,7 @@ impl CandidateCache {
             let Some(footprint) = &sel.footprint else {
                 continue;
             };
+            self.counters.footprint_nodes.record(footprint.len() as u64);
             let wi = sel.width as usize - 1;
             if entry.slots.len() <= wi {
                 entry.slots.resize_with(wi + 1, || None);
@@ -259,7 +278,7 @@ impl CandidateCache {
                 .map(|(k, _)| *k);
             if let Some(k) = victim {
                 self.entries.remove(&k);
-                self.stats.entries_evicted += 1;
+                self.counters.entries_evicted.inc();
             }
         }
 
@@ -287,18 +306,21 @@ impl CandidateCache {
         let (relay_old, endpoint_old) = node_width_thresholds(net, node, old);
         let (relay_new, endpoint_new) = node_width_thresholds(net, node, new);
         let mut postings = std::mem::take(&mut self.node_postings[node.index()]);
+        let mut killed = 0u64;
         postings.retain(|p| {
             if self.slot_gen(p.key, p.width) != Some(p.gen) {
                 return false; // stale: slot replaced, dropped, or evicted
             }
             if flips(p.width, relay_old, relay_new) || flips(p.width, endpoint_old, endpoint_new) {
                 self.kill_slot(p.key, p.width);
-                self.stats.invalidated_by_node += 1;
+                killed += 1;
                 false
             } else {
                 true
             }
         });
+        self.counters.invalidated_by_node.add(killed);
+        self.counters.killed_per_delta.record(killed);
         self.node_postings[node.index()] = postings;
     }
 
@@ -311,7 +333,7 @@ impl CandidateCache {
         for p in postings.drain(..) {
             if self.slot_gen(p.key, p.width) == Some(p.gen) {
                 self.kill_slot(p.key, p.width);
-                self.stats.invalidated_by_edge += 1;
+                self.counters.invalidated_by_edge.inc();
             }
         }
         self.edge_postings[canon.index()] = postings;
@@ -408,16 +430,15 @@ mod tests {
     fn unchanged_capacity_is_a_full_hit_with_identical_bytes() {
         let (net, demands) = world();
         let caps = net.capacities();
-        let mut cache = CandidateCache::new(&net, 64);
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
         let mut engine = SelectionEngine::new();
         let first = select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 4);
         let second = select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 4);
         assert_eq!(first, second);
-        let stats = cache.stats();
-        assert_eq!(stats.admissions, 2);
-        assert_eq!(stats.misses, 1);
-        assert_eq!(stats.full_hits, 1);
-        assert_eq!(stats.widths_reused, 4);
+        assert_eq!(cache.counters.admissions.value(), 2);
+        assert_eq!(cache.counters.misses.value(), 1);
+        assert_eq!(cache.counters.full_hits.value(), 1);
+        assert_eq!(cache.counters.widths_reused.value(), 4);
     }
 
     #[test]
@@ -438,7 +459,7 @@ mod tests {
     fn node_delta_outside_band_keeps_slots() {
         let (net, demands) = world();
         let caps = net.capacities();
-        let mut cache = CandidateCache::new(&net, 64);
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
         let mut engine = SelectionEngine::new();
         select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 2);
         // A switch losing 2 of its 10 qubits flips relay 5 -> 4 and
@@ -449,23 +470,27 @@ mod tests {
             .find(|&v| net.is_switch(v) && caps[v.index()] == 10)
             .expect("default params give switches 10 qubits");
         cache.apply_node_delta(&net, sw, 10, 8);
-        assert_eq!(cache.stats().invalidated_by_node, 0);
+        assert_eq!(cache.counters.invalidated_by_node.value(), 0);
         select_and_store(&mut cache, &mut engine, &net, &demands[0], &caps, 2);
-        assert_eq!(cache.stats().full_hits, 1, "slots must have survived");
+        assert_eq!(
+            cache.counters.full_hits.value(),
+            1,
+            "slots must have survived"
+        );
     }
 
     #[test]
     fn node_delta_in_band_drops_only_affected_widths() {
         let (net, demands) = world();
         let caps = net.capacities();
-        let mut cache = CandidateCache::new(&net, 64);
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
         let mut engine = SelectionEngine::new();
         let d = &demands[0];
         select_and_store(&mut cache, &mut engine, &net, d, &caps, 3);
         // Dropping the source user's capacity to 0 flips its endpoint
         // feasibility at every width; the source is in every footprint.
         cache.apply_node_delta(&net, d.source, caps[d.source.index()], 0);
-        assert_eq!(cache.stats().invalidated_by_node, 3);
+        assert_eq!(cache.counters.invalidated_by_node.value(), 3);
         assert!(cache.reuse((d.source, d.dest), 1, d.id).is_none());
     }
 
@@ -473,7 +498,7 @@ mod tests {
     fn fail_edge_drops_slots_whose_candidates_cross_it() {
         let (net, demands) = world();
         let caps = net.capacities();
-        let mut cache = CandidateCache::new(&net, 64);
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
         let mut engine = SelectionEngine::new();
         let d = &demands[0];
         let flat = select_and_store(&mut cache, &mut engine, &net, d, &caps, 2);
@@ -486,9 +511,9 @@ mod tests {
             return; // nothing routed on this world; nothing to test
         };
         cache.fail_edge(&net, edge);
-        assert!(cache.stats().invalidated_by_edge > 0);
+        assert!(cache.counters.invalidated_by_edge.value() > 0);
         // An edge no candidate crosses must not invalidate anything.
-        let before = cache.stats().invalidated_by_edge;
+        let before = cache.counters.invalidated_by_edge.value();
         let unused = net.graph().edge_ids().find(|&e| {
             let (u, v) = net.graph().endpoints(e);
             !flat.iter().any(|c| {
@@ -500,7 +525,7 @@ mod tests {
         });
         if let Some(e) = unused {
             cache.fail_edge(&net, e);
-            assert_eq!(cache.stats().invalidated_by_edge, before);
+            assert_eq!(cache.counters.invalidated_by_edge.value(), before);
         }
     }
 
@@ -508,12 +533,12 @@ mod tests {
     fn entry_cap_evicts_oldest_pair() {
         let (net, demands) = world();
         let caps = net.capacities();
-        let mut cache = CandidateCache::new(&net, 2);
+        let mut cache = CandidateCache::new(&net, 2, &Registry::enabled());
         let mut engine = SelectionEngine::new();
         for d in demands.iter().take(3) {
             select_and_store(&mut cache, &mut engine, &net, d, &caps, 2);
         }
-        assert_eq!(cache.stats().entries_evicted, 1);
+        assert_eq!(cache.counters.entries_evicted.value(), 1);
         assert_eq!(cache.entries.len(), 2);
         // The first-stored pair is gone; the last two remain.
         let d0 = &demands[0];
@@ -524,7 +549,7 @@ mod tests {
     fn sweep_discards_stale_postings() {
         let (net, demands) = world();
         let caps = net.capacities();
-        let mut cache = CandidateCache::new(&net, 64);
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
         cache.sweep_threshold = 1; // sweep after every store
         let mut engine = SelectionEngine::new();
         let d = &demands[0];

@@ -52,7 +52,7 @@ pub mod replay;
 pub mod state;
 pub mod trace;
 
-pub use cache::CacheStats;
+pub use cache::CacheCounters;
 pub use ledger::{LedgerError, ResidualLedger};
 pub use presets::{presets, resolve_preset, ServePreset};
 pub use replay::{replay, ReplayOptions, ReplayReport, ReplayStats};

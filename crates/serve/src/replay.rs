@@ -10,12 +10,20 @@
 //! `AdmitStrategy::Incremental` (the candidate cache) and
 //! `AdmitStrategy::FromScratch` must produce the same log and the same
 //! [`ReplayStats`] on every trace — only wall-clock differs. Cache
-//! behaviour is observable separately through
-//! [`ServiceState::cache_stats`](crate::ServiceState::cache_stats).
+//! behaviour is observable separately through the `serve.cache.*`
+//! counters in the state's telemetry registry
+//! ([`ServiceState::registry`](crate::ServiceState::registry)).
+//!
+//! When the state carries an enabled registry, the replay loop also
+//! folds the final [`ReplayStats`] into `serve.replay.*` counters (one
+//! bulk add per counter, after the event loop) and wraps the loop in a
+//! `serve.replay` wall-time span — the span stays in the timing plane
+//! and never reaches a snapshot.
 
 use std::collections::BTreeMap;
 
-use fusion_sim::estimate_demand_plan;
+use fusion_sim::{estimate_demand_plan_counted, McCounters};
+use fusion_telemetry::Registry;
 
 use crate::state::{AdmitOutcome, PlanId, RejectReason, ServiceState};
 use crate::trace::{Trace, TraceEventKind};
@@ -127,6 +135,9 @@ impl ReplayReport {
 /// Panics if the ledger audit fails (`audit_every > 0`) — that is a bug
 /// in the engine, not in the trace.
 pub fn replay(state: &mut ServiceState, trace: &Trace, options: &ReplayOptions) -> ReplayReport {
+    let registry = state.registry().clone();
+    let mc_counters = McCounters::from_registry(&registry);
+    let _span = registry.span("serve.replay");
     let mut log = Vec::with_capacity(trace.events.len());
     let mut stats = ReplayStats::default();
     // arrival index -> live plan id (removed again on departure/eviction).
@@ -154,12 +165,13 @@ pub fn replay(state: &mut ServiceState, trace: &Trace, options: &ReplayOptions) 
                         );
                         if options.mc_rounds > 0 {
                             let plan = &state.get(id).expect("just admitted").plan;
-                            let est = estimate_demand_plan(
+                            let est = estimate_demand_plan_counted(
                                 state.network(),
                                 plan,
                                 state.config().mode,
                                 options.mc_rounds,
                                 options.mc_seed.wrapping_add(id.index()),
+                                &mc_counters,
                             );
                             line.push_str(&format!(" mc={:016x}", est.mean.to_bits()));
                         }
@@ -214,7 +226,28 @@ pub fn replay(state: &mut ServiceState, trace: &Trace, options: &ReplayOptions) 
 
     stats.final_live = state.live_count();
     stats.final_epoch = state.epoch();
+    record_replay_counters(&registry, &stats);
     ReplayReport { log, stats }
+}
+
+/// Folds one replay's aggregate stats into the `serve.replay.*` counters:
+/// a handful of bulk adds, so the per-event path pays nothing. Gauges
+/// (`final_live`, `final_epoch`, `admitted_rate_sum`) stay out — counters
+/// are monotonic event counts and those are end-of-replay state.
+fn record_replay_counters(registry: &Registry, stats: &ReplayStats) {
+    if !registry.is_enabled() {
+        return;
+    }
+    let add = |name: &str, value: usize| registry.counter(name).add(value as u64);
+    add("serve.replay.events", stats.events);
+    add("serve.replay.arrivals", stats.arrivals);
+    add("serve.replay.admitted", stats.admitted);
+    add("serve.replay.rejected_no_route", stats.rejected_no_route);
+    add("serve.replay.rejected_saturated", stats.rejected_saturated);
+    add("serve.replay.departures", stats.departures);
+    add("serve.replay.depart_noops", stats.depart_noops);
+    add("serve.replay.link_downs", stats.link_downs);
+    add("serve.replay.evicted", stats.evicted);
 }
 
 #[cfg(test)]

@@ -19,13 +19,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use fusion_core::algorithms::{
-    route_from_candidates_traced, route_with_capacity_traced, AdmitStrategy, CandidatePath,
+    route_from_candidates_counted, route_with_capacity_counted, AdmitStrategy, CandidatePath,
     RouteTrace, RoutingConfig, SelectionEngine, SelectionQuery,
 };
 use fusion_core::{Demand, DemandId, DemandPlan, QuantumNetwork, ResourceUsage};
 use fusion_graph::{EdgeId, NodeId};
+use fusion_telemetry::Registry;
 
-use crate::cache::{CacheStats, CandidateCache};
+use crate::cache::CandidateCache;
 use crate::ledger::ResidualLedger;
 
 /// Upper bound on cached `(source, dest)` pair entries. Far above any
@@ -140,18 +141,35 @@ pub struct ServiceState {
     /// [`AdmitStrategy::Incremental`]. Not part of the digest: the cache
     /// only ever changes *when* work happens, never *what* is computed.
     incremental: Option<Box<IncrementalAdmission>>,
+    /// The telemetry registry every layer under this state records into
+    /// (`serve.cache.*`, `alg2.*`, `alg3.*`, `mc.*`, `serve.replay.*`).
+    /// Disabled by default; never part of the digest.
+    registry: Registry,
 }
 
 impl ServiceState {
-    /// A fresh service over `net`: no live plans, everything free.
+    /// A fresh service over `net`: no live plans, everything free, no
+    /// telemetry recorded.
     #[must_use]
     pub fn new(net: QuantumNetwork, config: RoutingConfig) -> Self {
+        Self::with_telemetry(net, config, Registry::disabled())
+    }
+
+    /// [`new`](ServiceState::new), recording telemetry into `registry`.
+    /// Counters are observational only: enabled and disabled registries
+    /// produce byte-identical plans, logs, and digests.
+    #[must_use]
+    pub fn with_telemetry(net: QuantumNetwork, config: RoutingConfig, registry: Registry) -> Self {
         let ledger = ResidualLedger::new(&net);
         let incremental = match config.admit_strategy {
-            AdmitStrategy::Incremental => Some(Box::new(IncrementalAdmission {
-                engine: SelectionEngine::new(),
-                cache: CandidateCache::new(&net, MAX_CACHED_PAIRS),
-            })),
+            AdmitStrategy::Incremental => {
+                let mut engine = SelectionEngine::new();
+                engine.set_registry(&registry);
+                Some(Box::new(IncrementalAdmission {
+                    engine,
+                    cache: CandidateCache::new(&net, MAX_CACHED_PAIRS, &registry),
+                }))
+            }
             AdmitStrategy::FromScratch => None,
         };
         ServiceState {
@@ -162,7 +180,16 @@ impl ServiceState {
             live: BTreeMap::new(),
             ledger,
             incremental,
+            registry,
         }
+    }
+
+    /// The telemetry registry this state records into. Snapshot it for
+    /// `serve.cache.*` / `alg2.*` counters, or hand it to co-operating
+    /// layers (the replay loop records `serve.replay.*` through it).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The network being served.
@@ -240,7 +267,7 @@ impl ServiceState {
 
     /// Runs the *from-scratch* admission pipeline for `source -> dest`
     /// against the residual ledger — always
-    /// [`route_with_capacity_traced`] end to end, regardless of
+    /// [`route_with_capacity_counted`] end to end, regardless of
     /// `config.admit_strategy` — *without mutating anything*, returning
     /// the full per-stage trace. `None` when no switch has a free qubit
     /// (the pipeline cannot run on a width bound of zero).
@@ -260,12 +287,13 @@ impl ServiceState {
             return None;
         }
         let demand = self.next_demand(source, dest);
-        Some(route_with_capacity_traced(
+        Some(route_with_capacity_counted(
             &self.net,
             &[demand],
             &self.config,
             residual,
             1,
+            &self.registry,
         ))
     }
 
@@ -283,6 +311,7 @@ impl ServiceState {
             next_plan,
             ledger,
             incremental,
+            registry,
             ..
         } = self;
         let residual = ledger.residual();
@@ -316,12 +345,13 @@ impl ServiceState {
         cache.store(net, key, &selected);
         let candidates: Vec<CandidatePath> =
             selected.into_iter().flat_map(|s| s.candidates).collect();
-        Some(route_from_candidates_traced(
+        Some(route_from_candidates_counted(
             net,
             &[demand],
             config,
             residual,
             candidates,
+            registry,
         ))
     }
 
@@ -439,13 +469,6 @@ impl ServiceState {
             let new = if charge { old - qubits } else { old + qubits };
             inc.cache.apply_node_delta(net, node, old, new);
         }
-    }
-
-    /// Counters of the incremental admission cache; `None` under
-    /// [`AdmitStrategy::FromScratch`].
-    #[must_use]
-    pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.incremental.as_ref().map(|inc| inc.cache.stats())
     }
 
     /// Tears a live plan down, returning its capacity to the ledger

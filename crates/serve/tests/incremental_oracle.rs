@@ -26,6 +26,7 @@ use fusion_core::{NetworkParams, QuantumNetwork};
 use fusion_serve::{
     replay, AdmitOutcome, ReplayOptions, ServiceState, TraceConfig, TraceEventKind,
 };
+use fusion_telemetry::Registry;
 use fusion_topology::{GeneratorKind, TopologyConfig};
 
 use proptest::prelude::*;
@@ -63,13 +64,16 @@ fn build_state(
     } else {
         RoutingConfig::n_fusion()
     };
-    ServiceState::new(
+    // Enabled telemetry throughout: the oracle's byte-identity assertions
+    // double as proof that counters never affect behavior.
+    ServiceState::with_telemetry(
         net,
         RoutingConfig {
             h,
             admit_strategy: strategy,
             ..base
         },
+        Registry::enabled(),
     )
 }
 
@@ -219,12 +223,12 @@ fn check_incremental_case(
         true,
         "replay digests diverged"
     );
-    // The incremental run must actually have exercised the cache.
-    let stats = fresh_inc
-        .cache_stats()
-        .expect("incremental state has a cache");
-    prop_assert_eq!(stats.admissions > 0, events > 0);
-    prop_assert!(fresh_scr.cache_stats().is_none());
+    // The incremental run must actually have exercised the cache, and
+    // only the incremental strategy may register cache counters.
+    let snap_inc = fresh_inc.registry().snapshot();
+    prop_assert_eq!(snap_inc.value("serve.cache.admissions") > 0, events > 0);
+    let snap_scr = fresh_scr.registry().snapshot();
+    prop_assert!(snap_scr.get("serve.cache.admissions").is_none());
     Ok(())
 }
 

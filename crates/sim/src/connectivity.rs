@@ -77,6 +77,19 @@ impl PlanSampler {
             PlanSampler::Classic(s) => s.sample(rng),
         }
     }
+
+    /// Fusion draws one round performs: one per participating switch
+    /// under n-fusion, zero under classic swapping (BSMs there are
+    /// conditional on lane survival, not unconditional per-round draws).
+    /// A pure function of the plan, so round-count telemetry derived from
+    /// it stays deterministic.
+    #[must_use]
+    pub fn fusion_draws_per_round(&self) -> u64 {
+        match self {
+            PlanSampler::Flow(s) => s.fusion_draws_per_round(),
+            PlanSampler::Classic(_) => 0,
+        }
+    }
 }
 
 /// Allocation-free n-fusion round sampler (percolation over the flow-like
@@ -124,6 +137,12 @@ impl FlowSampler {
             sink: index.get(&flow.sink()).copied(),
             q: net.swap_success(),
         }
+    }
+
+    /// Fusion draws per round: one per switch in the flow.
+    #[must_use]
+    pub fn fusion_draws_per_round(&self) -> u64 {
+        self.switch_mask.iter().filter(|&&s| s).count() as u64
     }
 
     /// Samples one percolation round.

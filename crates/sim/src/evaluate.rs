@@ -7,6 +7,7 @@
 //! `(seed, threads)` pair.
 
 use fusion_core::{DemandPlan, NetworkPlan, QuantumNetwork, SwapMode};
+use fusion_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +15,41 @@ use serde::{Deserialize, Serialize};
 
 use crate::connectivity::PlanSampler;
 use crate::stats::RateEstimate;
+
+/// Counter handles for the Monte Carlo layer. Default handles are
+/// no-ops; wire real ones with [`McCounters::from_registry`]. Both
+/// counts are pure functions of `(plan, rounds)` — fusion draws per
+/// round are fixed by the plan — so they are deterministic and
+/// independent of how rounds are sharded over threads.
+#[derive(Debug, Clone, Default)]
+pub struct McCounters {
+    /// Monte Carlo rounds simulated (per demand plan).
+    pub rounds: Counter,
+    /// Fusion draws performed across those rounds.
+    pub fusion_attempts: Counter,
+}
+
+impl McCounters {
+    /// Creates handles named `mc.rounds` and `mc.fusion_attempts` in
+    /// `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return McCounters::default();
+        }
+        McCounters {
+            rounds: registry.counter("mc.rounds"),
+            fusion_attempts: registry.counter("mc.fusion_attempts"),
+        }
+    }
+
+    /// Records `rounds` rounds of `sampler`.
+    fn record(&self, sampler: &PlanSampler, rounds: usize) {
+        self.rounds.add(rounds as u64);
+        self.fusion_attempts
+            .add(rounds as u64 * sampler.fusion_draws_per_round());
+    }
+}
 
 /// Monte Carlo estimate of a routed network's entanglement rate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,6 +97,25 @@ pub fn estimate_demand_plan(
     rounds: usize,
     seed: u64,
 ) -> RateEstimate {
+    estimate_demand_plan_counted(net, plan, mode, rounds, seed, &McCounters::default())
+}
+
+/// [`estimate_demand_plan`] with telemetry counters. The counts are
+/// recorded in bulk after the simulation loop, so instrumentation adds
+/// no per-round cost.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn estimate_demand_plan_counted(
+    net: &QuantumNetwork,
+    plan: &DemandPlan,
+    mode: SwapMode,
+    rounds: usize,
+    seed: u64,
+    counters: &McCounters,
+) -> RateEstimate {
     assert!(rounds > 0, "need at least one round");
     let mut sampler = PlanSampler::new(net, plan, mode);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -70,6 +125,7 @@ pub fn estimate_demand_plan(
             hits += 1;
         }
     }
+    counters.record(&sampler, rounds);
     RateEstimate::from_successes(hits, rounds)
 }
 
@@ -85,6 +141,23 @@ pub fn estimate_plan(
     rounds: usize,
     seed: u64,
 ) -> PlanEstimate {
+    estimate_plan_counted(net, plan, rounds, seed, &McCounters::default())
+}
+
+/// [`estimate_plan`] with telemetry counters, recorded in bulk per
+/// demand after its simulation loop.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn estimate_plan_counted(
+    net: &QuantumNetwork,
+    plan: &NetworkPlan,
+    rounds: usize,
+    seed: u64,
+    counters: &McCounters,
+) -> PlanEstimate {
     assert!(rounds > 0, "need at least one round");
     let per_demand = plan
         .plans
@@ -99,6 +172,7 @@ pub fn estimate_plan(
                     hits += 1;
                 }
             }
+            counters.record(&sampler, rounds);
             RateEstimate::from_successes(hits, rounds)
         })
         .collect();
@@ -119,10 +193,36 @@ pub fn estimate_plan_parallel(
     seed: u64,
     threads: usize,
 ) -> PlanEstimate {
+    estimate_plan_parallel_counted(net, plan, rounds, seed, threads, &McCounters::default())
+}
+
+/// [`estimate_plan_parallel`] with telemetry counters.
+///
+/// Counts are recorded once per demand from the main thread using the
+/// effective round count (`rounds` rounded up to a multiple of
+/// `threads`, exactly what [`PlanEstimate::rounds`] reports), so
+/// snapshots match the serial variant whenever `threads` divides
+/// `rounds` and never depend on worker scheduling.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0` or `threads == 0`.
+#[must_use]
+pub fn estimate_plan_parallel_counted(
+    net: &QuantumNetwork,
+    plan: &NetworkPlan,
+    rounds: usize,
+    seed: u64,
+    threads: usize,
+    counters: &McCounters,
+) -> PlanEstimate {
     assert!(rounds > 0, "need at least one round");
     assert!(threads > 0, "need at least one thread");
     let per_thread = rounds.div_ceil(threads);
     let total_rounds = per_thread * threads;
+    for dp in &plan.plans {
+        counters.record(&PlanSampler::new(net, dp, plan.mode), total_rounds);
+    }
     let hits: Vec<Mutex<usize>> = plan.plans.iter().map(|_| Mutex::new(0usize)).collect();
 
     crossbeam::scope(|scope| {

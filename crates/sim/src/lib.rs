@@ -38,6 +38,9 @@ pub mod stats;
 pub mod timeline;
 
 pub use connectivity::{ClassicSampler, FlowSampler, PlanSampler};
-pub use evaluate::{estimate_demand_plan, estimate_plan, estimate_plan_parallel, PlanEstimate};
+pub use evaluate::{
+    estimate_demand_plan, estimate_demand_plan_counted, estimate_plan, estimate_plan_counted,
+    estimate_plan_parallel, estimate_plan_parallel_counted, McCounters, PlanEstimate,
+};
 pub use protocol::{RoundOutcome, RoundSimulator};
 pub use stats::RateEstimate;
