@@ -56,7 +56,7 @@ pub const CALIBRATION: &str = "calibration";
 /// Stable workload names, in execution order. Must stay in sync with the
 /// committed `BENCH_BASELINE.json` — `workload_set_matches_baseline_keys`
 /// fails otherwise, so a new workload cannot silently escape the CI gate.
-pub const WORKLOADS: [&str; 10] = [
+pub const WORKLOADS: [&str; 11] = [
     CALIBRATION,
     "alg1_path_search",
     "alg2_selection",
@@ -67,6 +67,7 @@ pub const WORKLOADS: [&str; 10] = [
     "scale_1k_route",
     "serve_replay",
     "serve_replay_incremental",
+    "serve_replay_churn",
 ];
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -336,6 +337,43 @@ pub fn run_workload_with(name: &str, reps: usize, registry: &Registry) -> BenchR
                 mean_holding: 400.0,
                 link_down_rate: 0.05,
                 user_pool: 4,
+                ..fusion_serve::TraceConfig::default()
+            };
+            let probe = fusion_serve::ServiceState::new(net.clone(), routing);
+            let trace = fusion_serve::generate(probe.network(), &trace_config);
+            time_workload(name, reps, || {
+                let mut state = fusion_serve::ServiceState::with_telemetry(
+                    net.clone(),
+                    routing,
+                    registry.clone(),
+                );
+                let report = fusion_serve::replay(
+                    &mut state,
+                    &trace,
+                    &fusion_serve::ReplayOptions::default(),
+                );
+                black_box(report.fingerprint());
+            })
+        }
+        "serve_replay_churn" => {
+            // The incremental cache's *adversarial* regime: every arrival
+            // a fresh random user pair (`user_pool: 0`) and short-held
+            // sessions, so footprints die in fractions of an event and
+            // almost every admission recomputes — plus link-downs to
+            // drive `fail_link` eviction and the slice-repair machinery.
+            // This gate bounds the cache's overhead where it cannot win:
+            // a regression here means the miss path (lookup, footprint
+            // recording, store, invalidation scans, repair bookkeeping)
+            // got more expensive relative to pure from-scratch routing.
+            let preset = fusion_serve::resolve_preset("quick").expect("quick serve preset");
+            let net = preset.network_instance(0);
+            let mut routing = preset.routing_config();
+            routing.admit_strategy = AdmitStrategy::Incremental;
+            let trace_config = fusion_serve::TraceConfig {
+                events: 600,
+                mean_holding: 8.0,
+                link_down_rate: 0.05,
+                user_pool: 0,
                 ..fusion_serve::TraceConfig::default()
             };
             let probe = fusion_serve::ServiceState::new(net.clone(), routing);

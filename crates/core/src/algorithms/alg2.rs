@@ -34,9 +34,9 @@
 //! (`crates/core/tests/alg2_differential.rs`) enforces over random
 //! networks, loads, seeds, and modes.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use fusion_graph::search::max_product_resume;
+use fusion_graph::search::{max_product_restore, max_product_resume, ResumeSnapshot};
 use fusion_graph::{
     DescentReach, Metric, NodeId, Path, RecordedSet, SearchCounters, SearchScratch,
     WidthFeasibility,
@@ -297,45 +297,79 @@ impl DescentContext {
 /// construction under a capacity vector with identical feasibility
 /// answers on the footprint reproduces the candidates byte-for-byte (see
 /// [`SelectionEngine`]).
+///
+/// Reads are *stratified by search ordinal*: each node is tagged with the
+/// index (within the width's deterministic search sequence — first path,
+/// then every Yen spur in issue order) of the first search that read it.
+/// Because Yen's control state after `k` searches is a pure function of
+/// the first `k` results, and a search's result is a pure function of its
+/// own reads, a capacity delta that flips a node first read at ordinal
+/// `k > 0` leaves the first `k` recorded results exactly reproducible —
+/// the basis of the serve layer's partial slice repair.
 #[derive(Debug, Clone, Default)]
 struct FootprintRecorder {
     reads: RecordedSet,
+    /// First-read search ordinal, parallel to `reads.members()`.
+    ordinals: Vec<u32>,
+    /// Ordinal of the search currently issuing reads.
+    current: u32,
     reach_folded: bool,
 }
 
 impl FootprintRecorder {
     fn begin_width(&mut self, nodes: usize) {
         self.reads.clear(nodes);
+        self.ordinals.clear();
+        self.current = 0;
         self.reach_folded = false;
     }
 
     #[inline]
     fn read(&mut self, v: NodeId) {
-        self.reads.insert(v.index());
+        if self.reads.insert(v.index()) {
+            self.ordinals.push(self.current);
+        }
     }
 
     /// Folds in the reach view's dependency set (R ∪ ∂R) — needed once
     /// per width the first time a negative reachability certificate
-    /// decides a search's outcome.
+    /// decides a search's outcome. Later searches deciding on the same
+    /// certificate depend on the same set, whose first-read ordinals are
+    /// ≤ theirs, so folding once keeps the stratification sound.
     fn fold_reach(&mut self, reach: &DescentReach) {
         if !self.reach_folded {
             self.reach_folded = true;
             for v in reach.reached_nodes() {
-                self.reads.insert(v.index());
+                if self.reads.insert(v.index()) {
+                    self.ordinals.push(self.current);
+                }
             }
         }
     }
 
-    fn drain(&mut self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
+    fn drain(&mut self) -> Vec<(NodeId, u32)> {
+        let mut out: Vec<(NodeId, u32)> = self
             .reads
             .members()
             .iter()
-            .map(|&i| NodeId::new(i))
+            .zip(&self.ordinals)
+            .map(|(&i, &o)| (NodeId::new(i), o))
             .collect();
-        out.sort_unstable();
+        out.sort_unstable_by_key(|&(v, _)| v);
         out
     }
+}
+
+/// The engine's per-width search log/replay plane. When installed, every
+/// search the Yen construction issues is recorded in issue order; a
+/// leading prefix of previously recorded results may be *served* in place
+/// of searching (partial repair — see [`WidthReuse::Repair`]).
+#[derive(Debug, Clone, Default)]
+struct ReplayState {
+    /// Recorded results served verbatim for ordinals `0..serve.len()`.
+    serve: Vec<Option<(Path, Metric)>>,
+    /// Every result issued so far this width, served and live alike.
+    log: Vec<Option<(Path, Metric)>>,
 }
 
 /// Counter handles for the width-descent engine's decision points.
@@ -376,6 +410,12 @@ struct DescentState {
     /// Installed only by [`SelectionEngine`]; the batch engines leave it
     /// `None` and pay one predictable branch per probe.
     recorder: Option<FootprintRecorder>,
+    /// Search log/replay plane; installed per width by
+    /// [`SelectionEngine::select_demand`], `None` in the batch engines.
+    replay: Option<ReplayState>,
+    /// Per-source shared shortest-path trees; opted into by
+    /// [`SelectionEngine::enable_spt`], `None` everywhere else.
+    spt: Option<Box<SptCache>>,
     counters: SelectionCounters,
 }
 
@@ -391,6 +431,8 @@ impl DescentState {
             scratch,
             reach: DescentReach::new(),
             recorder: None,
+            replay: None,
+            spt: None,
             counters: SelectionCounters::from_registry(registry),
         }
     }
@@ -486,6 +528,7 @@ fn descent_search(
     constraints: &PathConstraints,
     ctx: &DescentContext,
     state: &mut DescentState,
+    use_spt: bool,
 ) -> Option<(Path, Metric)> {
     debug_assert_eq!(state.reach.width(), width, "descent out of step");
     if source == dest {
@@ -495,7 +538,9 @@ fn descent_search(
         scratch,
         reach,
         recorder,
+        spt,
         counters,
+        ..
     } = state;
     if let Some(r) = recorder.as_mut() {
         // The endpoint checks below read both endpoints' thresholds.
@@ -521,6 +566,16 @@ fn descent_search(
             r.fold_reach(reach);
         }
         return None;
+    }
+
+    // Unconstrained first searches may be answered from the per-source
+    // shared SPT: same bytes (the tree is a paused run of exactly this
+    // search's relaxation sequence over the dest-agnostic subgraph),
+    // usually far fewer settles.
+    if use_spt && constraints.banned_nodes.is_empty() && constraints.banned_hops.is_empty() {
+        if let Some(spt) = spt.as_deref_mut() {
+            return spt.serve(net, ctx, width, source, dest, recorder.as_mut());
+        }
     }
 
     let q = net.swap_success();
@@ -557,6 +612,45 @@ fn descent_search(
     .run_to(dest)
 }
 
+/// Issues one of a width's searches through the replay plane: an ordinal
+/// inside the replay prefix is served from the recorded log verbatim (no
+/// graph work, no reads — validity is the caller's contract, enforced by
+/// the ordinal-stratified footprint), anything else searches live and is
+/// appended to the log. With no replay installed this is a plain
+/// [`descent_search`], byte for byte and counter for counter.
+#[allow(clippy::too_many_arguments)]
+fn driven_search(
+    net: &QuantumNetwork,
+    source: NodeId,
+    dest: NodeId,
+    width: u32,
+    constraints: &PathConstraints,
+    ctx: &DescentContext,
+    state: &mut DescentState,
+    is_spur: bool,
+) -> Option<(Path, Metric)> {
+    if let Some(rp) = state.replay.as_mut() {
+        let ordinal = rp.log.len();
+        if ordinal < rp.serve.len() {
+            let served = rp.serve[ordinal].clone();
+            rp.log.push(served.clone());
+            return served;
+        }
+    }
+    if is_spur {
+        state.counters.spur_searches.inc();
+    }
+    let ordinal = state.replay.as_ref().map_or(0, |rp| rp.log.len() as u32);
+    if let Some(r) = state.recorder.as_mut() {
+        r.current = ordinal;
+    }
+    let result = descent_search(net, source, dest, width, constraints, ctx, state, !is_spur);
+    if let Some(rp) = state.replay.as_mut() {
+        rp.log.push(result.clone());
+    }
+    result
+}
+
 /// Yen's algorithm over Algorithm 1 for one demand at one width, driven
 /// by the width-descent search. The deviation structure is identical to
 /// [`k_best_paths`]; only how each underlying query is answered differs.
@@ -570,7 +664,7 @@ fn k_best_paths_descent(
 ) -> Vec<Path> {
     let base = PathConstraints::default();
     let Some((first, metric)) =
-        descent_search(net, demand.source, demand.dest, width, &base, ctx, state)
+        driven_search(net, demand.source, demand.dest, width, &base, ctx, state, false)
     else {
         return Vec::new();
     };
@@ -631,9 +725,8 @@ fn k_best_paths_descent(
                 cons.ban_node(n);
             }
 
-            state.counters.spur_searches.inc();
             let Some((spur, _)) =
-                descent_search(net, spur_node, demand.dest, width, &cons, ctx, state)
+                driven_search(net, spur_node, demand.dest, width, &cons, ctx, state, true)
             else {
                 continue;
             };
@@ -688,13 +781,338 @@ pub struct SelectedWidth {
     pub width: u32,
     /// The width's candidates, in the engine's canonical order.
     pub candidates: Vec<CandidatePath>,
-    /// For recomputed widths, the sorted set of nodes whose feasibility
-    /// was read while constructing `candidates` — the width's exact
-    /// dependency set: as long as no node in it changes its feasibility
-    /// answers at this width, re-running the construction yields the
-    /// same bytes. `None` when the candidates came from the caller's
-    /// reuse closure.
-    pub footprint: Option<Vec<NodeId>>,
+    /// For recomputed (or repaired) widths, the nodes whose feasibility
+    /// was read *live* while constructing `candidates`, each tagged with
+    /// the ordinal of the first search that read it, sorted by node —
+    /// the width's exact dependency set: as long as no node in it
+    /// changes its feasibility answers at this width, re-running the
+    /// construction yields the same bytes. `None` when the candidates
+    /// came back as [`WidthReuse::Full`]. After a repair, reads owned by
+    /// the served prefix are *not* re-recorded here; the caller merges
+    /// this with the prior footprint's sub-`served` stratum.
+    pub footprint: Option<Vec<(NodeId, u32)>>,
+    /// Every search result of the width's construction, in issue order
+    /// (`log[0]` is the first path, then each Yen spur) — the recorded
+    /// deviation state a later [`WidthReuse::Repair`] replays. `None`
+    /// for [`WidthReuse::Full`] slices.
+    pub log: Option<Vec<Option<(Path, Metric)>>>,
+    /// How many leading `log` entries were served from a repair seed
+    /// rather than searched; `0` for a from-scratch recompute.
+    pub served: u32,
+}
+
+/// Per-width verdict the reuse closure hands
+/// [`SelectionEngine::select_demand`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WidthReuse {
+    /// The cached candidates are valid as-is: served byte-for-byte,
+    /// nothing searched.
+    Full(Vec<CandidatePath>),
+    /// The width's cached construction is damaged but not dead: replay
+    /// the still-valid prefix of its search log, search live from there.
+    Repair(RepairSeed),
+    /// Nothing cached (or damaged beyond repair): search from scratch.
+    Miss,
+}
+
+/// Seed for a partial repair (see [`WidthReuse::Repair`]): the recorded
+/// search log of the width's previous construction plus how much of it
+/// is still exactly reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairSeed {
+    /// The previous construction's per-search results, issue order.
+    pub log: Vec<Option<(Path, Metric)>>,
+    /// Leading `log` entries whose read sets are untouched; the engine
+    /// serves exactly `min(intact, log.len())` entries.
+    pub intact: u32,
+}
+
+/// Counter handles for the per-source shared shortest-path-tree cache.
+/// Default handles are no-ops; wire real ones with
+/// [`SptCounters::from_registry`]. Counts never influence routing output.
+#[derive(Debug, Clone, Default)]
+pub struct SptCounters {
+    /// First-path searches routed through the SPT cache.
+    pub queries: Counter,
+    /// Queries that found a still-valid parked tree to resume.
+    pub hits: Counter,
+    /// Parked trees discarded because a recorded relay answer flipped.
+    pub invalidated: Counter,
+    /// Settled nodes inherited from parked trees instead of re-searched.
+    pub shared_settles: Counter,
+}
+
+impl SptCounters {
+    /// Creates handles named `alg2.spt.{queries,hits,invalidated,
+    /// shared_settles}` in `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return SptCounters::default();
+        }
+        SptCounters {
+            queries: registry.counter("alg2.spt.queries"),
+            hits: registry.counter("alg2.spt.hits"),
+            invalidated: registry.counter("alg2.spt.invalidated"),
+            shared_settles: registry.counter("alg2.spt.shared_settles"),
+        }
+    }
+}
+
+/// One parked per-`(source, width)` max-product run over the dest-agnostic
+/// switch subgraph, resumable where it paused.
+#[derive(Debug, Clone)]
+struct SptTree {
+    snapshot: ResumeSnapshot,
+    /// Settle order (what the resume capture needs back).
+    order: Vec<NodeId>,
+    /// Every switch whose relay answer the tree's relaxations consulted —
+    /// the tree's exact validity dependency set.
+    read_set: HashSet<NodeId>,
+    /// Flip-clock value the tree was last verified/extended at.
+    stamp: u64,
+    /// LRU clock value of the last serve.
+    last_used: u64,
+}
+
+/// A per-source shortest-path-tree cache serving the engine's
+/// unconstrained first-path searches (see
+/// [`SelectionEngine::enable_spt`]).
+///
+/// The key idea: an unconstrained width-`w` search's relaxation plane is
+/// *destination-agnostic* except at the destination itself — every
+/// non-destination target is gated on `relay_feasible(to, w)`, and users
+/// (relay width 0) are never relaxed at all. So one paused
+/// [`max_product_resume`] run per `(source, width)` over switch targets
+/// only is shared by every destination: a query folds the destination's
+/// incident relaxations in on top (in settle order, with the plain
+/// search's exact improvement rule) and stops precisely where the
+/// goal-directed search would have settled the destination. Trees are
+/// parked as [`ResumeSnapshot`]s and extended on later, deeper queries —
+/// the restored run relaxes in the original sequence, so results stay
+/// byte-identical to searching from scratch.
+///
+/// Validity follows the same generation-stamp discipline as the serve
+/// layer's candidate cache: every relay answer a tree's construction read
+/// is in its `read_set`; `SptCache::note_node_delta` advances a flip
+/// clock and records, per width band, the tick at which each node's relay
+/// answer last flipped; a tree is resumable iff none of its reads flipped
+/// after its stamp.
+#[derive(Debug, Clone, Default)]
+pub struct SptCache {
+    trees: HashMap<(NodeId, u32), SptTree>,
+    scratch: SearchScratch,
+    /// `last_flip[w - 1][node]` = flip-clock tick of the most recent
+    /// relay-answer flip of `node` at width `w`; rows grow lazily as
+    /// widths are first queried.
+    last_flip: Vec<Vec<u64>>,
+    /// Flip clock: advances once per reported capacity delta.
+    tick: u64,
+    /// LRU clock: advances once per serve.
+    use_clock: u64,
+    counters: SptCounters,
+}
+
+impl SptCache {
+    /// Parked-tree cap; eviction is deterministic (oldest `last_used`,
+    /// ties on key), so runs are reproducible.
+    const MAX_TREES: usize = 512;
+
+    fn ensure_width(&mut self, nodes: usize, width: u32) {
+        while self.last_flip.len() < width as usize {
+            // A fresh row (all zeros) is sound: no tree at this width can
+            // exist yet, and new trees stamp at the current tick.
+            self.last_flip.push(vec![0; nodes]);
+        }
+    }
+
+    /// Records one applied capacity delta `old -> new` at `node`: bumps
+    /// the flip clock and stamps every width band whose relay answer at
+    /// `node` the delta flips. Endpoint-threshold flips are irrelevant —
+    /// trees only ever read relay answers (the engine records endpoint
+    /// reads per slice, outside the tree).
+    fn note_node_delta(&mut self, net: &QuantumNetwork, node: NodeId, old: u32, new: u32) {
+        self.tick += 1;
+        let (relay_old, _) = node_width_thresholds(net, node, old);
+        let (relay_new, _) = node_width_thresholds(net, node, new);
+        if relay_old == relay_new {
+            return;
+        }
+        let lo = relay_old.min(relay_new);
+        let hi = relay_old.max(relay_new);
+        for w in 1..=self.last_flip.len() as u32 {
+            // `relay >= w` changes exactly for lo < w <= hi — the same
+            // band arithmetic the serve cache's `flips` uses.
+            if lo < w && w <= hi {
+                self.last_flip[(w - 1) as usize][node.index()] = self.tick;
+            }
+        }
+    }
+
+    /// Answers one unconstrained width-`width` first-path query from
+    /// `source` to `dest`, byte-identical to the plain goal-directed
+    /// [`max_product_resume`]`.run_to(dest)` the engine would otherwise
+    /// issue. Folds the tree's relay reads into `recorder` (a superset of
+    /// the plain search's reads restricted to switches; user relay reads
+    /// are provably answer-constant and omitted).
+    fn serve(
+        &mut self,
+        net: &QuantumNetwork,
+        ctx: &DescentContext,
+        width: u32,
+        source: NodeId,
+        dest: NodeId,
+        recorder: Option<&mut FootprintRecorder>,
+    ) -> Option<(Path, Metric)> {
+        self.ensure_width(net.node_count(), width);
+        self.counters.queries.inc();
+        let key = (source, width);
+        let row = &self.last_flip[(width - 1) as usize];
+        let parked = match self.trees.remove(&key) {
+            Some(t) if t.read_set.iter().all(|v| row[v.index()] <= t.stamp) => {
+                self.counters.hits.inc();
+                self.counters.shared_settles.add(t.order.len() as u64);
+                Some(t)
+            }
+            Some(_) => {
+                self.counters.invalidated.inc();
+                None
+            }
+            None => None,
+        };
+        let (snapshot, mut order, mut read_set) = match parked {
+            Some(SptTree {
+                snapshot,
+                order,
+                read_set,
+                ..
+            }) => (Some(snapshot), order, read_set),
+            None => (None, Vec::new(), HashSet::new()),
+        };
+
+        let graph = net.graph();
+        let q = net.swap_success();
+        let feas = &ctx.feas;
+        let channel = &ctx.channel[(width - 1) as usize];
+        let reads = &mut read_set;
+        let ef = move |from, e: fusion_graph::EdgeRef<'_, crate::network::EdgeProps>| {
+            let to = e.other(from);
+            if !net.is_switch(to) {
+                // Dest-agnostic tree: non-switch targets are never
+                // relaxed into the tree — each query folds its own
+                // destination in via the overlay below. Sound because a
+                // user's relay answer is 0 at every capacity: the plain
+                // search reads it but the answer can never flip.
+                return None;
+            }
+            reads.insert(to);
+            if !feas.relay_feasible(to, width) {
+                return None;
+            }
+            Some(channel[e.id.index()])
+        };
+        let tf = |via: NodeId| net.is_switch(via).then_some(q);
+        let mut run = match &snapshot {
+            Some(s) => max_product_restore(&mut self.scratch, graph, s, ef, tf),
+            None => max_product_resume(&mut self.scratch, graph, source, ef, tf),
+        };
+
+        // Destination overlay: replays the plain search's dest
+        // relaxations (same settle order, same first-set-then-strict-gain
+        // improvement rule, same f64 expression) without touching the
+        // shared tree.
+        let mut best = 0.0_f64;
+        let mut pred: Option<NodeId> = None;
+        let fold = |u: NodeId, dist_u: f64, best: &mut f64, pred: &mut Option<NodeId>| {
+            let through = if u == source { 1.0 } else { q };
+            for e in graph.incident_edges(u) {
+                if e.other(u) != dest {
+                    continue;
+                }
+                let nm = dist_u * through * channel[e.id.index()];
+                if pred.is_none() || nm > *best {
+                    *best = nm;
+                    *pred = Some(u);
+                }
+            }
+        };
+        for &u in &order {
+            let d = run.label(u).expect("settled nodes carry final labels");
+            fold(u, d, &mut best, &mut pred);
+        }
+
+        let goal = loop {
+            if run.is_settled(dest) {
+                // In-tree destination (relay-feasible switch): the tree
+                // itself settled it, exactly as the plain search would.
+                let d = run.label(dest).expect("settled dest is labeled");
+                break (d > 0.0).then(|| {
+                    let path = run.path_to(dest).expect("settled dest has a path");
+                    (path, Metric::new(d))
+                });
+            }
+            let next = run.peek_next();
+            let stop = match next {
+                // Every remaining frontier entry ranks strictly below
+                // dest's would-be heap entry: the plain goal-directed
+                // search would pop — and settle — dest next.
+                Some((m, u)) => (m, u) < (Metric::new(best), dest),
+                None => true,
+            };
+            if stop {
+                break (best > 0.0)
+                    .then_some(pred)
+                    .flatten()
+                    .map(|p| {
+                        let mut nodes = run
+                            .path_to(p)
+                            .expect("settled predecessor has a path")
+                            .nodes()
+                            .to_vec();
+                        nodes.push(dest);
+                        (Path::new(nodes), Metric::new(best))
+                    });
+            }
+            let (m, u) = run.settle_one().expect("peeked entry settles");
+            order.push(u);
+            fold(u, m.value(), &mut best, &mut pred);
+        };
+
+        let snapshot = run.capture(&order);
+        drop(run);
+        if let Some(r) = recorder {
+            // The slice's validity depends on every relay answer the tree
+            // consulted (order-independent: the recorder's drain sorts).
+            for &v in read_set.iter() {
+                r.read(v);
+            }
+        }
+        self.use_clock += 1;
+        self.trees.insert(
+            key,
+            SptTree {
+                snapshot,
+                order,
+                read_set,
+                stamp: self.tick,
+                last_used: self.use_clock,
+            },
+        );
+        if self.trees.len() > Self::MAX_TREES {
+            let victim = self
+                .trees
+                .keys()
+                .map(|&(s, w)| {
+                    let t = &self.trees[&(s, w)];
+                    (t.last_used, s, w)
+                })
+                .min()
+                .map(|(_, s, w)| (s, w))
+                .expect("cache over cap is nonempty");
+            self.trees.remove(&victim);
+        }
+        goal
+    }
 }
 
 /// A persistent width-descent engine for callers that route demands one
@@ -734,15 +1152,47 @@ impl SelectionEngine {
     pub fn set_registry(&mut self, registry: &Registry) {
         self.state.scratch.counters = SearchCounters::from_registry(registry, "alg2.search");
         self.state.counters = SelectionCounters::from_registry(registry);
+        if let Some(spt) = self.state.spt.as_deref_mut() {
+            spt.counters = SptCounters::from_registry(registry);
+        }
+    }
+
+    /// Opts this engine into the per-source shared shortest-path-tree
+    /// cache (see [`SptCache`]): unconstrained first searches are served
+    /// from a paused, per-`(source, width)` resumable Dijkstra run that
+    /// is extended on demand and revalidated against relay-band flip
+    /// stamps, instead of re-settling the shared prefix from scratch.
+    /// Output bytes are unaffected; `alg2.spt.*` counters record into
+    /// `registry`.
+    pub fn enable_spt(&mut self, registry: &Registry) {
+        let mut spt = Box::<SptCache>::default();
+        spt.counters = SptCounters::from_registry(registry);
+        self.state.spt = Some(spt);
+    }
+
+    /// Feeds one applied residual-capacity delta `old -> new` at `node`
+    /// into the SPT validity clock: any tree whose construction read a
+    /// relay answer the delta flips is invalidated on next use. Callers
+    /// that enable the SPT cache **must** report every residual change
+    /// here (the serve layer does, from the same hook that drives its
+    /// candidate-cache invalidation). No-op without the SPT cache.
+    pub fn note_node_delta(&mut self, net: &QuantumNetwork, node: NodeId, old: u32, new: u32) {
+        if let Some(spt) = self.state.spt.as_deref_mut() {
+            spt.note_node_delta(net, node, old, new);
+        }
     }
 
     /// Runs the width descent for one demand against `capacity`,
-    /// consulting `reuse` per width: `reuse(w)` may return a
-    /// previously-computed candidate set for width `w`, valid iff no
-    /// node in that set's recorded footprint has changed a feasibility
-    /// answer at width `w` since — those widths are returned as-is
-    /// without searching. When every width hits, nothing is rebuilt at
-    /// all (no feasibility view, no reachability, no searches).
+    /// consulting `reuse` per width: [`WidthReuse::Full`] slices are
+    /// returned as-is without searching, [`WidthReuse::Repair`] slices
+    /// replay the valid prefix of their recorded search log and search
+    /// live from the first damaged ordinal, and [`WidthReuse::Miss`]
+    /// slices are built from scratch. A `Full` verdict is valid iff no
+    /// node in the slice's recorded footprint has changed a feasibility
+    /// answer at its width since; a `Repair(intact)` verdict iff that
+    /// holds restricted to footprint strata below `intact`. When every
+    /// width is `Full`, nothing is rebuilt at all (no feasibility view,
+    /// no reachability, no searches).
     ///
     /// # Panics
     ///
@@ -754,7 +1204,7 @@ impl SelectionEngine {
         demand: &Demand,
         capacity: &[u32],
         query: SelectionQuery,
-        mut reuse: impl FnMut(u32) -> Option<Vec<CandidatePath>>,
+        mut reuse: impl FnMut(u32) -> WidthReuse,
     ) -> Vec<SelectedWidth> {
         let SelectionQuery { h, max_width, mode } = query;
         assert!(h > 0, "need at least one candidate per width");
@@ -763,16 +1213,23 @@ impl SelectionEngine {
             capacity.len() >= net.node_count(),
             "capacity vector too short"
         );
-        let slices: Vec<(u32, Option<Vec<CandidatePath>>)> =
+        let slices: Vec<(u32, WidthReuse)> =
             (1..=max_width).rev().map(|w| (w, reuse(w))).collect();
-        if slices.iter().all(|(_, c)| c.is_some()) {
+        if slices.iter().all(|(_, r)| matches!(r, WidthReuse::Full(_))) {
             // Full hit: the admission costs only the merge downstream.
             return slices
                 .into_iter()
-                .map(|(width, c)| SelectedWidth {
-                    width,
-                    candidates: c.expect("all slices checked present"),
-                    footprint: None,
+                .map(|(width, r)| {
+                    let WidthReuse::Full(candidates) = r else {
+                        unreachable!("all slices checked Full")
+                    };
+                    SelectedWidth {
+                        width,
+                        candidates,
+                        footprint: None,
+                        log: None,
+                        served: 0,
+                    }
                 })
                 .collect();
         }
@@ -788,12 +1245,29 @@ impl SelectionEngine {
                     state.reach.descend(net.graph(), &ctx.feas, width);
                 }
                 match cached {
-                    Some(candidates) => SelectedWidth {
+                    WidthReuse::Full(candidates) => SelectedWidth {
                         width,
                         candidates,
                         footprint: None,
+                        log: None,
+                        served: 0,
                     },
-                    None => {
+                    verdict => {
+                        let serve = match verdict {
+                            WidthReuse::Repair(seed) => {
+                                let keep = (seed.intact as usize).min(seed.log.len());
+                                let mut s = seed.log;
+                                s.truncate(keep);
+                                s
+                            }
+                            _ => Vec::new(),
+                        };
+                        let served =
+                            u32::try_from(serve.len()).expect("log length fits u32");
+                        state.replay = Some(ReplayState {
+                            serve,
+                            log: Vec::new(),
+                        });
                         state
                             .recorder
                             .get_or_insert_with(FootprintRecorder::default)
@@ -804,10 +1278,13 @@ impl SelectionEngine {
                             .as_mut()
                             .expect("recorder installed above")
                             .drain();
+                        let log = state.replay.take().expect("replay installed above").log;
                         SelectedWidth {
                             width,
                             candidates,
                             footprint: Some(footprint),
+                            log: Some(log),
+                            served,
                         }
                     }
                 }
@@ -1204,9 +1681,10 @@ mod tests {
                     max_width: 5,
                     mode: SwapMode::NFusion,
                 },
-                |_| None,
+                |_| WidthReuse::Miss,
             );
             assert!(selected.iter().all(|s| s.footprint.is_some()));
+            assert!(selected.iter().all(|s| s.log.is_some() && s.served == 0));
             let flat: Vec<CandidatePath> =
                 selected.into_iter().flat_map(|s| s.candidates).collect();
             let batch = paths_selection(
@@ -1231,15 +1709,16 @@ mod tests {
             max_width: 3,
             mode: SwapMode::NFusion,
         };
-        let first = engine.select_demand(&net, &demand, &caps, q, |_| None);
+        let first = engine.select_demand(&net, &demand, &caps, q, |_| WidthReuse::Miss);
         // Footprints cover the endpoints and every path node of the width.
         for sel in &first {
             let fp = sel.footprint.as_ref().unwrap();
-            assert!(fp.contains(&demand.source) && fp.contains(&demand.dest));
+            let holds = |v: NodeId| fp.iter().any(|&(f, _)| f == v);
+            assert!(holds(demand.source) && holds(demand.dest));
             for c in &sel.candidates {
                 for &v in c.path.nodes() {
                     assert!(
-                        v == demand.dest || fp.contains(&v),
+                        v == demand.dest || holds(v),
                         "width {} footprint missing path node {v}",
                         sel.width
                     );
@@ -1255,7 +1734,7 @@ mod tests {
             first
                 .iter()
                 .find(|s| s.width == w)
-                .map(|s| s.candidates.clone())
+                .map_or(WidthReuse::Miss, |s| WidthReuse::Full(s.candidates.clone()))
         });
         assert!(second.iter().all(|s| s.footprint.is_none()));
         for (a, b) in first.iter().zip(&second) {
@@ -1264,13 +1743,15 @@ mod tests {
         }
         // Partial reuse: only the declined width is recomputed.
         let third = engine.select_demand(&net, &demand, &caps, q, |w| {
-            (w != 2).then(|| {
+            if w == 2 {
+                WidthReuse::Miss
+            } else {
                 first
                     .iter()
                     .find(|s| s.width == w)
-                    .map(|s| s.candidates.clone())
+                    .map(|s| WidthReuse::Full(s.candidates.clone()))
                     .unwrap()
-            })
+            }
         });
         for sel in &third {
             assert_eq!(
@@ -1281,6 +1762,117 @@ mod tests {
             );
             let fresh = first.iter().find(|s| s.width == sel.width).unwrap();
             assert_eq!(sel.candidates, fresh.candidates);
+        }
+    }
+
+    #[test]
+    fn engine_repair_replays_prefix_byte_identically() {
+        use crate::network::NetworkParams;
+        use fusion_topology::TopologyConfig;
+
+        let topo = TopologyConfig {
+            num_switches: 24,
+            num_user_pairs: 5,
+            avg_degree: 5.0,
+            ..TopologyConfig::default()
+        }
+        .generate(29);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        let caps = net.capacities();
+        let q = SelectionQuery {
+            h: 3,
+            max_width: 4,
+            mode: SwapMode::NFusion,
+        };
+        let mut engine = SelectionEngine::new();
+        for demand in &demands {
+            let fresh = engine.select_demand(&net, demand, &caps, q, |_| WidthReuse::Miss);
+            // Replaying any intact prefix of a width's recorded log under
+            // unchanged capacity must reproduce the slice byte for byte:
+            // Yen's control state after k searches is a pure function of
+            // the first k results.
+            for sel in &fresh {
+                let log = sel.log.clone().unwrap();
+                for intact in [0, 1, log.len() as u32 / 2, log.len() as u32] {
+                    let repaired = engine.select_demand(&net, demand, &caps, q, |w| {
+                        if w == sel.width {
+                            WidthReuse::Repair(RepairSeed {
+                                log: log.clone(),
+                                intact,
+                            })
+                        } else {
+                            WidthReuse::Miss
+                        }
+                    });
+                    let r = repaired.iter().find(|s| s.width == sel.width).unwrap();
+                    assert_eq!(r.candidates, sel.candidates, "intact = {intact}");
+                    assert_eq!(r.served, intact.min(log.len() as u32), "intact = {intact}");
+                    assert_eq!(
+                        r.log.as_ref().unwrap(),
+                        &log,
+                        "replayed + live log must match the original, intact = {intact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spt_engine_matches_batch_across_capacity_deltas() {
+        use crate::network::NetworkParams;
+        use fusion_topology::TopologyConfig;
+
+        for seed in [7, 21] {
+            let topo = TopologyConfig {
+                num_switches: 24,
+                num_user_pairs: 5,
+                avg_degree: 5.0,
+                ..TopologyConfig::default()
+            }
+            .generate(seed);
+            let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+            let demands = Demand::from_topology(&topo);
+            let mut caps = net.capacities();
+            let q = SelectionQuery {
+                h: 3,
+                max_width: 4,
+                mode: SwapMode::NFusion,
+            };
+            let mut engine = SelectionEngine::new();
+            engine.enable_spt(&Registry::disabled());
+            // Interleave capacity deltas (reported to the SPT validity
+            // clock) with full-demand sweeps; every slice must equal the
+            // batch engine under the same capacities, so parked trees are
+            // exercised fresh, resumed, and invalidated.
+            for step in 0..6 {
+                if step > 0 {
+                    let v = NodeId::new((step * 5 + 2) % net.node_count());
+                    let old = caps[v.index()];
+                    let new = if step % 2 == 0 {
+                        old.saturating_sub(3)
+                    } else {
+                        old + 2
+                    };
+                    caps[v.index()] = new;
+                    engine.note_node_delta(&net, v, old, new);
+                }
+                for demand in &demands {
+                    let selected =
+                        engine.select_demand(&net, demand, &caps, q, |_| WidthReuse::Miss);
+                    let flat: Vec<CandidatePath> =
+                        selected.into_iter().flat_map(|s| s.candidates).collect();
+                    let batch = paths_selection(
+                        &net,
+                        std::slice::from_ref(demand),
+                        &caps,
+                        3,
+                        4,
+                        SwapMode::NFusion,
+                    );
+                    assert_eq!(flat, batch, "seed {seed}, step {step}, {:?}", demand.id);
+                }
+            }
         }
     }
 

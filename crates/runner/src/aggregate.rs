@@ -375,6 +375,47 @@ mod tests {
     }
 
     #[test]
+    fn repair_counters_ride_the_metric_contract() {
+        // The slice-repair and shared-SPT counters surface in sweeps
+        // through the same generic `m_<counter>` mechanism as every
+        // other registry entry — pin their exact column names so a
+        // counter rename upstream cannot silently drop them from
+        // summary.json (`mean_m_<counter>`, sorted tail of the schema).
+        const REPAIR_COUNTERS: [&str; 6] = [
+            "m_serve.cache.damaged",
+            "m_serve.cache.repairs",
+            "m_serve.cache.repair_depth/count",
+            "m_alg2.spt.queries",
+            "m_alg2.spt.hits",
+            "m_alg2.spt.shared_settles",
+        ];
+        let mut r0 = result_row("a", 100, "ALG-N-FUSION", 0, 1.0);
+        let mut r1 = result_row("a", 100, "ALG-N-FUSION", 1, 3.0);
+        for (i, name) in REPAIR_COUNTERS.iter().enumerate() {
+            r0.push_int(name, 2 * i as i64);
+            r1.push_int(name, 4 * i as i64);
+        }
+        let summaries = aggregate_rows(&[r0, r1]);
+        assert_eq!(summaries.len(), 1);
+        for (i, name) in REPAIR_COUNTERS.iter().enumerate() {
+            let mean = summaries[0]
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v);
+            assert_eq!(mean, Some(3.0 * i as f64), "{name} must fold to its mean");
+        }
+        let text = summary_json(&summaries);
+        for name in REPAIR_COUNTERS {
+            assert!(
+                text.contains(&format!("\"mean_{name}\"")),
+                "{name} missing from summary.json"
+            );
+        }
+        assert_eq!(parse_summary_json(&text).unwrap(), summaries);
+    }
+
+    #[test]
     fn table_renders_every_group() {
         let rows = vec![
             result_row("a", 100, "ALG-N-FUSION", 0, 1.0),

@@ -38,9 +38,11 @@
 
 use std::collections::BTreeMap;
 
-use fusion_core::algorithms::{node_width_thresholds, CandidatePath, SelectedWidth};
+use fusion_core::algorithms::{
+    node_width_thresholds, CandidatePath, RepairSeed, SelectedWidth, WidthReuse,
+};
 use fusion_core::{DemandId, QuantumNetwork};
-use fusion_graph::{EdgeId, NodeId};
+use fusion_graph::{EdgeId, Metric, NodeId, Path};
 use fusion_telemetry::{Counter, Histogram, Registry};
 
 /// Telemetry handles of the incremental admission cache, registered under
@@ -78,6 +80,17 @@ pub struct CacheCounters {
     /// Whole pair entries evicted by the entry cap
     /// (`serve.cache.entries_evicted`).
     pub entries_evicted: Counter,
+    /// Slots *damaged* by a residual delta — demoted to repairable
+    /// instead of dropped, because the flipped node was first read after
+    /// search ordinal 0 (`serve.cache.damaged`).
+    pub damaged: Counter,
+    /// Repaired slices stored: admissions that replayed a damaged slot's
+    /// intact search prefix instead of starting over
+    /// (`serve.cache.repairs`).
+    pub repairs: Counter,
+    /// Distribution of replayed-prefix lengths (searches served from the
+    /// log) across repairs (`serve.cache.repair_depth`).
+    pub repair_depth: Histogram,
     /// Distribution of stored footprint sizes, in nodes
     /// (`serve.cache.footprint_nodes`).
     pub footprint_nodes: Histogram,
@@ -103,8 +116,11 @@ impl CacheCounters {
             invalidated_by_node: registry.counter("serve.cache.invalidated_by_node"),
             invalidated_by_edge: registry.counter("serve.cache.invalidated_by_edge"),
             entries_evicted: registry.counter("serve.cache.entries_evicted"),
+            damaged: registry.counter("serve.cache.damaged"),
+            repairs: registry.counter("serve.cache.repairs"),
             footprint_nodes: registry.histogram("serve.cache.footprint_nodes"),
             killed_per_delta: registry.histogram("serve.cache.killed_per_delta"),
+            repair_depth: registry.histogram("serve.cache.repair_depth"),
         }
     }
 }
@@ -119,11 +135,26 @@ struct Posting {
     gen: u64,
 }
 
-/// One cached width slice of a pair's descent.
+/// One cached width slice of a pair's descent — a point on the repair
+/// lattice (see `docs/ARCHITECTURE.md`): **live** (`damage == None`,
+/// candidates servable byte-for-byte), **repairable** (`damage ==
+/// Some(k)`, `k > 0`: the first `k` entries of `log` are still exactly
+/// reproducible, the candidates are not), or **dead** (the slot is
+/// dropped entirely).
 #[derive(Debug, Clone)]
 struct Slot {
     gen: u64,
     candidates: Vec<CandidatePath>,
+    /// The slice's recorded search log (first path, then each Yen spur in
+    /// issue order) — the deviation state a repair replays.
+    log: Vec<Option<(Path, Metric)>>,
+    /// Footprint stratified by first-read search ordinal, sorted by node.
+    footprint: Vec<(NodeId, u32)>,
+    /// `Some(k)`: a delta flipped a feasibility answer on a footprint
+    /// node first read at ordinal `k > 0`; log entries `0..k` remain
+    /// valid (searches before `k` never read the node). Flips at ordinal
+    /// 0 kill the slot instead.
+    damage: Option<u32>,
 }
 
 /// All cached widths of one ordered `(source, dest)` pair.
@@ -166,28 +197,46 @@ impl CandidateCache {
             clock: 0,
             max_entries,
             postings_since_sweep: 0,
+            // Fixed at construction *intentionally*: the sweep bound is
+            // sized to the network's structure, and the structure never
+            // mutates — `fail_link` is a routing-layer freshness event
+            // (the graph keeps the fiber; no admission may route over
+            // it), not an edge removal, so the posting-list universe the
+            // threshold amortizes over is constant for the cache's
+            // lifetime. Pinned by `sweep_threshold_is_construction_fixed`.
             sweep_threshold: (8 * (nodes + edges)).max(4096),
             counters: CacheCounters::from_registry(registry),
         }
     }
 
-    /// The cached candidates for `(key, width)`, re-stamped with the
-    /// current `demand` id (cached bytes carry the id they were computed
-    /// under; the id is the only demand-dependent field and every
-    /// admission gets a fresh one).
-    pub(crate) fn reuse(
-        &self,
-        key: (NodeId, NodeId),
-        width: u32,
-        demand: DemandId,
-    ) -> Option<Vec<CandidatePath>> {
-        let entry = self.entries.get(&key)?;
-        let slot = entry.slots.get(width as usize - 1)?.as_ref()?;
-        let mut candidates = slot.candidates.clone();
-        for c in &mut candidates {
-            c.demand = demand;
+    /// The reuse verdict for `(key, width)`: a live slot's candidates
+    /// re-stamped with the current `demand` id (cached bytes carry the id
+    /// they were computed under; the id is the only demand-dependent
+    /// field and every admission gets a fresh one), a damaged slot's
+    /// repair seed, or a miss.
+    ///
+    /// `width == 0` is rejected outright (a degenerate demand or future
+    /// N-party caller could ask; slots are indexed `width - 1`).
+    pub(crate) fn reuse(&self, key: (NodeId, NodeId), width: u32, demand: DemandId) -> WidthReuse {
+        let slot = (width as usize)
+            .checked_sub(1)
+            .and_then(|wi| self.entries.get(&key)?.slots.get(wi)?.as_ref());
+        let Some(slot) = slot else {
+            return WidthReuse::Miss;
+        };
+        match slot.damage {
+            None => {
+                let mut candidates = slot.candidates.clone();
+                for c in &mut candidates {
+                    c.demand = demand;
+                }
+                WidthReuse::Full(candidates)
+            }
+            Some(intact) => WidthReuse::Repair(RepairSeed {
+                log: slot.log.clone(),
+                intact,
+            }),
         }
-        Some(candidates)
     }
 
     /// Records one admission's engine output: stores every recomputed
@@ -227,23 +276,43 @@ impl CandidateCache {
             let Some(footprint) = &sel.footprint else {
                 continue;
             };
-            self.counters.footprint_nodes.record(footprint.len() as u64);
-            let wi = sel.width as usize - 1;
+            // Slots are indexed `width - 1`; reject degenerate width-0
+            // slices instead of underflowing.
+            let Some(wi) = (sel.width as usize).checked_sub(1) else {
+                continue;
+            };
             if entry.slots.len() <= wi {
                 entry.slots.resize_with(wi + 1, || None);
             }
+            let footprint = if sel.served > 0 {
+                // Repaired slice: the served prefix issued no live reads,
+                // so its dependencies carry over from the damaged slot's
+                // sub-`served` strata and merge with the live tail's.
+                self.counters.repairs.inc();
+                self.counters.repair_depth.record(u64::from(sel.served));
+                let prior = entry.slots[wi]
+                    .as_ref()
+                    .map_or(&[][..], |s| s.footprint.as_slice());
+                merge_repair_footprint(prior, sel.served, footprint)
+            } else {
+                footprint.clone()
+            };
+            self.counters.footprint_nodes.record(footprint.len() as u64);
             self.next_gen += 1;
             let gen = self.next_gen;
             entry.slots[wi] = Some(Slot {
                 gen,
                 candidates: sel.candidates.clone(),
+                log: sel.log.clone().unwrap_or_default(),
+                footprint: footprint.clone(),
+                damage: None,
             });
             let posting = Posting {
                 key,
                 width: sel.width,
                 gen,
             };
-            for &v in footprint {
+            for &(v, _) in &footprint {
                 self.node_postings[v.index()].push(posting);
                 added += 1;
             }
@@ -288,11 +357,17 @@ impl CandidateCache {
         }
     }
 
-    /// Applies one residual-capacity delta `old -> new` at `node`:
-    /// drops every slot whose footprint contains the node at a width
-    /// where the delta flips a feasibility answer. Widths outside the
-    /// flip bands keep identical answers on their whole footprint, so
-    /// their cached bytes remain exact.
+    /// Applies one residual-capacity delta `old -> new` at `node`.
+    ///
+    /// Slots whose footprint contains the node at a width where the delta
+    /// flips a feasibility answer move down the repair lattice: a flip on
+    /// a node first read at search ordinal 0 kills the slot (nothing of
+    /// its construction survives), while a flip first read at ordinal
+    /// `k > 0` *damages* it to `min(damage, k)` — searches before `k`
+    /// never read the node, so the log prefix `0..k` stays exactly
+    /// reproducible and seeds a later repair. Widths outside the flip
+    /// bands keep identical answers on their whole footprint, so their
+    /// cached bytes remain exact.
     pub(crate) fn apply_node_delta(
         &mut self,
         net: &QuantumNetwork,
@@ -307,19 +382,33 @@ impl CandidateCache {
         let (relay_new, endpoint_new) = node_width_thresholds(net, node, new);
         let mut postings = std::mem::take(&mut self.node_postings[node.index()]);
         let mut killed = 0u64;
+        let mut damaged = 0u64;
         postings.retain(|p| {
             if self.slot_gen(p.key, p.width) != Some(p.gen) {
                 return false; // stale: slot replaced, dropped, or evicted
             }
             if flips(p.width, relay_old, relay_new) || flips(p.width, endpoint_old, endpoint_new) {
-                self.kill_slot(p.key, p.width);
-                killed += 1;
-                false
+                match self.footprint_ordinal(p.key, p.width, node) {
+                    Some(k) if k > 0 => {
+                        self.damage_slot(p.key, p.width, k);
+                        damaged += 1;
+                        // Keep the posting: the slot lives on (damaged)
+                        // and a deeper flip must still be able to reach
+                        // it. Re-damaging at the same ordinal is a no-op.
+                        true
+                    }
+                    _ => {
+                        self.kill_slot(p.key, p.width);
+                        killed += 1;
+                        false
+                    }
+                }
             } else {
                 true
             }
         });
         self.counters.invalidated_by_node.add(killed);
+        self.counters.damaged.add(damaged);
         self.counters.killed_per_delta.record(killed);
         self.node_postings[node.index()] = postings;
     }
@@ -339,21 +428,56 @@ impl CandidateCache {
         self.edge_postings[canon.index()] = postings;
     }
 
-    /// The live generation of slot `(key, width)`, if present.
+    /// The live generation of slot `(key, width)`, if present. Width 0
+    /// never has a slot (slots index `width - 1`).
     fn slot_gen(&self, key: (NodeId, NodeId), width: u32) -> Option<u64> {
         self.entries
             .get(&key)?
             .slots
-            .get(width as usize - 1)?
+            .get((width as usize).checked_sub(1)?)?
             .as_ref()
             .map(|s| s.gen)
     }
 
+    /// The first-read search ordinal of `node` in the slot's stratified
+    /// footprint, if the slot exists and its footprint contains the node.
+    fn footprint_ordinal(&self, key: (NodeId, NodeId), width: u32, node: NodeId) -> Option<u32> {
+        let slot = self
+            .entries
+            .get(&key)?
+            .slots
+            .get((width as usize).checked_sub(1)?)?
+            .as_ref()?;
+        slot.footprint
+            .binary_search_by_key(&node, |&(v, _)| v)
+            .ok()
+            .map(|i| slot.footprint[i].1)
+    }
+
     fn kill_slot(&mut self, key: (NodeId, NodeId), width: u32) {
+        let Some(wi) = (width as usize).checked_sub(1) else {
+            return;
+        };
         if let Some(entry) = self.entries.get_mut(&key) {
-            if let Some(slot) = entry.slots.get_mut(width as usize - 1) {
+            if let Some(slot) = entry.slots.get_mut(wi) {
                 *slot = None;
             }
+        }
+    }
+
+    /// Demotes slot `(key, width)` to repairable at ordinal `k` (or
+    /// deepens existing damage to `min(damage, k)`).
+    fn damage_slot(&mut self, key: (NodeId, NodeId), width: u32, k: u32) {
+        let Some(wi) = (width as usize).checked_sub(1) else {
+            return;
+        };
+        if let Some(slot) = self
+            .entries
+            .get_mut(&key)
+            .and_then(|e| e.slots.get_mut(wi))
+            .and_then(|s| s.as_mut())
+        {
+            slot.damage = Some(slot.damage.map_or(k, |d| d.min(k)));
         }
     }
 
@@ -380,6 +504,50 @@ impl CandidateCache {
 fn flips(width: u32, a: u32, b: u32) -> bool {
     let (lo, hi) = (a.min(b), a.max(b));
     lo < width && width <= hi
+}
+
+/// Merges a repaired slice's dependency set: the damaged slot's footprint
+/// entries first read *before* the replayed prefix ended (`ordinal <
+/// served` — the only strata the served results depend on) together with
+/// the live tail's recorded reads, keeping the smaller first-read ordinal
+/// for nodes in both. Inputs and output are sorted by node.
+fn merge_repair_footprint(
+    prior: &[(NodeId, u32)],
+    served: u32,
+    live: &[(NodeId, u32)],
+) -> Vec<(NodeId, u32)> {
+    let mut out = Vec::with_capacity(prior.len() + live.len());
+    let mut prior = prior.iter().filter(|&&(_, o)| o < served).peekable();
+    let mut live = live.iter().peekable();
+    loop {
+        match (prior.peek(), live.peek()) {
+            (Some(&&(pv, po)), Some(&&(lv, lo))) => match pv.cmp(&lv) {
+                std::cmp::Ordering::Less => {
+                    out.push((pv, po));
+                    prior.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((lv, lo));
+                    live.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((pv, po.min(lo)));
+                    prior.next();
+                    live.next();
+                }
+            },
+            (Some(&&(pv, po)), None) => {
+                out.push((pv, po));
+                prior.next();
+            }
+            (None, Some(&&(lv, lo))) => {
+                out.push((lv, lo));
+                live.next();
+            }
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -491,7 +659,10 @@ mod tests {
         // feasibility at every width; the source is in every footprint.
         cache.apply_node_delta(&net, d.source, caps[d.source.index()], 0);
         assert_eq!(cache.counters.invalidated_by_node.value(), 3);
-        assert!(cache.reuse((d.source, d.dest), 1, d.id).is_none());
+        assert!(matches!(
+            cache.reuse((d.source, d.dest), 1, d.id),
+            WidthReuse::Miss
+        ));
     }
 
     #[test]
@@ -542,7 +713,141 @@ mod tests {
         assert_eq!(cache.entries.len(), 2);
         // The first-stored pair is gone; the last two remain.
         let d0 = &demands[0];
-        assert!(cache.reuse((d0.source, d0.dest), 1, d0.id).is_none());
+        assert!(matches!(
+            cache.reuse((d0.source, d0.dest), 1, d0.id),
+            WidthReuse::Miss
+        ));
+    }
+
+    #[test]
+    fn width_zero_is_rejected_not_underflowed() {
+        // Regression: `width as usize - 1` underflowed (debug panic) for
+        // a width-0 query from a degenerate demand or future N-party
+        // caller; every slot-indexing path now rejects width 0.
+        let (net, demands) = world();
+        let d = &demands[0];
+        let key = (d.source, d.dest);
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
+        assert!(matches!(cache.reuse(key, 0, d.id), WidthReuse::Miss));
+        let degenerate = SelectedWidth {
+            width: 0,
+            candidates: Vec::new(),
+            footprint: Some(Vec::new()),
+            log: Some(Vec::new()),
+            served: 0,
+        };
+        cache.store(&net, key, &[degenerate]);
+        assert!(matches!(cache.reuse(key, 0, d.id), WidthReuse::Miss));
+        assert!(matches!(cache.reuse(key, 1, d.id), WidthReuse::Miss));
+        // Internal helpers take the same guard.
+        assert_eq!(cache.slot_gen(key, 0), None);
+        cache.kill_slot(key, 0);
+        cache.damage_slot(key, 0, 1);
+    }
+
+    #[test]
+    fn damaged_slot_repairs_byte_identically() {
+        let (net, demands) = world();
+        let caps = net.capacities();
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
+        let mut engine = SelectionEngine::new();
+        let d = &demands[0];
+        let key = (d.source, d.dest);
+        select_and_store(&mut cache, &mut engine, &net, d, &caps, 4);
+        // Pick a footprint node first read after ordinal 0: a flip there
+        // must damage (not kill) its slot.
+        let entry = cache.entries.get(&key).expect("pair was stored");
+        let picked = entry.slots.iter().enumerate().find_map(|(wi, slot)| {
+            let s = slot.as_ref()?;
+            let &(v, o) = s.footprint.iter().find(|&&(_, o)| o > 0)?;
+            Some((v, o, wi as u32 + 1))
+        });
+        let Some((v, o, w)) = picked else {
+            panic!("fixture produced no footprint entry past ordinal 0");
+        };
+        let mut caps2 = caps.clone();
+        let old = caps2[v.index()];
+        caps2[v.index()] = 0;
+        cache.apply_node_delta(&net, v, old, 0);
+        assert!(cache.counters.damaged.value() > 0, "slot must be damaged");
+        match cache.reuse(key, w, d.id) {
+            WidthReuse::Repair(seed) => assert_eq!(seed.intact, o),
+            other => panic!("expected a repair seed, got {other:?}"),
+        }
+        // The repaired admission must equal a from-scratch engine run
+        // under the post-delta capacities, byte for byte.
+        let repaired = select_and_store(&mut cache, &mut engine, &net, d, &caps2, 4);
+        assert!(cache.counters.repairs.value() > 0, "repair must be stored");
+        let mut fresh = SelectionEngine::new();
+        let scratch: Vec<CandidatePath> = fresh
+            .select_demand(
+                &net,
+                d,
+                &caps2,
+                SelectionQuery {
+                    h: 3,
+                    max_width: 4,
+                    mode: SwapMode::NFusion,
+                },
+                |_| WidthReuse::Miss,
+            )
+            .into_iter()
+            .flat_map(|s| s.candidates)
+            .collect();
+        assert_eq!(repaired, scratch);
+        // The repaired slot is live again and serves full hits.
+        let again = select_and_store(&mut cache, &mut engine, &net, d, &caps2, 4);
+        assert_eq!(again, scratch);
+    }
+
+    #[test]
+    fn cap_eviction_counts_as_eviction_not_invalidation() {
+        // Counter-semantics pin for `--stats` honesty: slots displaced by
+        // the entry cap increment `entries_evicted` only; their stale
+        // postings must die silently on the next delta, not masquerade as
+        // footprint invalidations.
+        let (net, demands) = world();
+        let x = net
+            .graph()
+            .node_ids()
+            .find(|&v| net.is_switch(v))
+            .expect("world has switches");
+        let slice = |o| SelectedWidth {
+            width: 1,
+            candidates: Vec::new(),
+            footprint: Some(vec![(x, o)]),
+            log: Some(vec![None]),
+            served: 0,
+        };
+        let key_a = (demands[0].source, demands[0].dest);
+        let key_b = (demands[1].source, demands[1].dest);
+        let mut cache = CandidateCache::new(&net, 1, &Registry::enabled());
+        cache.store(&net, key_a, &[slice(0)]);
+        cache.store(&net, key_b, &[slice(0)]); // cap 1: evicts pair A
+        assert_eq!(cache.counters.entries_evicted.value(), 1);
+        assert_eq!(cache.counters.invalidated_by_node.value(), 0);
+        cache.apply_node_delta(&net, x, 10, 0);
+        // Only B's live slot counts; A's posting is generation-stale.
+        assert_eq!(cache.counters.invalidated_by_node.value(), 1);
+        assert_eq!(cache.counters.entries_evicted.value(), 1);
+        assert_eq!(cache.counters.damaged.value(), 0);
+    }
+
+    #[test]
+    fn sweep_threshold_is_construction_fixed() {
+        // Pinned as intentional: the threshold amortizes posting hygiene
+        // over the network's structural size, and the structure never
+        // mutates — `fail_link` is a routing freshness event, not an
+        // edge removal, so recomputing the bound after one would be
+        // drift, not correction.
+        let (net, _) = world();
+        let mut cache = CandidateCache::new(&net, 64, &Registry::enabled());
+        let expected = (8 * (net.node_count() + net.graph().edge_count())).max(4096);
+        assert_eq!(cache.sweep_threshold, expected);
+        let e = net.graph().edge_ids().next().expect("world has edges");
+        cache.fail_edge(&net, e);
+        cache.fail_edge(&net, e);
+        assert_eq!(cache.sweep_threshold, expected);
     }
 
     #[test]
@@ -567,5 +872,46 @@ mod tests {
                 );
             }
         }
+    }
+}
+
+/// Test support for driving the repair path through the full admission
+/// stack: organic churn traces reach damage-then-reuse only in a deep
+/// tail (a delta batch must flip *only* spur-only reads of a slot that
+/// is queried again before any other batch lands), so state-level tests
+/// inflict the smallest such damage directly. Extra damage is always
+/// conservative: the repaired widths are recomputed against the live
+/// residuals, so byte-identity is unaffected.
+#[cfg(test)]
+impl CandidateCache {
+    /// The lowest-width live slot a churn flip could damage without
+    /// killing, as `(key, width, ordinal)`: prefers a slot with a
+    /// spur-only read (a real flip there damages at that ordinal); falls
+    /// back to any slot whose log ran past the first search, damaged at
+    /// ordinal 1. The fallback matters under the shared SPT cache, whose
+    /// monotonically-growing tree read-set is folded into every
+    /// footprint at ordinal 0 and blankets most spur-only reads.
+    pub(crate) fn first_repairable(&self) -> Option<((NodeId, NodeId), u32, u32)> {
+        let spur_only = self.entries.iter().find_map(|(&key, entry)| {
+            entry.slots.iter().enumerate().find_map(|(wi, slot)| {
+                let s = slot.as_ref()?;
+                let &(_, o) = s.footprint.iter().find(|&&(_, o)| o > 0)?;
+                Some((key, wi as u32 + 1, o))
+            })
+        });
+        spur_only.or_else(|| {
+            self.entries.iter().find_map(|(&key, entry)| {
+                entry.slots.iter().enumerate().find_map(|(wi, slot)| {
+                    let s = slot.as_ref()?;
+                    (s.log.len() > 1).then_some((key, wi as u32 + 1, 1))
+                })
+            })
+        })
+    }
+
+    /// Damage `(key, width)` from ordinal `k`, as a flip on a node first
+    /// read at `k` would.
+    pub(crate) fn damage_for_test(&mut self, key: (NodeId, NodeId), width: u32, k: u32) {
+        self.damage_slot(key, width, k);
     }
 }

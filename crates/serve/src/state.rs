@@ -15,7 +15,7 @@
 //! on a network whose capacities are pre-reduced by the live plans
 //! ([`QuantumNetwork::with_capacities`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use fusion_core::algorithms::{
@@ -24,7 +24,7 @@ use fusion_core::algorithms::{
 };
 use fusion_core::{Demand, DemandId, DemandPlan, QuantumNetwork, ResourceUsage};
 use fusion_graph::{EdgeId, NodeId};
-use fusion_telemetry::Registry;
+use fusion_telemetry::{Counter, Registry};
 
 use crate::cache::CandidateCache;
 use crate::ledger::ResidualLedger;
@@ -145,6 +145,12 @@ pub struct ServiceState {
     /// (`serve.cache.*`, `alg2.*`, `alg3.*`, `mc.*`, `serve.replay.*`).
     /// Disabled by default; never part of the digest.
     registry: Registry,
+    /// Canonical edge → epoch of its most recent `fail_link`: a repeat
+    /// cut with no interleaving mutation is a counted no-op.
+    failed_at: HashMap<EdgeId, u64>,
+    /// `fail_link` calls short-circuited as double cuts
+    /// (`serve.fail_link_noops`).
+    fail_link_noops: Counter,
 }
 
 impl ServiceState {
@@ -165,6 +171,7 @@ impl ServiceState {
             AdmitStrategy::Incremental => {
                 let mut engine = SelectionEngine::new();
                 engine.set_registry(&registry);
+                engine.enable_spt(&registry);
                 Some(Box::new(IncrementalAdmission {
                     engine,
                     cache: CandidateCache::new(&net, MAX_CACHED_PAIRS, &registry),
@@ -172,6 +179,7 @@ impl ServiceState {
             }
             AdmitStrategy::FromScratch => None,
         };
+        let fail_link_noops = registry.counter("serve.fail_link_noops");
         ServiceState {
             net,
             config,
@@ -181,6 +189,8 @@ impl ServiceState {
             ledger,
             incremental,
             registry,
+            failed_at: HashMap::new(),
+            fail_link_noops,
         }
     }
 
@@ -468,6 +478,7 @@ impl ServiceState {
             let old = residual[node.index()];
             let new = if charge { old - qubits } else { old + qubits };
             inc.cache.apply_node_delta(net, node, old, new);
+            inc.engine.note_node_delta(net, node, old, new);
         }
     }
 
@@ -493,6 +504,19 @@ impl ServiceState {
     ///
     /// Panics if `edge` is out of bounds.
     pub fn fail_link(&mut self, edge: EdgeId) -> Vec<PlanId> {
+        let (u, v) = self.net.graph().endpoints(edge);
+        let canon = self.net.graph().find_edge(u, v).unwrap_or(edge);
+        // Double cut: if this fiber already failed and nothing mutated
+        // the state since (same epoch), the first cut already evicted
+        // every crossing plan and cached route — re-scanning the live set
+        // and posting lists would find nothing. Counted, not silent.
+        // (Cache slots stored by *rejected* admissions in between are not
+        // re-dropped; that is a freshness nuance, never a soundness one —
+        // the network model does not mutate on a cut.)
+        if self.failed_at.get(&canon) == Some(&self.epoch) {
+            self.fail_link_noops.inc();
+            return Vec::new();
+        }
         // Freshness policy: cached candidates that cross the cut fiber
         // are dropped even though the network model never mutates —
         // routing bytes are unaffected (the ledger deltas below handle
@@ -501,7 +525,6 @@ impl ServiceState {
         if let Some(inc) = self.incremental.as_mut() {
             inc.cache.fail_edge(&self.net, edge);
         }
-        let (u, v) = self.net.graph().endpoints(edge);
         let key = if u <= v { (u, v) } else { (v, u) };
         let victims: Vec<PlanId> = self
             .live
@@ -512,6 +535,7 @@ impl ServiceState {
         for &id in &victims {
             self.depart(id).expect("victim was live");
         }
+        self.failed_at.insert(canon, self.epoch);
         victims
     }
 
@@ -645,4 +669,129 @@ mod tests {
         // A second cut on the same link evicts nothing.
         assert!(state.fail_link(edge).is_empty());
     }
+
+    #[test]
+    fn double_cut_is_a_counted_noop_until_state_mutates() {
+        let topo = TopologyConfig {
+            num_switches: 25,
+            num_user_pairs: 4,
+            avg_degree: 6.0,
+            ..TopologyConfig::default()
+        }
+        .generate(7);
+        let net = QuantumNetwork::from_topology(&topo, &NetworkParams::default());
+        let demands = Demand::from_topology(&topo);
+        let registry = Registry::enabled();
+        let noops = registry.counter("serve.fail_link_noops");
+        let mut state = ServiceState::with_telemetry(net, RoutingConfig::n_fusion(), registry);
+
+        let d = demands[0];
+        let AdmitOutcome::Accepted { id, .. } = state.admit(d.source, d.dest) else {
+            panic!("first admission must succeed");
+        };
+        let lp = state.get(id).unwrap().clone();
+        let &((u, v), _) = lp.usage.edge_channels.first().expect("plan uses edges");
+        let edge = state.network().graph().find_edge(u, v).unwrap();
+
+        assert_eq!(state.fail_link(edge), vec![id]);
+        assert_eq!(noops.value(), 0, "first cut takes the full path");
+        // Same epoch, same fiber: counted no-op, no rescanning.
+        assert!(state.fail_link(edge).is_empty());
+        assert_eq!(noops.value(), 1);
+        assert!(state.fail_link(edge).is_empty());
+        assert_eq!(noops.value(), 2);
+
+        // Any state mutation bumps the epoch and re-enables the full
+        // path (an admission may have routed over the cut fiber again).
+        let AdmitOutcome::Accepted { id: id2, .. } = state.admit(d.source, d.dest) else {
+            panic!("re-admission must succeed (capacity was returned)");
+        };
+        let victims = state.fail_link(edge);
+        assert_eq!(noops.value(), 2, "post-mutation cut is not a no-op");
+        // The re-admitted plan is only a victim if it crossed the fiber.
+        let crossed = state.get(id2).is_none();
+        assert_eq!(victims.contains(&id2), crossed);
+        state.audit().unwrap();
+    }
+
+    /// The repair path through the *full* admission stack: a damaged
+    /// slot must be replayed up to its intact prefix, recomputed past
+    /// it, counted (`serve.cache.repairs`, `serve.cache.repair_depth`),
+    /// and stay byte-identical to a from-scratch twin. Organic churn
+    /// traces reach damage-then-reuse only in a deep tail (the flipping
+    /// batch must avoid every ordinal-0 read of the slot), so the
+    /// minimal damage is inflicted directly — which is conservative:
+    /// repaired widths recompute against live residuals either way.
+    #[test]
+    fn repair_fires_through_the_full_admission_path() {
+        let topo = TopologyConfig {
+            num_switches: 20,
+            num_user_pairs: 3,
+            avg_degree: 5.0,
+            ..TopologyConfig::default()
+        }
+        .generate(13);
+        let build = |strategy| {
+            let net = QuantumNetwork::from_topology(
+                &topo,
+                &NetworkParams {
+                    switch_capacity: 48,
+                    ..NetworkParams::default()
+                },
+            );
+            ServiceState::with_telemetry(
+                net,
+                RoutingConfig {
+                    admit_strategy: strategy,
+                    max_width: Some(4),
+                    ..RoutingConfig::n_fusion()
+                },
+                Registry::enabled(),
+            )
+        };
+        let mut inc = build(AdmitStrategy::Incremental);
+        let mut scr = build(AdmitStrategy::FromScratch);
+        let demands = Demand::from_topology(&topo);
+
+        // Two admissions: the first charges the network, the second's
+        // slots survive their own charge (capacity 48 keeps the flip
+        // bands away from widths <= 4) with multi-search logs and
+        // spur-only footprint reads — exactly the shape organic damage
+        // needs. Damage the lowest such slot, then re-admit the pair.
+        for dm in &demands[..2] {
+            let (a, ta) = inc.admit_traced(dm.source, dm.dest);
+            let (b, tb) = scr.admit_traced(dm.source, dm.dest);
+            assert_eq!(a, b);
+            assert!(ta == tb, "warmup trace diverged");
+            assert!(matches!(a, AdmitOutcome::Accepted { .. }));
+        }
+        let (s, d) = (demands[1].source, demands[1].dest);
+
+        let cache = &mut inc.incremental.as_mut().expect("incremental state").cache;
+        let (key, w, k) = cache
+            .first_repairable()
+            .expect("fixture must store a repairable slot (seed 13 does)");
+        assert_eq!(key, (s, d), "the second pair's slots are the live ones");
+        assert!(k > 0);
+        cache.damage_for_test(key, w, k);
+
+        let (a, ta) = inc.admit_traced(s, d);
+        let (b, tb) = scr.admit_traced(s, d);
+        assert_eq!(a, b, "repaired admission outcome diverged");
+        assert!(ta == tb, "repaired admission trace diverged");
+        assert!(inc.digest() == scr.digest());
+        let snap = inc.registry().snapshot();
+        assert!(
+            snap.value("serve.cache.repairs") >= 1,
+            "damaged slot was never repair-served"
+        );
+        assert_eq!(
+            snap.value("serve.cache.repair_depth/count"),
+            snap.value("serve.cache.repairs"),
+            "every repair records its depth"
+        );
+        inc.audit().unwrap();
+        scr.audit().unwrap();
+    }
 }
+
