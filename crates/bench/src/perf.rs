@@ -56,7 +56,7 @@ pub const CALIBRATION: &str = "calibration";
 /// Stable workload names, in execution order. Must stay in sync with the
 /// committed `BENCH_BASELINE.json` — `workload_set_matches_baseline_keys`
 /// fails otherwise, so a new workload cannot silently escape the CI gate.
-pub const WORKLOADS: [&str; 11] = [
+pub const WORKLOADS: [&str; 12] = [
     CALIBRATION,
     "alg1_path_search",
     "alg2_selection",
@@ -68,6 +68,7 @@ pub const WORKLOADS: [&str; 11] = [
     "serve_replay",
     "serve_replay_incremental",
     "serve_replay_churn",
+    "serve_replay_churn_scratch",
 ];
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -337,6 +338,42 @@ pub fn run_workload_with(name: &str, reps: usize, registry: &Registry) -> BenchR
                 mean_holding: 400.0,
                 link_down_rate: 0.05,
                 user_pool: 4,
+                ..fusion_serve::TraceConfig::default()
+            };
+            let probe = fusion_serve::ServiceState::new(net.clone(), routing);
+            let trace = fusion_serve::generate(probe.network(), &trace_config);
+            time_workload(name, reps, || {
+                let mut state = fusion_serve::ServiceState::with_telemetry(
+                    net.clone(),
+                    routing,
+                    registry.clone(),
+                );
+                let report = fusion_serve::replay(
+                    &mut state,
+                    &trace,
+                    &fusion_serve::ReplayOptions::default(),
+                );
+                black_box(report.fingerprint());
+            })
+        }
+        "serve_replay_churn_scratch" => {
+            // The churn trace of `serve_replay_churn`, replayed with pure
+            // from-scratch admission: the recompute reference the
+            // incremental run is compared against on the regime where
+            // certificates decide whether cached slices survive churn at
+            // all. The `serve_replay_churn / serve_replay_churn_scratch`
+            // ratio (same trace, same reps, same calibration) is the
+            // number EXPERIMENTS.md reports for the user-pool-0 churn
+            // regime.
+            let preset = fusion_serve::resolve_preset("quick").expect("quick serve preset");
+            let net = preset.network_instance(0);
+            let mut routing = preset.routing_config();
+            routing.admit_strategy = AdmitStrategy::FromScratch;
+            let trace_config = fusion_serve::TraceConfig {
+                events: 600,
+                mean_holding: 8.0,
+                link_down_rate: 0.05,
+                user_pool: 0,
                 ..fusion_serve::TraceConfig::default()
             };
             let probe = fusion_serve::ServiceState::new(net.clone(), routing);

@@ -38,8 +38,8 @@ use std::collections::{HashMap, HashSet};
 
 use fusion_graph::search::{max_product_restore, max_product_resume, ResumeSnapshot};
 use fusion_graph::{
-    DescentReach, Metric, NodeId, Path, RecordedSet, SearchCounters, SearchScratch,
-    WidthFeasibility,
+    CertEntry, CertificateRecorder, DescentReach, Metric, NodeId, Path, SearchCounters,
+    SearchScratch, WidthFeasibility,
 };
 use fusion_telemetry::{Counter, Registry};
 
@@ -292,74 +292,6 @@ impl DescentContext {
     }
 }
 
-/// Records every node whose feasibility is *read* while constructing one
-/// width's candidates — the width's exact dependency set: re-running the
-/// construction under a capacity vector with identical feasibility
-/// answers on the footprint reproduces the candidates byte-for-byte (see
-/// [`SelectionEngine`]).
-///
-/// Reads are *stratified by search ordinal*: each node is tagged with the
-/// index (within the width's deterministic search sequence — first path,
-/// then every Yen spur in issue order) of the first search that read it.
-/// Because Yen's control state after `k` searches is a pure function of
-/// the first `k` results, and a search's result is a pure function of its
-/// own reads, a capacity delta that flips a node first read at ordinal
-/// `k > 0` leaves the first `k` recorded results exactly reproducible —
-/// the basis of the serve layer's partial slice repair.
-#[derive(Debug, Clone, Default)]
-struct FootprintRecorder {
-    reads: RecordedSet,
-    /// First-read search ordinal, parallel to `reads.members()`.
-    ordinals: Vec<u32>,
-    /// Ordinal of the search currently issuing reads.
-    current: u32,
-    reach_folded: bool,
-}
-
-impl FootprintRecorder {
-    fn begin_width(&mut self, nodes: usize) {
-        self.reads.clear(nodes);
-        self.ordinals.clear();
-        self.current = 0;
-        self.reach_folded = false;
-    }
-
-    #[inline]
-    fn read(&mut self, v: NodeId) {
-        if self.reads.insert(v.index()) {
-            self.ordinals.push(self.current);
-        }
-    }
-
-    /// Folds in the reach view's dependency set (R ∪ ∂R) — needed once
-    /// per width the first time a negative reachability certificate
-    /// decides a search's outcome. Later searches deciding on the same
-    /// certificate depend on the same set, whose first-read ordinals are
-    /// ≤ theirs, so folding once keeps the stratification sound.
-    fn fold_reach(&mut self, reach: &DescentReach) {
-        if !self.reach_folded {
-            self.reach_folded = true;
-            for v in reach.reached_nodes() {
-                if self.reads.insert(v.index()) {
-                    self.ordinals.push(self.current);
-                }
-            }
-        }
-    }
-
-    fn drain(&mut self) -> Vec<(NodeId, u32)> {
-        let mut out: Vec<(NodeId, u32)> = self
-            .reads
-            .members()
-            .iter()
-            .zip(&self.ordinals)
-            .map(|(&i, &o)| (NodeId::new(i), o))
-            .collect();
-        out.sort_unstable_by_key(|&(v, _)| v);
-        out
-    }
-}
-
 /// The engine's per-width search log/replay plane. When installed, every
 /// search the Yen construction issues is recorded in issue order; a
 /// leading prefix of previously recorded results may be *served* in place
@@ -408,8 +340,11 @@ struct DescentState {
     scratch: SearchScratch,
     reach: DescentReach,
     /// Installed only by [`SelectionEngine`]; the batch engines leave it
-    /// `None` and pay one predictable branch per probe.
-    recorder: Option<FootprintRecorder>,
+    /// `None` and pay one predictable branch per probe. Records both the
+    /// raw read set and the width's *validity certificate* — the minimal
+    /// per-kind answer set the results depend on (see
+    /// [`fusion_graph::certificate`]).
+    recorder: Option<CertificateRecorder>,
     /// Search log/replay plane; installed per width by
     /// [`SelectionEngine::select_demand`], `None` in the batch engines.
     replay: Option<ReplayState>,
@@ -543,9 +478,12 @@ fn descent_search(
         ..
     } = state;
     if let Some(r) = recorder.as_mut() {
-        // The endpoint checks below read both endpoints' thresholds.
-        r.read(source);
-        r.read(dest);
+        // The endpoint checks below read both endpoints' thresholds; a
+        // *blocked* answer is tracked in the certificate (it decided the
+        // outcome), a feasible one stays raw-only until the search
+        // returns a path through it.
+        r.read_endpoint(source, ctx.feas.endpoint_feasible(source, width));
+        r.read_endpoint(dest, ctx.feas.endpoint_feasible(dest, width));
     }
     // Paper line 2: endpoints must hold at least `w` qubits.
     if !ctx.feas.endpoint_feasible(source, width) || !ctx.feas.endpoint_feasible(dest, width) {
@@ -559,11 +497,17 @@ fn descent_search(
     // constrained search too — skip it without exploring anything.
     if !reach.can_reach(source) {
         counters.reach_skips.inc();
-        // The skip depends on the whole probed region R ∪ ∂R (any path
-        // into the unexplored side must cross the recorded boundary), so
-        // the certificate's dependency set is the reach set itself.
+        // The skip's raw dependency set is the whole probed region
+        // R ∪ ∂R, but the *negative* answer rests only on the blocked
+        // frontier staying blocked (any path into the unexplored side
+        // must cross it), so only ∂R's relay answers enter the
+        // certificate. Users on the frontier are excluded: their relay
+        // answer is 0 at every capacity and can never flip.
         if let Some(r) = recorder.as_mut() {
-            r.fold_reach(reach);
+            r.fold_reach(
+                reach.reached_nodes(),
+                reach.blocked_frontier().filter(|&v| net.is_switch(v)),
+            );
         }
         return None;
     }
@@ -574,15 +518,19 @@ fn descent_search(
     // usually far fewer settles.
     if use_spt && constraints.banned_nodes.is_empty() && constraints.banned_hops.is_empty() {
         if let Some(spt) = spt.as_deref_mut() {
-            return spt.serve(net, ctx, width, source, dest, recorder.as_mut());
+            let result = spt.serve(net, ctx, width, source, dest, recorder.as_mut());
+            if let (Some(r), Some((p, _))) = (recorder.as_mut(), result.as_ref()) {
+                r.commit_success(p);
+            }
+            return result;
         }
     }
 
     let q = net.swap_success();
     let feas = &ctx.feas;
     let channel = &ctx.channel[(width - 1) as usize];
-    let mut recorder = recorder.as_mut();
-    max_product_resume(
+    let mut rec = recorder.as_mut();
+    let result = max_product_resume(
         scratch,
         net.graph(),
         source,
@@ -593,10 +541,12 @@ fn descent_search(
             }
             // Entering `to` as an intermediate pins 2w qubits there; only
             // the destination gets away with w (paper line 9). Users other
-            // than the destination cannot relay at all.
+            // than the destination cannot relay at all — which is also why
+            // a user's relay read can never enter the certificate
+            // (`can_flip = false`).
             if to != dest {
-                if let Some(r) = recorder.as_deref_mut() {
-                    r.read(to);
+                if let Some(r) = rec.as_deref_mut() {
+                    r.read_relay(to, feas.relay_feasible(to, width), net.is_switch(to));
                 }
                 if !feas.relay_feasible(to, width) {
                     return None;
@@ -609,7 +559,13 @@ fn descent_search(
             net.is_switch(via).then_some(q)
         },
     )
-    .run_to(dest)
+    .run_to(dest);
+    // A successful search's result depends on its own path's thresholds:
+    // endpoint answers at the ends, relay answers at the intermediates.
+    if let (Some(r), Some((p, _))) = (recorder.as_mut(), result.as_ref()) {
+        r.commit_success(p);
+    }
+    result
 }
 
 /// Issues one of a width's searches through the replay plane: an ordinal
@@ -642,7 +598,7 @@ fn driven_search(
     }
     let ordinal = state.replay.as_ref().map_or(0, |rp| rp.log.len() as u32);
     if let Some(r) = state.recorder.as_mut() {
-        r.current = ordinal;
+        r.set_ordinal(ordinal);
     }
     let result = descent_search(net, source, dest, width, constraints, ctx, state, !is_spur);
     if let Some(rp) = state.replay.as_mut() {
@@ -781,16 +737,23 @@ pub struct SelectedWidth {
     pub width: u32,
     /// The width's candidates, in the engine's canonical order.
     pub candidates: Vec<CandidatePath>,
-    /// For recomputed (or repaired) widths, the nodes whose feasibility
-    /// was read *live* while constructing `candidates`, each tagged with
-    /// the ordinal of the first search that read it, sorted by node —
-    /// the width's exact dependency set: as long as no node in it
-    /// changes its feasibility answers at this width, re-running the
-    /// construction yields the same bytes. `None` when the candidates
-    /// came back as [`WidthReuse::Full`]. After a repair, reads owned by
-    /// the served prefix are *not* re-recorded here; the caller merges
-    /// this with the prior footprint's sub-`served` stratum.
-    pub footprint: Option<Vec<(NodeId, u32)>>,
+    /// For recomputed (or repaired) widths, the slice's *validity
+    /// certificate*: per node, the per-kind (relay/endpoint) ordinal of
+    /// the first search whose result depends on that answer, sorted by
+    /// node — a subset of the raw read set (see
+    /// [`fusion_graph::certificate`]). As long as no tracked answer in it
+    /// flips at this width, re-running the construction yields the same
+    /// bytes; answers read but untracked may change freely. `None` when
+    /// the candidates came back as [`WidthReuse::Full`]. After a repair,
+    /// answers owned by the served prefix are *not* re-tracked here; the
+    /// caller merges this with the prior certificate's sub-`served`
+    /// strata.
+    pub footprint: Option<Vec<CertEntry>>,
+    /// Number of distinct nodes whose feasibility was read *live* while
+    /// constructing `candidates` — the classic (pre-certificate)
+    /// footprint cardinality, kept for telemetry comparability. `0` for
+    /// [`WidthReuse::Full`] slices.
+    pub raw_reads: u32,
     /// Every search result of the width's construction, in issue order
     /// (`log[0]` is the first path, then each Yen spur) — the recorded
     /// deviation state a later [`WidthReuse::Repair`] replays. `None`
@@ -962,7 +925,7 @@ impl SptCache {
         width: u32,
         source: NodeId,
         dest: NodeId,
-        recorder: Option<&mut FootprintRecorder>,
+        recorder: Option<&mut CertificateRecorder>,
     ) -> Option<(Path, Metric)> {
         self.ensure_width(net.node_count(), width);
         self.counters.queries.inc();
@@ -1081,10 +1044,14 @@ impl SptCache {
         let snapshot = run.capture(&order);
         drop(run);
         if let Some(r) = recorder {
-            // The slice's validity depends on every relay answer the tree
-            // consulted (order-independent: the recorder's drain sorts).
+            // Replay the tree's relay reads through the certificate
+            // classifier (order-independent: the recorder's drain sorts,
+            // and every read this width shares one ordinal): blocked
+            // answers are tracked, feasible ones stay raw-only unless the
+            // caller commits a returned path through them. All members
+            // are switches — the tree never relaxes users.
             for &v in read_set.iter() {
-                r.read(v);
+                r.read_relay(v, feas.relay_feasible(v, width), true);
             }
         }
         self.use_clock += 1;
@@ -1227,6 +1194,7 @@ impl SelectionEngine {
                         width,
                         candidates,
                         footprint: None,
+                        raw_reads: 0,
                         log: None,
                         served: 0,
                     }
@@ -1249,6 +1217,7 @@ impl SelectionEngine {
                         width,
                         candidates,
                         footprint: None,
+                        raw_reads: 0,
                         log: None,
                         served: 0,
                     },
@@ -1270,19 +1239,20 @@ impl SelectionEngine {
                         });
                         state
                             .recorder
-                            .get_or_insert_with(FootprintRecorder::default)
-                            .begin_width(net.node_count());
+                            .get_or_insert_with(CertificateRecorder::default)
+                            .begin(net.node_count());
                         let candidates = width_candidates(net, demand, h, width, mode, ctx, state);
-                        let footprint = state
-                            .recorder
-                            .as_mut()
-                            .expect("recorder installed above")
-                            .drain();
+                        let recorder =
+                            state.recorder.as_mut().expect("recorder installed above");
+                        let raw_reads =
+                            u32::try_from(recorder.raw_len()).expect("read count fits u32");
+                        let footprint = recorder.drain();
                         let log = state.replay.take().expect("replay installed above").log;
                         SelectedWidth {
                             width,
                             candidates,
                             footprint: Some(footprint),
+                            raw_reads,
                             log: Some(log),
                             served,
                         }
@@ -1710,20 +1680,28 @@ mod tests {
             mode: SwapMode::NFusion,
         };
         let first = engine.select_demand(&net, &demand, &caps, q, |_| WidthReuse::Miss);
-        // Footprints cover the endpoints and every path node of the width.
+        // Certificates cover the endpoints and every path node of the
+        // width — and stay strictly inside the raw read set.
         for sel in &first {
             let fp = sel.footprint.as_ref().unwrap();
-            let holds = |v: NodeId| fp.iter().any(|&(f, _)| f == v);
+            let holds = |v: NodeId| fp.iter().any(|e| e.node == v);
             assert!(holds(demand.source) && holds(demand.dest));
             for c in &sel.candidates {
                 for &v in c.path.nodes() {
                     assert!(
-                        v == demand.dest || holds(v),
-                        "width {} footprint missing path node {v}",
+                        holds(v),
+                        "width {} certificate missing path node {v}",
                         sel.width
                     );
                 }
             }
+            assert!(
+                fp.len() <= sel.raw_reads as usize,
+                "width {}: certificate ({}) exceeds raw reads ({})",
+                sel.width,
+                fp.len(),
+                sel.raw_reads
+            );
         }
         // Full reuse: identical candidates, no footprints, and it works
         // even against a capacity vector the cached slices never saw

@@ -288,6 +288,24 @@ impl DescentReach {
         self.reached.members().iter().map(|&i| NodeId::new(i))
     }
 
+    /// The *blocked frontier* `∂R`: nodes that were probed by the growth
+    /// sweep but could not relay at the current width (reached but never
+    /// expanded). Any path from the unexplored region to the target would
+    /// have to cross one of these, so a negative
+    /// [`can_reach`](DescentReach::can_reach) answer depends only on
+    /// their relay answers staying infeasible — the tracked half of a
+    /// reach-skip certificate (the full dependency set is still
+    /// [`reached_nodes`](DescentReach::reached_nodes)).
+    ///
+    /// The target expands unconditionally, so it is never in this set.
+    pub fn blocked_frontier(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.reached
+            .members()
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .filter(move |v| !self.expanded.contains(v.index()))
+    }
+
     /// Breadth-first growth from the queued expansion seeds.
     fn grow<N, E>(&mut self, graph: &UnGraph<N, E>, feas: &WidthFeasibility) {
         while let Some(u) = self.queue.pop() {

@@ -45,10 +45,12 @@ mod path;
 mod stamps;
 mod unionfind;
 
+pub mod certificate;
 pub mod feasibility;
 pub mod search;
 pub mod yen;
 
+pub use certificate::{CertEntry, CertificateRecorder};
 pub use feasibility::{DescentReach, WidthFeasibility};
 pub use graph::{EdgeId, EdgeRef, NodeId, UnGraph};
 pub use metric::Metric;

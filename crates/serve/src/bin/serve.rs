@@ -137,6 +137,10 @@ fn parse_replay_args(args: &[String]) -> Result<ReplayArgs, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    parsed
+        .trace_config
+        .validate()
+        .map_err(|e| format!("invalid trace config: {e}"))?;
     Ok(parsed)
 }
 
@@ -369,5 +373,23 @@ mod tests {
         assert!(err.contains("--events could not parse many"), "{err}");
         let err = parse_replay_args(&strs(&["--strategy", "psychic"])).unwrap_err();
         assert!(err.contains("incremental or from-scratch"), "{err}");
+    }
+
+    /// Degenerate trace knobs are parse-time errors, not replay panics:
+    /// a zero arrival rate would never emit an event, a zero holding time
+    /// has no well-defined event order, and a pool of one user cannot
+    /// form demands. `--user-pool 0` stays valid ("all users").
+    #[test]
+    fn degenerate_trace_knobs_are_rejected_at_parse_time() {
+        let err = parse_replay_args(&strs(&["--arrival-rate", "0"])).unwrap_err();
+        assert!(err.contains("invalid trace config"), "{err}");
+        assert!(err.contains("arrival rate"), "{err}");
+        let err = parse_replay_args(&strs(&["--mean-holding", "0"])).unwrap_err();
+        assert!(err.contains("mean holding"), "{err}");
+        let err = parse_replay_args(&strs(&["--link-down-rate", "-1"])).unwrap_err();
+        assert!(err.contains("link-down rate"), "{err}");
+        let err = parse_replay_args(&strs(&["--user-pool", "1"])).unwrap_err();
+        assert!(err.contains("user pool"), "{err}");
+        assert!(parse_replay_args(&strs(&["--user-pool", "0"])).is_ok());
     }
 }

@@ -3,18 +3,23 @@
 //! Admitting `source -> dest` runs a width descent whose per-width output
 //! is a pure function of the width's *feasible subgraph* — and the
 //! [`SelectionEngine`](fusion_core::algorithms::SelectionEngine) reports,
-//! for every width it computes, the exact set of nodes whose feasibility
-//! it read (the *footprint*). This module stores those per-(pair, width)
-//! slices and keeps two inverted indexes over them, the Algorithm 3
-//! `CandidateIndex` trick lifted to the service layer:
+//! for every width it computes, a *validity certificate*
+//! ([`CertEntry`]): the minimal per-kind set of feasibility answers the
+//! slice's results depend on — O(path), not O(explored region) (see
+//! [`fusion_graph::certificate`] for the derivation and soundness
+//! argument). This module stores those per-(pair, width) slices and keeps
+//! two inverted indexes over them, the Algorithm 3 `CandidateIndex` trick
+//! lifted to the service layer:
 //!
-//! * **node → slots** over footprints: when a residual capacity changes
-//!   `old -> new` at a node, only slots whose footprint contains the node
-//!   *at a width whose feasibility answer actually flips* are dropped
-//!   (the relay threshold moves through `(min/2, max/2]`, the endpoint
-//!   threshold through `(min, max]` — see
-//!   [`node_width_thresholds`]). Everything else provably reproduces the
-//!   same bytes, so it is kept.
+//! * **node → slots** over certificates: when a residual capacity changes
+//!   `old -> new` at a node, only slots whose certificate *tracks the
+//!   kind whose answer actually flips* at their width are touched (the
+//!   relay threshold moves through `(min/2, max/2]`, the endpoint
+//!   threshold through `(min, max]` — see [`node_width_thresholds`]).
+//!   A flip of an answer the slice read but never depended on — the
+//!   common case under churn, e.g. a probed-but-off-path user's endpoint
+//!   — retains the slot (`serve.cache.cert_saves`). Everything untouched
+//!   provably reproduces the same bytes.
 //! * **edge → slots** over cached candidate paths: a
 //!   [`fail_link`](crate::state::ServiceState::fail_link) drops every
 //!   slot whose cached candidates cross the cut fiber. This one is a
@@ -42,7 +47,7 @@ use fusion_core::algorithms::{
     node_width_thresholds, CandidatePath, RepairSeed, SelectedWidth, WidthReuse,
 };
 use fusion_core::{DemandId, QuantumNetwork};
-use fusion_graph::{EdgeId, Metric, NodeId, Path};
+use fusion_graph::{CertEntry, EdgeId, Metric, NodeId, Path};
 use fusion_telemetry::{Counter, Histogram, Registry};
 
 /// Telemetry handles of the incremental admission cache, registered under
@@ -91,9 +96,21 @@ pub struct CacheCounters {
     /// Distribution of replayed-prefix lengths (searches served from the
     /// log) across repairs (`serve.cache.repair_depth`).
     pub repair_depth: Histogram,
-    /// Distribution of stored footprint sizes, in nodes
-    /// (`serve.cache.footprint_nodes`).
+    /// Distribution of *raw* read-set sizes per stored slice, in nodes —
+    /// the pre-certificate footprint cardinality, kept for comparability
+    /// across versions (`serve.cache.footprint_nodes`).
     pub footprint_nodes: Histogram,
+    /// Distribution of stored certificate sizes, in entries
+    /// (`serve.cache.cert_size`).
+    pub cert_size: Histogram,
+    /// Slot retentions the certificate bought: a delta flipped an answer
+    /// the slot *read* but never depended on, so the slot survived where
+    /// the raw footprint would have dropped it (`serve.cache.cert_saves`).
+    pub cert_saves: Counter,
+    /// Distribution of the damage/kill ordinals of certificate-matched
+    /// flips (`serve.cache.flip_ordinal`): mass at bucket 0 means flips
+    /// still kill; mass past it means the repair lattice carries churn.
+    pub flip_ordinal: Histogram,
     /// Distribution of slots killed per applied ledger delta
     /// (`serve.cache.killed_per_delta`).
     pub killed_per_delta: Histogram,
@@ -119,6 +136,9 @@ impl CacheCounters {
             damaged: registry.counter("serve.cache.damaged"),
             repairs: registry.counter("serve.cache.repairs"),
             footprint_nodes: registry.histogram("serve.cache.footprint_nodes"),
+            cert_size: registry.histogram("serve.cache.cert_size"),
+            cert_saves: registry.counter("serve.cache.cert_saves"),
+            flip_ordinal: registry.histogram("serve.cache.flip_ordinal"),
             killed_per_delta: registry.histogram("serve.cache.killed_per_delta"),
             repair_depth: registry.histogram("serve.cache.repair_depth"),
         }
@@ -128,11 +148,22 @@ impl CacheCounters {
 /// One inverted-index posting: slot `(key, width)` stored at generation
 /// `gen` depends on (node index) / crosses (edge index) the list this
 /// posting lives in. Valid only while the live slot still has `gen`.
+///
+/// Node postings carry the certificate entry's per-kind first-dependent
+/// ordinals inline, so the delta scan classifies a flip without touching
+/// the slot at all — the entry map is only consulted (for the staleness
+/// check) once a flip actually lands on the posting's width. The
+/// ordinals are frozen per generation: any store that changes the
+/// certificate bumps `gen` and pushes fresh postings, and the old ones
+/// die on the staleness check. Edge postings carry `None`s (fail-edge is
+/// unconditional).
 #[derive(Debug, Clone, Copy)]
 struct Posting {
     key: (NodeId, NodeId),
     width: u32,
     gen: u64,
+    relay_ord: Option<u32>,
+    endpoint_ord: Option<u32>,
 }
 
 /// One cached width slice of a pair's descent — a point on the repair
@@ -148,12 +179,13 @@ struct Slot {
     /// The slice's recorded search log (first path, then each Yen spur in
     /// issue order) — the deviation state a repair replays.
     log: Vec<Option<(Path, Metric)>>,
-    /// Footprint stratified by first-read search ordinal, sorted by node.
-    footprint: Vec<(NodeId, u32)>,
-    /// `Some(k)`: a delta flipped a feasibility answer on a footprint
-    /// node first read at ordinal `k > 0`; log entries `0..k` remain
-    /// valid (searches before `k` never read the node). Flips at ordinal
-    /// 0 kill the slot instead.
+    /// The slice's validity certificate: per node, the per-kind
+    /// first-dependent search ordinals, sorted by node.
+    footprint: Vec<CertEntry>,
+    /// `Some(k)`: a delta flipped a *tracked* feasibility answer whose
+    /// first-dependent ordinal is `k > 0`; log entries `0..k` remain
+    /// valid (searches before `k` never depended on the answer). Flips
+    /// at ordinal 0 kill the slot instead.
     damage: Option<u32>,
 }
 
@@ -297,7 +329,10 @@ impl CandidateCache {
             } else {
                 footprint.clone()
             };
-            self.counters.footprint_nodes.record(footprint.len() as u64);
+            self.counters
+                .footprint_nodes
+                .record(u64::from(sel.raw_reads));
+            self.counters.cert_size.record(footprint.len() as u64);
             self.next_gen += 1;
             let gen = self.next_gen;
             entry.slots[wi] = Some(Slot {
@@ -307,13 +342,14 @@ impl CandidateCache {
                 footprint: footprint.clone(),
                 damage: None,
             });
-            let posting = Posting {
-                key,
-                width: sel.width,
-                gen,
-            };
-            for &(v, _) in &footprint {
-                self.node_postings[v.index()].push(posting);
+            for e in &footprint {
+                self.node_postings[e.node.index()].push(Posting {
+                    key,
+                    width: sel.width,
+                    gen,
+                    relay_ord: e.relay,
+                    endpoint_ord: e.endpoint,
+                });
                 added += 1;
             }
             // Edge postings: every link some cached candidate crosses,
@@ -331,7 +367,13 @@ impl CandidateCache {
             edge_scratch.sort_unstable();
             edge_scratch.dedup();
             for &e in &edge_scratch {
-                self.edge_postings[e.index()].push(posting);
+                self.edge_postings[e.index()].push(Posting {
+                    key,
+                    width: sel.width,
+                    gen,
+                    relay_ord: None,
+                    endpoint_ord: None,
+                });
                 added += 1;
             }
         }
@@ -359,15 +401,15 @@ impl CandidateCache {
 
     /// Applies one residual-capacity delta `old -> new` at `node`.
     ///
-    /// Slots whose footprint contains the node at a width where the delta
-    /// flips a feasibility answer move down the repair lattice: a flip on
-    /// a node first read at search ordinal 0 kills the slot (nothing of
-    /// its construction survives), while a flip first read at ordinal
-    /// `k > 0` *damages* it to `min(damage, k)` — searches before `k`
-    /// never read the node, so the log prefix `0..k` stays exactly
+    /// Slots whose certificate *tracks a kind the delta flips* at their
+    /// width move down the repair lattice: a flip whose first-dependent
+    /// search ordinal is 0 kills the slot (nothing of its construction
+    /// survives), while one first depended on at ordinal `k > 0`
+    /// *damages* it to `min(damage, k)` — searches before `k` never
+    /// depended on the answer, so the log prefix `0..k` stays exactly
     /// reproducible and seeds a later repair. Widths outside the flip
-    /// bands keep identical answers on their whole footprint, so their
-    /// cached bytes remain exact.
+    /// bands, and slots that read the node without ever depending on the
+    /// flipped kind (`cert_saves`), keep byte-exact candidates.
     pub(crate) fn apply_node_delta(
         &mut self,
         net: &QuantumNetwork,
@@ -383,32 +425,51 @@ impl CandidateCache {
         let mut postings = std::mem::take(&mut self.node_postings[node.index()]);
         let mut killed = 0u64;
         let mut damaged = 0u64;
+        let mut saved = 0u64;
         postings.retain(|p| {
+            let relay_flip = flips(p.width, relay_old, relay_new);
+            let endpoint_flip = flips(p.width, endpoint_old, endpoint_new);
+            if !relay_flip && !endpoint_flip {
+                // Nothing to classify — keep the posting without touching
+                // the entry map. A stale posting retained here is
+                // harmless: it never reaches a counter, and the periodic
+                // sweep reclaims it.
+                return true;
+            }
             if self.slot_gen(p.key, p.width) != Some(p.gen) {
                 return false; // stale: slot replaced, dropped, or evicted
             }
-            if flips(p.width, relay_old, relay_new) || flips(p.width, endpoint_old, endpoint_new) {
-                match self.footprint_ordinal(p.key, p.width, node) {
-                    Some(k) if k > 0 => {
-                        self.damage_slot(p.key, p.width, k);
-                        damaged += 1;
-                        // Keep the posting: the slot lives on (damaged)
-                        // and a deeper flip must still be able to reach
-                        // it. Re-damaging at the same ordinal is a no-op.
-                        true
-                    }
-                    _ => {
-                        self.kill_slot(p.key, p.width);
-                        killed += 1;
-                        false
-                    }
-                }
-            } else {
+            // The damage point is the first search that depended on any
+            // *flipped, tracked* answer. A flip of an untracked kind is
+            // exactly what certificates exist to survive.
+            let k = match (
+                relay_flip.then_some(p.relay_ord).flatten(),
+                endpoint_flip.then_some(p.endpoint_ord).flatten(),
+            ) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let Some(k) = k else {
+                saved += 1;
+                return true;
+            };
+            self.counters.flip_ordinal.record(u64::from(k));
+            if k > 0 {
+                self.damage_slot(p.key, p.width, k);
+                damaged += 1;
+                // Keep the posting: the slot lives on (damaged) and a
+                // deeper flip must still be able to reach it. Re-damaging
+                // at the same ordinal is a no-op.
                 true
+            } else {
+                self.kill_slot(p.key, p.width);
+                killed += 1;
+                false
             }
         });
         self.counters.invalidated_by_node.add(killed);
         self.counters.damaged.add(damaged);
+        self.counters.cert_saves.add(saved);
         self.counters.killed_per_delta.record(killed);
         self.node_postings[node.index()] = postings;
     }
@@ -437,21 +498,6 @@ impl CandidateCache {
             .get((width as usize).checked_sub(1)?)?
             .as_ref()
             .map(|s| s.gen)
-    }
-
-    /// The first-read search ordinal of `node` in the slot's stratified
-    /// footprint, if the slot exists and its footprint contains the node.
-    fn footprint_ordinal(&self, key: (NodeId, NodeId), width: u32, node: NodeId) -> Option<u32> {
-        let slot = self
-            .entries
-            .get(&key)?
-            .slots
-            .get((width as usize).checked_sub(1)?)?
-            .as_ref()?;
-        slot.footprint
-            .binary_search_by_key(&node, |&(v, _)| v)
-            .ok()
-            .map(|i| slot.footprint[i].1)
     }
 
     fn kill_slot(&mut self, key: (NodeId, NodeId), width: u32) {
@@ -506,42 +552,60 @@ fn flips(width: u32, a: u32, b: u32) -> bool {
     lo < width && width <= hi
 }
 
-/// Merges a repaired slice's dependency set: the damaged slot's footprint
-/// entries first read *before* the replayed prefix ended (`ordinal <
-/// served` — the only strata the served results depend on) together with
-/// the live tail's recorded reads, keeping the smaller first-read ordinal
-/// for nodes in both. Inputs and output are sorted by node.
-fn merge_repair_footprint(
-    prior: &[(NodeId, u32)],
-    served: u32,
-    live: &[(NodeId, u32)],
-) -> Vec<(NodeId, u32)> {
-    let mut out = Vec::with_capacity(prior.len() + live.len());
-    let mut prior = prior.iter().filter(|&&(_, o)| o < served).peekable();
-    let mut live = live.iter().peekable();
+/// Merges a repaired slice's dependency set: the damaged slot's
+/// certificate strata first depended on *before* the replayed prefix
+/// ended (`ordinal < served` per kind — the only strata the served
+/// results depend on) together with the live tail's certificate, keeping
+/// the smaller first-dependent ordinal per kind for nodes in both.
+/// Entries whose every kind falls at or past `served` drop out entirely.
+/// Inputs and output are sorted by node.
+fn merge_repair_footprint(prior: &[CertEntry], served: u32, live: &[CertEntry]) -> Vec<CertEntry> {
+    let keep = |o: Option<u32>| o.filter(|&k| k < served);
+    let min_kind = |a: Option<u32>, b: Option<u32>| match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    };
+    let mut out: Vec<CertEntry> = Vec::with_capacity(prior.len() + live.len());
+    let mut prior = prior
+        .iter()
+        .filter_map(|e| {
+            let relay = keep(e.relay);
+            let endpoint = keep(e.endpoint);
+            (relay.is_some() || endpoint.is_some()).then_some(CertEntry {
+                node: e.node,
+                relay,
+                endpoint,
+            })
+        })
+        .peekable();
+    let mut live = live.iter().copied().peekable();
     loop {
-        match (prior.peek(), live.peek()) {
-            (Some(&&(pv, po)), Some(&&(lv, lo))) => match pv.cmp(&lv) {
+        match (prior.peek().copied(), live.peek().copied()) {
+            (Some(p), Some(l)) => match p.node.cmp(&l.node) {
                 std::cmp::Ordering::Less => {
-                    out.push((pv, po));
+                    out.push(p);
                     prior.next();
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push((lv, lo));
+                    out.push(l);
                     live.next();
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push((pv, po.min(lo)));
+                    out.push(CertEntry {
+                        node: p.node,
+                        relay: min_kind(p.relay, l.relay),
+                        endpoint: min_kind(p.endpoint, l.endpoint),
+                    });
                     prior.next();
                     live.next();
                 }
             },
-            (Some(&&(pv, po)), None) => {
-                out.push((pv, po));
+            (Some(p), None) => {
+                out.push(p);
                 prior.next();
             }
-            (None, Some(&&(lv, lo))) => {
-                out.push((lv, lo));
+            (None, Some(l)) => {
+                out.push(l);
                 live.next();
             }
             (None, None) => break,
@@ -733,6 +797,7 @@ mod tests {
             width: 0,
             candidates: Vec::new(),
             footprint: Some(Vec::new()),
+            raw_reads: 0,
             log: Some(Vec::new()),
             served: 0,
         };
@@ -754,16 +819,31 @@ mod tests {
         let d = &demands[0];
         let key = (d.source, d.dest);
         select_and_store(&mut cache, &mut engine, &net, d, &caps, 4);
-        // Pick a footprint node first read after ordinal 0: a flip there
-        // must damage (not kill) its slot.
+        // Pick a certificate entry whose *applicable* tracked kinds under
+        // the delta `old -> 0` all sit past ordinal 0: the flip must
+        // damage (not kill) its slot. Applicability follows the flip
+        // bands: dropping to 0 flips the relay answer at widths
+        // `<= old / 2` (switches) and the endpoint answer at widths
+        // `<= old`.
         let entry = cache.entries.get(&key).expect("pair was stored");
         let picked = entry.slots.iter().enumerate().find_map(|(wi, slot)| {
             let s = slot.as_ref()?;
-            let &(v, o) = s.footprint.iter().find(|&&(_, o)| o > 0)?;
-            Some((v, o, wi as u32 + 1))
+            let w = wi as u32 + 1;
+            s.footprint.iter().find_map(|e| {
+                let old = caps[e.node.index()];
+                let relay_old = if net.is_switch(e.node) { old / 2 } else { 0 };
+                let k = match (
+                    (w <= relay_old).then_some(e.relay).flatten(),
+                    (w <= old).then_some(e.endpoint).flatten(),
+                ) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }?;
+                (k > 0).then_some((e.node, k, w))
+            })
         });
         let Some((v, o, w)) = picked else {
-            panic!("fixture produced no footprint entry past ordinal 0");
+            panic!("fixture produced no damageable certificate entry past ordinal 0");
         };
         let mut caps2 = caps.clone();
         let old = caps2[v.index()];
@@ -815,7 +895,12 @@ mod tests {
         let slice = |o| SelectedWidth {
             width: 1,
             candidates: Vec::new(),
-            footprint: Some(vec![(x, o)]),
+            footprint: Some(vec![CertEntry {
+                node: x,
+                relay: Some(o),
+                endpoint: Some(o),
+            }]),
+            raw_reads: 1,
             log: Some(vec![None]),
             served: 0,
         };
@@ -831,6 +916,120 @@ mod tests {
         assert_eq!(cache.counters.invalidated_by_node.value(), 1);
         assert_eq!(cache.counters.entries_evicted.value(), 1);
         assert_eq!(cache.counters.damaged.value(), 0);
+    }
+
+    #[test]
+    fn cap_eviction_of_repairable_slot_counts_as_eviction_not_kill() {
+        // Regression for the repair lattice's counter semantics: a slot
+        // sitting in the *repairable* state when the entry cap displaces
+        // its pair must increment `entries_evicted` only — it is not a
+        // new damage event, not a footprint kill, and its stale postings
+        // must die silently on the next delta.
+        let (net, demands) = world();
+        let x = net
+            .graph()
+            .node_ids()
+            .find(|&v| net.is_switch(v))
+            .expect("world has switches");
+        let slice = |o| SelectedWidth {
+            width: 1,
+            candidates: Vec::new(),
+            footprint: Some(vec![CertEntry {
+                node: x,
+                relay: Some(o),
+                endpoint: Some(o),
+            }]),
+            raw_reads: 1,
+            log: Some(vec![None, None]),
+            served: 0,
+        };
+        let key_a = (demands[0].source, demands[0].dest);
+        let key_b = (demands[1].source, demands[1].dest);
+        let mut cache = CandidateCache::new(&net, 1, &Registry::enabled());
+        cache.store(&net, key_a, &[slice(1)]);
+        // Damage A's slot: it is now repairable, with a live posting.
+        cache.apply_node_delta(&net, x, 10, 0);
+        assert_eq!(cache.counters.damaged.value(), 1);
+        assert!(matches!(
+            cache.reuse(key_a, 1, demands[0].id),
+            WidthReuse::Repair(_)
+        ));
+        // Cap 1: storing pair B evicts the repairable pair A wholesale.
+        cache.store(&net, key_b, &[slice(1)]);
+        assert_eq!(cache.counters.entries_evicted.value(), 1);
+        assert!(matches!(
+            cache.reuse(key_a, 1, demands[0].id),
+            WidthReuse::Miss
+        ));
+        // The eviction is not an invalidation, a kill, or more damage.
+        assert_eq!(cache.counters.invalidated_by_node.value(), 0);
+        assert_eq!(cache.counters.damaged.value(), 1);
+        // A's stale posting dies silently; only B's live slot reacts
+        // (damaged at ordinal 1 again — B's slot, not A's).
+        cache.apply_node_delta(&net, x, 10, 0);
+        assert_eq!(cache.counters.invalidated_by_node.value(), 0);
+        assert_eq!(cache.counters.damaged.value(), 2);
+        assert_eq!(cache.counters.entries_evicted.value(), 1);
+    }
+
+    #[test]
+    fn untracked_kind_flip_is_a_cert_save() {
+        // A delta that flips only a kind the certificate does not track
+        // must retain the slot byte-for-byte and count a `cert_saves`.
+        let (net, demands) = world();
+        let x = net
+            .graph()
+            .node_ids()
+            .find(|&v| net.is_switch(v))
+            .expect("world has switches");
+        let key = (demands[0].source, demands[0].dest);
+        // Width-4 slice tracking only x's relay answer. Capacity 10 -> 8
+        // flips the endpoint answer at widths 9..=10 and the relay answer
+        // at width 5 only — width 4 tracks relay, which does not flip.
+        let slice = SelectedWidth {
+            width: 4,
+            candidates: Vec::new(),
+            footprint: Some(vec![CertEntry {
+                node: x,
+                relay: Some(0),
+                endpoint: None,
+            }]),
+            raw_reads: 1,
+            log: Some(vec![None]),
+            served: 0,
+        };
+        let mut cache = CandidateCache::new(&net, 4, &Registry::enabled());
+        cache.store(&net, key, &[slice]);
+        cache.apply_node_delta(&net, x, 10, 8);
+        assert_eq!(cache.counters.cert_saves.value(), 0, "no band flipped at width 4");
+        // 10 -> 6 flips relay at widths 4..=5: the tracked kind dies.
+        // But first: 10 -> 7 flips endpoint at 8..=10 and relay at 4..=5
+        // — width 4 is in the relay band, tracked, ordinal 0: kill.
+        // Use a fresh pair for the untracked case: endpoint-only flip.
+        let key_b = (demands[1].source, demands[1].dest);
+        let slice_b = SelectedWidth {
+            width: 9,
+            candidates: Vec::new(),
+            footprint: Some(vec![CertEntry {
+                node: x,
+                relay: Some(0),
+                endpoint: None,
+            }]),
+            raw_reads: 1,
+            log: Some(vec![None]),
+            served: 0,
+        };
+        cache.store(&net, key_b, &[slice_b]);
+        // 10 -> 8 flips the endpoint answer at width 9; the certificate
+        // tracks only relay (which moves 5 -> 4, not reaching width 9).
+        cache.apply_node_delta(&net, x, 10, 8);
+        assert_eq!(cache.counters.cert_saves.value(), 1);
+        assert_eq!(cache.counters.invalidated_by_node.value(), 0);
+        assert_eq!(cache.counters.damaged.value(), 0);
+        assert!(
+            matches!(cache.reuse(key_b, 9, demands[1].id), WidthReuse::Full(_)),
+            "saved slot must still serve"
+        );
     }
 
     #[test]
@@ -895,8 +1094,8 @@ impl CandidateCache {
         let spur_only = self.entries.iter().find_map(|(&key, entry)| {
             entry.slots.iter().enumerate().find_map(|(wi, slot)| {
                 let s = slot.as_ref()?;
-                let &(_, o) = s.footprint.iter().find(|&&(_, o)| o > 0)?;
-                Some((key, wi as u32 + 1, o))
+                let e = s.footprint.iter().find(|e| e.first_ordinal() > 0)?;
+                Some((key, wi as u32 + 1, e.first_ordinal()))
             })
         });
         spur_only.or_else(|| {

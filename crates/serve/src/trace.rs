@@ -36,6 +36,58 @@ pub struct TraceConfig {
     pub seed: u64,
 }
 
+impl TraceConfig {
+    /// Checks the knobs for values the generator has no well-defined
+    /// deterministic trace for, so callers (the CLI in particular) can
+    /// reject them at parse time instead of panicking mid-generation:
+    ///
+    /// * `arrival_rate` must be finite and positive — a rate of `0`
+    ///   never produces an arrival, and the event loop would spin
+    ///   forever waiting for one.
+    /// * `mean_holding` must be finite and positive — a holding time of
+    ///   `0` collapses every session into a same-instant
+    ///   arrival/departure pair whose ordering is an accident of the
+    ///   event-queue tie-break, not a modeled workload.
+    /// * `link_down_rate` must be finite and non-negative (`0` disables
+    ///   link failures).
+    /// * `user_pool` must not be `1` — a single user cannot form a
+    ///   demand pair, and the distinct-destination rejection loop would
+    ///   never terminate. `0` means "every user" and pools of two or
+    ///   more are checked against the actual population by [`generate`].
+    ///
+    /// [`generate`] enforces the same rules by panicking, so a validated
+    /// config never aborts generation for config-shaped reasons.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.arrival_rate.is_finite() && self.arrival_rate > 0.0) {
+            return Err(format!(
+                "arrival rate must be finite and positive, got {}",
+                self.arrival_rate
+            ));
+        }
+        if !(self.mean_holding.is_finite() && self.mean_holding > 0.0) {
+            return Err(format!(
+                "mean holding time must be finite and positive, got {}",
+                self.mean_holding
+            ));
+        }
+        if !(self.link_down_rate.is_finite() && self.link_down_rate >= 0.0) {
+            return Err(format!(
+                "link-down rate must be finite and non-negative, got {}",
+                self.link_down_rate
+            ));
+        }
+        if self.user_pool == 1 {
+            return Err("user pool of 1 cannot form demand pairs (use 0 for all users, or >= 2)"
+                .to_string());
+        }
+        Ok(())
+    }
+}
+
 impl Default for TraceConfig {
     fn default() -> Self {
         TraceConfig {
@@ -123,11 +175,14 @@ fn exp_sample<R: RngCore>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if the network has fewer than two users, if
-/// `arrival_rate <= 0`, if `mean_holding <= 0`, or if
+/// Panics if the config fails [`TraceConfig::validate`], if the network
+/// (restricted to the pool) has fewer than two users, or if
 /// `link_down_rate > 0` on an edgeless network.
 #[must_use]
 pub fn generate(net: &QuantumNetwork, config: &TraceConfig) -> Trace {
+    if let Err(reason) = config.validate() {
+        panic!("invalid trace config: {reason}");
+    }
     let mut users: Vec<NodeId> = net
         .graph()
         .node_ids()
@@ -137,8 +192,6 @@ pub fn generate(net: &QuantumNetwork, config: &TraceConfig) -> Trace {
         users.truncate(config.user_pool);
     }
     assert!(users.len() >= 2, "need at least two users to form demands");
-    assert!(config.arrival_rate > 0.0, "arrival rate must be positive");
-    assert!(config.mean_holding > 0.0, "mean holding must be positive");
     let holding_rate = 1.0 / config.mean_holding;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -284,5 +337,88 @@ mod tests {
         }
         assert!(kinds[0] > 0 && kinds[1] > 0 && kinds[2] > 0, "{kinds:?}");
         assert!(kinds[1] <= kinds[0], "cannot depart more than arrived");
+    }
+
+    /// Degenerate knob values are rejected by `validate` with a message
+    /// naming the knob — the CLI surfaces these at parse time, before a
+    /// network is even built.
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        let base = TraceConfig::default();
+        assert_eq!(base.validate(), Ok(()));
+
+        let cases: [(TraceConfig, &str); 7] = [
+            (TraceConfig { arrival_rate: 0.0, ..base }, "arrival rate"),
+            (TraceConfig { arrival_rate: f64::NAN, ..base }, "arrival rate"),
+            (TraceConfig { arrival_rate: f64::INFINITY, ..base }, "arrival rate"),
+            (TraceConfig { mean_holding: 0.0, ..base }, "mean holding"),
+            (TraceConfig { mean_holding: -3.0, ..base }, "mean holding"),
+            (TraceConfig { link_down_rate: -0.5, ..base }, "link-down rate"),
+            (TraceConfig { user_pool: 1, ..base }, "user pool"),
+        ];
+        for (config, knob) in cases {
+            let err = config.validate().expect_err(knob);
+            assert!(err.contains(knob), "error {err:?} should name {knob:?}");
+        }
+    }
+
+    /// `user_pool: 0` means "every user": it is valid, recurring demands
+    /// are still possible (same pair drawn twice), and the trace is
+    /// deterministic. `user_pool >= 2` restricts to a prefix and yields a
+    /// different — still deterministic — trace.
+    #[test]
+    fn user_pool_zero_means_all_users_and_stays_deterministic() {
+        let net = net();
+        let all = TraceConfig {
+            events: 300,
+            user_pool: 0,
+            ..TraceConfig::default()
+        };
+        assert_eq!(all.validate(), Ok(()));
+        assert_eq!(generate(&net, &all), generate(&net, &all));
+
+        let pool = TraceConfig { user_pool: 2, ..all };
+        assert_eq!(pool.validate(), Ok(()));
+        let trace = generate(&net, &pool);
+        assert_eq!(trace, generate(&net, &pool));
+        // With two users every arrival is the same (unordered) pair.
+        let mut pairs: Vec<(NodeId, NodeId)> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Arrival { source, dest, .. } => {
+                    Some((source.min(dest), source.max(dest)))
+                }
+                _ => None,
+            })
+            .collect();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 1, "pool of 2 admits exactly one pair");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trace config")]
+    fn generate_panics_on_zero_arrival_rate() {
+        let net = net();
+        let _ = generate(
+            &net,
+            &TraceConfig {
+                arrival_rate: 0.0,
+                ..TraceConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trace config")]
+    fn generate_panics_on_zero_holding_time() {
+        let net = net();
+        let _ = generate(
+            &net,
+            &TraceConfig {
+                mean_holding: 0.0,
+                ..TraceConfig::default()
+            },
+        );
     }
 }

@@ -95,6 +95,7 @@ fn check_incremental_case(
     trace_seed: u64,
     link_down_rate: f64,
     mean_holding: f64,
+    user_pool: usize,
 ) -> Result<(), proptest::test_runner::TestCaseError> {
     let mut inc = build_state(
         switches,
@@ -125,7 +126,7 @@ fn check_incremental_case(
             arrival_rate: 1.0,
             mean_holding,
             link_down_rate,
-            user_pool: 0,
+            user_pool,
             seed: trace_seed,
         },
     );
@@ -232,16 +233,17 @@ fn check_incremental_case(
     Ok(())
 }
 
-/// Repair-heavy variant: churn-bound traces (user-pool 0, short holds,
-/// link-downs) drive the cache through its damage → repair path rather
-/// than kill → miss. On top of the lockstep byte-identity of
-/// [`check_incremental_case`], asserts that two same-seed incremental
-/// runs produce byte-identical [`fusion_telemetry::MetricsSnapshot`]s
-/// (counters are a pure function of the counted work), and returns the
-/// repair count so pinned callers can assert the repair path was
-/// actually exercised.
+/// Churn variant: churn-bound traces (short holds, link-downs, optionally
+/// a small recurring user pool) drive the cache through its damage →
+/// repair path rather than kill → miss. On top of the lockstep
+/// byte-identity of [`check_incremental_case`], asserts that two
+/// same-seed incremental runs produce byte-identical
+/// [`fusion_telemetry::MetricsSnapshot`]s (counters are a pure function
+/// of the counted work), and returns a snapshot so pinned callers can
+/// assert the path they target (`serve.cache.repairs`,
+/// `serve.cache.cert_saves`, ...) was actually exercised.
 #[allow(clippy::too_many_arguments)]
-fn check_repair_heavy_case(
+fn check_churn_case(
     switches: usize,
     pairs: usize,
     grid: bool,
@@ -254,7 +256,8 @@ fn check_repair_heavy_case(
     trace_seed: u64,
     link_down_rate: f64,
     mean_holding: f64,
-) -> Result<u64, proptest::test_runner::TestCaseError> {
+    user_pool: usize,
+) -> Result<fusion_telemetry::MetricsSnapshot, proptest::test_runner::TestCaseError> {
     check_incremental_case(
         switches,
         pairs,
@@ -268,6 +271,7 @@ fn check_repair_heavy_case(
         trace_seed,
         link_down_rate,
         mean_holding,
+        user_pool,
     )?;
 
     let mut snaps = Vec::new();
@@ -290,7 +294,7 @@ fn check_repair_heavy_case(
                 arrival_rate: 1.0,
                 mean_holding,
                 link_down_rate,
-                user_pool: 0,
+                user_pool,
                 seed: trace_seed,
             },
         );
@@ -307,7 +311,7 @@ fn check_repair_heavy_case(
         true,
         "metrics snapshots diverged across same-seed runs"
     );
-    Ok(snaps[0].value("serve.cache.repairs"))
+    Ok(snaps.swap_remove(0))
 }
 
 /// The hardest invalidation case, pinned deterministically for tier-1:
@@ -412,7 +416,7 @@ proptest! {
     ) {
         check_incremental_case(
             switches, pairs, grid, seed, p, q, h, classic,
-            events, trace_seed, link_down_rate, mean_holding,
+            events, trace_seed, link_down_rate, mean_holding, 0,
         )?;
     }
 }
@@ -428,11 +432,45 @@ proptest! {
 #[test]
 fn repair_heavy_churn_pinned_cases() {
     for trace_seed in [11u64, 12, 13, 14] {
-        check_repair_heavy_case(
-            24, 4, false, 17, 0.9, 0.9, 3, false, 90, trace_seed, 0.1, 3.0,
+        check_churn_case(
+            24, 4, false, 17, 0.9, 0.9, 3, false, 90, trace_seed, 0.1, 3.0, 0,
         )
         .expect("repair-heavy oracle case failed");
     }
+}
+
+/// Certificate-heavy pinned cases for tier-1: a small recurring user
+/// pool over a churning network is exactly the regime the certificate
+/// footprints are built for — the same pairs re-admit while charges and
+/// returns flip thresholds all over the probed region. Byte-identity to
+/// from-scratch is asserted at every event by the harness; on top, the
+/// certificates must *do their job*: at least one flip must land on a
+/// raw-footprint read the certificate proves irrelevant
+/// (`serve.cache.cert_saves`), and flips that do land must be classified
+/// past ordinal 0 at least once (`serve.cache.flip_ordinal` — the "churn
+/// wall" this PR breaks was every flip killing at ordinal 0).
+#[test]
+fn certificate_churn_pinned_cases() {
+    let mut total_saves = 0;
+    let mut past_zero = 0;
+    for trace_seed in [21u64, 22, 23, 24] {
+        let snap = check_churn_case(
+            24, 4, false, 17, 0.9, 0.9, 3, false, 90, trace_seed, 0.1, 3.0, 4,
+        )
+        .expect("certificate-churn oracle case failed");
+        total_saves += snap.value("serve.cache.cert_saves");
+        let flips_total = snap.value("serve.cache.flip_ordinal/count");
+        let flips_at_zero = snap.value("serve.cache.flip_ordinal/p2_00");
+        past_zero += flips_total - flips_at_zero;
+    }
+    assert!(
+        total_saves > 0,
+        "certificate footprints never saved a slot a raw footprint would have killed"
+    );
+    assert!(
+        past_zero > 0,
+        "every tracked flip classified at ordinal 0: repair lattice never engaged"
+    );
 }
 
 proptest! {
@@ -457,9 +495,40 @@ proptest! {
         link_down_rate in 0.05f64..0.3,
         mean_holding in 1.0f64..6.0,
     ) {
-        check_repair_heavy_case(
+        check_churn_case(
             switches, pairs, grid, seed, p, q, h, classic,
-            events, trace_seed, link_down_rate, mean_holding,
+            events, trace_seed, link_down_rate, mean_holding, 0,
+        )?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Reduced certificate-churn grid for tier-1: small recurring user
+    /// pools over churning worlds, so the same pairs re-admit while
+    /// thresholds flip — the regime where certificate footprints decide
+    /// between reuse, repair, and kill on nearly every event. Every event
+    /// byte-compared between strategies.
+    #[test]
+    fn certificate_churn_matches_from_scratch_reduced(
+        switches in 12usize..28,
+        pairs in 2usize..6,
+        grid in proptest::bool::ANY,
+        seed in 0u64..1_000,
+        p in 0.55f64..0.95,
+        q in 0.7f64..1.0,
+        h in 1usize..4,
+        classic in proptest::bool::ANY,
+        events in 40usize..90,
+        trace_seed in 0u64..1_000,
+        link_down_rate in 0.0f64..0.2,
+        mean_holding in 1.0f64..8.0,
+        user_pool in 2usize..6,
+    ) {
+        check_churn_case(
+            switches, pairs, grid, seed, p, q, h, classic,
+            events, trace_seed, link_down_rate, mean_holding, user_pool,
         )?;
     }
 }
@@ -487,9 +556,41 @@ proptest! {
         link_down_rate in 0.05f64..0.35,
         mean_holding in 1.0f64..8.0,
     ) {
-        check_repair_heavy_case(
+        check_churn_case(
             switches, pairs, grid, seed, p, q, h, classic,
-            events, trace_seed, link_down_rate, mean_holding,
+            events, trace_seed, link_down_rate, mean_holding, 0,
+        )?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wide certificate-churn grid for the scheduled `wide-differential`
+    /// workflow: larger worlds, longer recurring-pool traces, harsher
+    /// churn — the regime where a single unsound certificate (a tracked
+    /// read missing from the footprint) would let a stale slice serve
+    /// and diverge from from-scratch.
+    #[test]
+    #[ignore = "wide certificate-churn oracle grid; minutes of runtime, run with -- --ignored"]
+    fn certificate_churn_matches_from_scratch_wide(
+        switches in 12usize..80,
+        pairs in 2usize..8,
+        grid in proptest::bool::ANY,
+        seed in 0u64..10_000,
+        p in 0.4f64..1.0,
+        q in 0.5f64..1.0,
+        h in 1usize..5,
+        classic in proptest::bool::ANY,
+        events in 60usize..200,
+        trace_seed in 0u64..10_000,
+        link_down_rate in 0.0f64..0.35,
+        mean_holding in 1.0f64..10.0,
+        user_pool in 2usize..8,
+    ) {
+        check_churn_case(
+            switches, pairs, grid, seed, p, q, h, classic,
+            events, trace_seed, link_down_rate, mean_holding, user_pool,
         )?;
     }
 }
@@ -517,7 +618,7 @@ proptest! {
     ) {
         check_incremental_case(
             switches, pairs, grid, seed, p, q, h, classic,
-            events, trace_seed, link_down_rate, mean_holding,
+            events, trace_seed, link_down_rate, mean_holding, 0,
         )?;
     }
 }

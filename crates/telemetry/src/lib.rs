@@ -288,7 +288,12 @@ impl Histogram {
         if let Some(inner) = &self.0 {
             let bucket = match value {
                 0 => 0,
-                v => 64 - v.leading_zeros() as usize,
+                // `u64::MAX` has zero leading zeros, giving index 64 — the
+                // last of the `HISTOGRAM_BUCKETS` slots. The clamp keeps
+                // the indexing in-bounds by construction rather than by
+                // arithmetic coincidence, so a future bucket-count change
+                // saturates instead of panicking.
+                v => (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1),
             };
             inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         }
@@ -504,6 +509,22 @@ mod tests {
         assert_eq!(snap.value("footprint/p2_03"), 2, "values 4..8");
         assert_eq!(snap.value("footprint/p2_04"), 1, "value 8");
         assert_eq!(snap.value("footprint/p2_11"), 1, "value 1024");
+    }
+
+    /// The top of the `u64` range lands in the last bucket (index 64)
+    /// without indexing past `HISTOGRAM_BUCKETS`. Pins the exact bucket
+    /// for the `2^63` boundary on both sides and for `u64::MAX`.
+    #[test]
+    fn histogram_top_buckets_stay_in_bounds() {
+        let registry = Registry::enabled();
+        let h = registry.histogram("top");
+        h.record((1u64 << 63) - 1); // largest 63-bit value
+        h.record(1u64 << 63); // smallest 64-bit value
+        h.record(u64::MAX);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("top/count"), 3);
+        assert_eq!(snap.value("top/p2_63"), 1, "2^63 - 1");
+        assert_eq!(snap.value("top/p2_64"), 2, "2^63 and u64::MAX share the last bucket");
     }
 
     #[test]
